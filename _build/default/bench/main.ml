@@ -1,0 +1,744 @@
+(* The RedFat evaluation harness: regenerates every table and figure of
+   the paper (EuroSys'22), plus the extension experiments.  Run with no
+   argument for everything, or with one of:
+
+     table1 table2 fig1 fig2 fig3 fig4 fig5 fig67 fig8
+     fps detected uaf stats sec74 ablation bechamel
+
+   See EXPERIMENTS.md for paper-vs-measured. *)
+
+module Rt = Redfat_rt.Runtime
+module Rw = Redfat.Rewrite
+
+let log_opts = { Rt.default_options with mode = Rt.Log }
+
+let pf fmt = Printf.printf fmt
+
+let geomean xs =
+  match xs with
+  | [] -> nan
+  | _ ->
+    exp (List.fold_left (fun a x -> a +. log x) 0.0 xs /. float (List.length xs))
+
+let hr title = pf "\n==== %s ====\n%!" title
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: SPEC CPU2006 overhead of every RedFat configuration        *)
+(* ------------------------------------------------------------------ *)
+
+type t1row = {
+  r_name : string;
+  r_lang : Workloads.Spec.lang;
+  r_cov : float;
+  r_base : int;
+  r_unopt : float;
+  r_elim : float;
+  r_batch : float;
+  r_merge : float;
+  r_nosize : float;
+  r_noreads : float;
+  r_memcheck : float;
+}
+
+let table1_row (b : Workloads.Spec.bench) : t1row =
+  let bin = Workloads.Spec.binary b in
+  let refs = Workloads.Spec.ref_inputs b in
+  let base, bv = Redfat.run_baseline ~inputs:refs bin in
+  (match bv with
+   | Redfat.Finished _ -> ()
+   | v -> failwith (b.name ^ ": baseline " ^ Redfat.verdict_to_string v));
+  (* allow-list from the train workload (paper §5 / §7.1 methodology) *)
+  let allow =
+    Redfat.profile ~test_suite:[ Workloads.Spec.train_inputs b ] bin
+  in
+  let run ?(rt = log_opts) opts =
+    let hard =
+      Redfat.harden ~opts:{ opts with Rw.allowlist = Some allow } bin
+    in
+    let hr = Redfat.run_hardened ~options:rt ~inputs:refs hard.binary in
+    (match hr.verdict with
+     | Redfat.Finished _ -> ()
+     | v -> failwith (b.name ^ ": " ^ Redfat.verdict_to_string v));
+    hr
+  in
+  let unopt = run Rw.unoptimized in
+  let elim = run Rw.with_elim in
+  let batch = run Rw.with_batch in
+  let merge = run Rw.optimized in
+  let nosize = run ~rt:{ log_opts with size_harden = false } Rw.optimized in
+  let noreads =
+    run
+      ~rt:{ log_opts with size_harden = false; check_reads = false }
+      { Rw.optimized with instrument_reads = false }
+  in
+  let mc, _, _ = Redfat.run_memcheck ~inputs:refs bin in
+  let ov (hrun : Redfat.hardened_run) =
+    float_of_int hrun.run.cycles /. float_of_int base.cycles
+  in
+  {
+    r_name = b.name;
+    r_lang = b.lang;
+    r_cov = Rt.coverage_percent nosize.rt;
+    r_base = base.cycles;
+    r_unopt = ov unopt;
+    r_elim = ov elim;
+    r_batch = ov batch;
+    r_merge = ov merge;
+    r_nosize = ov nosize;
+    r_noreads = ov noreads;
+    r_memcheck = float_of_int mc.cycles /. float_of_int base.cycles;
+  }
+
+let table1 () =
+  hr "Table 1: SPEC CPU2006 performance (slow-down factors vs baseline)";
+  pf "%-11s %-7s %8s %9s %7s %7s %7s %7s %7s %7s %9s\n" "Binary" "lang"
+    "coverage" "Baseline" "unopt" "+elim" "+batch" "+merge" "-size" "-reads"
+    "Memcheck";
+  let rows = List.map table1_row Workloads.Spec.all in
+  List.iter
+    (fun r ->
+      pf
+        "%-11s %-7s %7.1f%% %9d %6.2fx %6.2fx %6.2fx %6.2fx %6.2fx %6.2fx %8.2fx\n%!"
+        r.r_name
+        (Workloads.Spec.lang_name r.r_lang)
+        r.r_cov r.r_base r.r_unopt r.r_elim r.r_batch r.r_merge r.r_nosize
+        r.r_noreads r.r_memcheck)
+    rows;
+  let g f = geomean (List.map f rows) in
+  pf
+    "%-11s %-7s %7.1f%% %9.0f %6.2fx %6.2fx %6.2fx %6.2fx %6.2fx %6.2fx %8.2fx\n"
+    "geo-mean" ""
+    (geomean (List.map (fun r -> r.r_cov) rows))
+    (geomean (List.map (fun r -> float_of_int r.r_base) rows))
+    (g (fun r -> r.r_unopt))
+    (g (fun r -> r.r_elim))
+    (g (fun r -> r.r_batch))
+    (g (fun r -> r.r_merge))
+    (g (fun r -> r.r_nosize))
+    (g (fun r -> r.r_noreads))
+    (g (fun r -> r.r_memcheck));
+  pf "(paper geo-means: coverage 72.6%%, unopt 6.78x, +elim 5.50x, +batch 5.06x,\n";
+  pf " +merge 4.18x, -size 3.81x, -reads 1.55x, Memcheck 11.76x)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: non-incremental overflows (CVEs + Juliet CWE-122)          *)
+(* ------------------------------------------------------------------ *)
+
+let table2 () =
+  hr "Table 2: CVEs/CWEs for non-incremental bounds errors";
+  pf "%-34s %-14s %-14s\n" "entry" "Memcheck" "RedFat";
+  List.iter
+    (fun (c : Workloads.Cve.case) ->
+      let bin = Workloads.Cve.binary c in
+      let hard = Redfat.harden bin in
+      let benign = Redfat.run_hardened hard.binary ~inputs:c.benign_inputs in
+      (match benign.verdict with
+       | Redfat.Finished _ -> ()
+       | v -> failwith (c.name ^ " benign: " ^ Redfat.verdict_to_string v));
+      let attack = Redfat.run_hardened hard.binary ~inputs:c.attack_inputs in
+      let rf = match attack.verdict with Redfat.Detected _ -> 1 | _ -> 0 in
+      let _, _, mc = Redfat.run_memcheck bin ~inputs:c.attack_inputs in
+      let mcd = if Baselines.Memcheck.errors mc <> [] then 1 else 0 in
+      pf "%-34s %d/1 (%3d%%)     %d/1 (%3d%%)\n%!"
+        (Printf.sprintf "%s (%s)" c.cve c.name)
+        mcd (mcd * 100) rf (rf * 100))
+    Workloads.Cve.all;
+  let total = List.length Workloads.Juliet.all in
+  let rf_det = ref 0 and mc_det = ref 0 in
+  List.iter
+    (fun (c : Workloads.Juliet.case) ->
+      let bin = Workloads.Juliet.binary c in
+      let hard = Redfat.harden bin in
+      let attack = Redfat.run_hardened hard.binary ~inputs:c.attack_inputs in
+      (match attack.verdict with Redfat.Detected _ -> incr rf_det | _ -> ());
+      let _, _, mc = Redfat.run_memcheck bin ~inputs:c.attack_inputs in
+      if Baselines.Memcheck.errors mc <> [] then incr mc_det)
+    Workloads.Juliet.all;
+  pf "%-34s %d/%d (%3.0f%%)   %d/%d (%3.0f%%)\n"
+    "CWE-122-Heap-Buffer (Juliet)" !mc_det total
+    (100. *. float_of_int !mc_det /. float_of_int total)
+    !rf_det total
+    (100. *. float_of_int !rf_det /. float_of_int total);
+  pf "(paper: Memcheck 0%% everywhere, RedFat 100%% everywhere)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1: the CVE-2012-4295 walkthrough                             *)
+(* ------------------------------------------------------------------ *)
+
+let fig1 () =
+  hr "Figure 1: CVE-2012-4295 (wireshark) walkthrough";
+  let c = Workloads.Cve.wireshark in
+  let bin = Workloads.Cve.binary c in
+  pf "model: %s\n" c.description;
+  let base, _ = Redfat.run_baseline ~inputs:c.benign_inputs bin in
+  pf "benign run (speed=%d): outputs %s\n"
+    (List.nth c.benign_inputs 1)
+    (String.concat "," (List.map string_of_int base.outputs));
+  let hard = Redfat.harden bin in
+  let attack = Redfat.run_hardened hard.binary ~inputs:c.attack_inputs in
+  pf "attack run (speed=%d) under RedFat: %s\n"
+    (List.nth c.attack_inputs 1)
+    (Redfat.verdict_to_string attack.verdict);
+  let _, _, mc = Redfat.run_memcheck bin ~inputs:c.attack_inputs in
+  pf "attack run under Memcheck: %d errors reported (redzone skipped)\n"
+    (List.length (Baselines.Memcheck.errors mc))
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: the low-fat allocator memory layout                       *)
+(* ------------------------------------------------------------------ *)
+
+let fig2 () =
+  hr "Figure 2: low-fat allocator memory layout";
+  let open Lowfat.Layout in
+  pf "region size: %d GiB; %d low-fat size classes\n" (region_size lsr 30)
+    num_classes;
+  pf "%-8s %-30s %-10s\n" "region" "range" "class size";
+  let show i =
+    let sz = sizes_table.(i) in
+    pf "#%-7d [%#14x, %#14x)  %s\n" i (region_start i) (region_end i)
+      (if sz = max_int then "non-fat" else string_of_int sz)
+  in
+  List.iter show [ 0; 1; 2; 3; 4 ];
+  pf "   ...\n";
+  List.iter show
+    [ num_classes - 1; num_classes; legacy_heap_region; stack_region ];
+  let violations = ref 0 in
+  for k = 1 to 20000 do
+    let ptr = heap_lo + (k * 2654435761 land ((1 lsl 41) - 1)) in
+    if is_fat ptr then begin
+      let b = base ptr and s = size ptr in
+      if not (b <= ptr && ptr < b + s && b mod s = 0) then incr violations
+    end
+  done;
+  pf "base/size invariants over 20k random pointers: %d violations\n"
+    !violations
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3: object layout (metadata inside the redzone)               *)
+(* ------------------------------------------------------------------ *)
+
+let fig3 () =
+  hr "Figure 3: redzone/metadata object layout";
+  let mem = Vm.Mem.create () in
+  let rt = Rt.create mem in
+  let p = Rt.malloc rt 40 in
+  let b = Lowfat.Layout.base p in
+  pf "malloc(40) returned %#x\n" p;
+  pf "object base (via low-fat base(ptr)):   %#x\n" b;
+  pf "slot size  (via low-fat size(ptr)):    %d\n" (Lowfat.Layout.size p);
+  pf "metadata word at base (= malloc size): %d\n"
+    (Vm.Mem.read mem ~addr:b ~len:8);
+  pf "redzone: [%#x, %#x)  object: [%#x, %#x)  padding: %d bytes\n" b (b + 16)
+    p (p + 40)
+    (Lowfat.Layout.size p - 16 - 40);
+  Rt.free rt p;
+  pf "after free, metadata word: %d (0 = Free; UaF folds into bounds check)\n"
+    (Vm.Mem.read mem ~addr:b ~len:8)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: check schema cost breakdown                               *)
+(* ------------------------------------------------------------------ *)
+
+let fig4 () =
+  hr "Figure 4: instrumentation check, micro-op cost per variant";
+  let open Rt.Cost in
+  pf "step (1) access range:        %d\n" access_range;
+  pf "step (2) low-fat base:        %d (+%d null test)\n" lowfat_base null_test;
+  pf "step (3) metadata load:       %d\n" metadata_load;
+  pf "step (4) size hardening:      %d (optional, -size removes)\n" size_harden;
+  pf "step (4) bounds, merged UB:   %d (vs %d branchy; paper §4.2)\n"
+    bounds_merged bounds_branchy;
+  pf "scratch save/restore:         %d per register, %d for flags\n" per_save
+    flags_save;
+  let full =
+    access_range + lowfat_base + null_test + metadata_load + size_harden
+    + bounds_merged
+  in
+  pf "full (Redzone)+(LowFat) check, no saves: %d micro-ops\n" full;
+  pf "fallback path (non-fat ptr) adds:        %d\n" (lowfat_base + null_test);
+  pf "conservative trampoline adds:            %d (3 saves + flags)\n"
+    ((3 * per_save) + flags_save)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: the two-phase profiling workflow                          *)
+(* ------------------------------------------------------------------ *)
+
+let fig5 () =
+  hr "Figure 5: profile-based false positive elimination workflow";
+  let open Minic.Build in
+  let prog =
+    Minic.Ast.program
+      [
+        Minic.Ast.func ~name:"main"
+          [
+            let_ "a" (alloc_elems (i 32));
+            for_ "j" (i 0) (i 32) [ set (v "a") (v "j") (v "j") ];
+            (* anti-idiom: (a - 4*8)[j + 4], always-OOB base pointer *)
+            for_ "j" (i 0) (i 8)
+              [ Minic.Ast.Store (E8, v "a" -: i 32, v "j" +: i 4, v "j") ];
+            let_ "s" (i 0);
+            for_ "j" (i 0) (i 32) [ assign "s" (v "s" +: idx (v "a") (v "j")) ];
+            print_ (v "s");
+            return_ (i 0);
+          ];
+      ]
+  in
+  let bin = Minic.Codegen.compile prog in
+  pf "step (1) profiling phase: instrument prog.orig, run the test suite\n";
+  let prof = Rw.rewrite Rw.profiling_build bin in
+  let hrun =
+    Redfat.run_hardened ~options:log_opts ~profiling:true prof.binary
+  in
+  let allow = Rt.allowlist hrun.rt in
+  let failing = Rt.lowfat_failing_sites hrun.rt in
+  pf "  allow.lst: %d sites pass (LowFat); %d sites fail -> excluded: %s\n"
+    (List.length allow) (List.length failing)
+    (String.concat ", " (List.map (Printf.sprintf "%#x") failing));
+  pf "step (2) production phase: rewrite with the allow-list\n";
+  let hard = Rw.rewrite (Rw.production ~allowlist:allow) bin in
+  pf "  %d sites get (Redzone)+(LowFat), %d get (Redzone)-only\n"
+    hard.stats.full_sites hard.stats.redzone_sites;
+  let prod = Redfat.run_hardened hard.binary in
+  pf "  production run: %s (no false positive)\n"
+    (Redfat.verdict_to_string prod.verdict)
+
+(* ------------------------------------------------------------------ *)
+(* Figures 6-7: batching and merging trampoline economics              *)
+(* ------------------------------------------------------------------ *)
+
+(* the exact instruction sequence of paper Example 2, as a binary *)
+let example2_binary () : Binfmt.Relf.t =
+  let open X64 in
+  let items =
+    [
+      (* rax = malloc(64), rbx = malloc(64) *)
+      Asm.I (Isa.Mov_ri (Isa.rdi, 64));
+      Asm.I (Isa.Callrt Isa.Malloc);
+      Asm.I (Isa.Mov_rr (Isa.r14, Isa.rax));
+      Asm.I (Isa.Mov_ri (Isa.rdi, 64));
+      Asm.I (Isa.Callrt Isa.Malloc);
+      Asm.I (Isa.Mov_rr (Isa.rbx, Isa.rax));
+      Asm.I (Isa.Mov_rr (Isa.rax, Isa.r14));
+      Asm.I (Isa.Mov_ri (Isa.r10, 1));
+      Asm.I (Isa.Mov_ri (Isa.r8, 2));
+      (* .Linstruction1-4 of Example 2 *)
+      Asm.I (Isa.Store (Isa.W8, Isa.mem ~disp:8 ~base:Isa.rbx (), Isa.r10));
+      Asm.I (Isa.Store (Isa.W8, Isa.mem ~base:Isa.rax (), Isa.r8));
+      Asm.I (Isa.Store_i (Isa.W8, Isa.mem ~disp:8 ~base:Isa.rax (), 0));
+      Asm.I (Isa.Store_i (Isa.W8, Isa.mem ~disp:16 ~base:Isa.rax (), 0));
+      Asm.I Isa.Ret;
+    ]
+  in
+  let code, _ = Asm.assemble ~origin:Lowfat.Layout.code_base items in
+  {
+    Binfmt.Relf.entry = Lowfat.Layout.code_base;
+    pic = false;
+    stripped = true;
+    sections =
+      [
+        Binfmt.Relf.section ~executable:true ~name:".text"
+          ~addr:Lowfat.Layout.code_base code;
+      ];
+  }
+
+let fig67 () =
+  hr "Figures 6-7: check batching and merging (paper Example 2)";
+  let bin = example2_binary () in
+  let show name opts =
+    let r = Rw.rewrite opts bin in
+    pf
+      "%-12s trampolines=%d checks=%d jump-patches=%d (total jumps %d) traps=%d\n%!"
+      name r.stats.trampolines r.stats.checks_emitted r.stats.jump_patches
+      (r.stats.jump_patches * 2)
+      r.stats.trap_patches;
+    let hrun = Redfat.run_hardened r.binary in
+    (match hrun.verdict with
+     | Redfat.Finished _ -> ()
+     | v -> pf "  unexpected: %s\n" (Redfat.verdict_to_string v))
+  in
+  show "(b) naive" Rw.unoptimized;
+  show "(c) batched" Rw.with_batch;
+  show "(d) merged" Rw.optimized;
+  pf "(paper: naive = 4 trampolines / 8 jumps; batched = 1 trampoline / 2\n";
+  pf " jumps; merged folds the three rax-based checks into one)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8 + §7.3: Kraken under write-hardened Chrome, scalability    *)
+(* ------------------------------------------------------------------ *)
+
+let chrome_opts = { Rw.optimized with instrument_reads = false }
+let chrome_rt = { log_opts with size_harden = false; check_reads = false }
+
+let fig8 () =
+  hr "Figure 8: Kraken benchmarks under write-only hardening";
+  pf "%-26s %9s %9s %9s\n" "benchmark" "baseline" "hardened" "overhead";
+  let ovs =
+    List.map
+      (fun (b : Workloads.Kraken.bench) ->
+        let bin = Workloads.Kraken.binary b in
+        let inputs = Workloads.Kraken.inputs b in
+        let base, _ = Redfat.run_baseline ~inputs bin in
+        let hard = Redfat.harden ~opts:chrome_opts bin in
+        let hrun = Redfat.run_hardened ~options:chrome_rt ~inputs hard.binary in
+        (match hrun.verdict with
+         | Redfat.Finished _ -> ()
+         | v -> failwith (b.name ^ ": " ^ Redfat.verdict_to_string v));
+        let ov = float_of_int hrun.run.cycles /. float_of_int base.cycles in
+        pf "%-26s %9d %9d %8.0f%%\n%!" b.name base.cycles hrun.run.cycles
+          (100. *. ov);
+        ov)
+      Workloads.Kraken.all
+  in
+  pf "%-26s %9s %9s %8.0f%%\n" "geometric mean" "" "" (100. *. geomean ovs);
+  pf "(paper geometric mean: 128%%)\n";
+  hr "Section 7.3 scalability: the Chrome-scale binary";
+  let bin = Workloads.Chrome.binary () in
+  pf "input binary: %d bytes of code, %d instructions\n"
+    (Binfmt.Relf.code_size bin)
+    (List.length
+       (X64.Disasm.sweep
+          ~addr:(Binfmt.Relf.text_exn bin).addr
+          (Binfmt.Relf.text_exn bin).bytes));
+  let t0 = Sys.time () in
+  let hard = Redfat.harden ~opts:chrome_opts bin in
+  let dt = Sys.time () -. t0 in
+  pf "rewrite time: %.2fs\n" dt;
+  Format.printf "%a@." Rw.pp_stats hard.stats;
+  List.iter
+    (fun (name, inputs) ->
+      let base, _ = Redfat.run_baseline ~inputs bin in
+      let hrun = Redfat.run_hardened ~options:chrome_rt ~inputs hard.binary in
+      pf "workload %-8s: %s, overhead %.2fx\n" name
+        (Redfat.verdict_to_string hrun.verdict)
+        (float_of_int hrun.run.cycles /. float_of_int base.cycles))
+    Workloads.Chrome.workloads
+
+(* ------------------------------------------------------------------ *)
+(* §7.1 false positives and detected errors                            *)
+(* ------------------------------------------------------------------ *)
+
+let paper_fps =
+  [ ("perlbench", 1); ("gcc", 14); ("gobmk", 1); ("povray", 1); ("bwaves", 5);
+    ("gromacs", 3); ("GemsFDTD", 32); ("wrf", 26); ("calculix", 2) ]
+
+let fp_and_bug_sites (b : Workloads.Spec.bench) =
+  let bin = Workloads.Spec.binary b in
+  let refs = Workloads.Spec.ref_inputs b in
+  let prof = Rw.rewrite Rw.profiling_build bin in
+  let fpr =
+    Redfat.run_hardened ~options:log_opts ~profiling:true ~inputs:refs
+      prof.binary
+  in
+  let lf_fail = Rt.lowfat_failing_sites fpr.rt in
+  (* sites that also fail redzone-only checking are real bugs, not FPs *)
+  let rz =
+    Redfat.run_hardened
+      ~options:{ log_opts with lowfat = false }
+      ~inputs:refs prof.binary
+  in
+  let bugs =
+    List.map (fun (e : Rt.access_error) -> e.site) (Rt.errors rz.rt)
+    |> List.sort_uniq compare
+  in
+  let fps = List.filter (fun s -> not (List.mem s bugs)) lf_fail in
+  (fps, bugs, Rt.errors rz.rt)
+
+let fps () =
+  hr "Sec 7.1 false positives with full checking (no allow-list)";
+  pf "%-12s %12s %12s\n" "benchmark" "measured FPs" "paper FPs";
+  List.iter
+    (fun (b : Workloads.Spec.bench) ->
+      let fp_sites, _, _ = fp_and_bug_sites b in
+      let paper = Option.value ~default:0 (List.assoc_opt b.name paper_fps) in
+      if fp_sites <> [] || paper > 0 then
+        pf "%-12s %12d %12d\n%!" b.name (List.length fp_sites) paper)
+    Workloads.Spec.all
+
+let detected () =
+  hr "Sec 7.1 detected (real) errors in the SPEC stand-ins";
+  List.iter
+    (fun name ->
+      let b = Workloads.Spec.find name in
+      let _, bugs, errors = fp_and_bug_sites b in
+      pf "%s: %d real out-of-bounds read error(s)\n" b.name (List.length bugs);
+      List.iter
+        (fun (e : Rt.access_error) ->
+          if List.mem e.site bugs then
+            pf "  site %#x: %s at %#x\n" e.site (Rt.kind_name e.kind) e.addr)
+        errors)
+    [ "calculix"; "wrf" ];
+  pf "(paper: calculix has 4 array[-1] read underflows, wrf 1 read overflow;\n";
+  pf " both are detected by RedFat and Memcheck)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Static rewriting statistics across the suite (§7.3 flavour)          *)
+(* ------------------------------------------------------------------ *)
+
+let stats () =
+  hr "Static rewriting statistics (full instrumentation, all SPEC binaries)";
+  pf "%-11s %7s %7s %7s %7s %6s %6s %6s %9s\n" "binary" "instrs" "memops"
+    "elim" "sites" "tramps" "evict" "traps" "size-ovh";
+  let tot = ref (0, 0, 0, 0) in
+  List.iter
+    (fun (b : Workloads.Spec.bench) ->
+      let bin = Workloads.Spec.binary b in
+      let r = Redfat.harden bin in
+      let s = r.stats in
+      let ovh =
+        float_of_int (s.text_bytes + s.tramp_bytes)
+        /. float_of_int s.text_bytes
+      in
+      let a, bb, c, d = !tot in
+      tot := (a + s.instrumented, bb + s.jump_patches, c + s.trap_patches,
+              d + s.evictions);
+      pf "%-11s %7d %7d %7d %7d %6d %6d %6d %8.2fx\n" b.name s.instrs_total
+        s.mem_ops s.eliminated s.instrumented s.trampolines s.evictions
+        s.trap_patches ovh)
+    Workloads.Spec.all;
+  let sites, jumps, traps, evict = !tot in
+  pf "totals: %d sites instrumented; %d jump patches (%d via eviction), %d\n"
+    sites jumps evict traps;
+  pf "trap-table fallbacks (%.1f%% of patches)\n"
+    (100. *. float_of_int traps /. float_of_int (jumps + traps))
+
+(* ------------------------------------------------------------------ *)
+(* Extension: CWE-416 use-after-free suite                              *)
+(* ------------------------------------------------------------------ *)
+
+let uaf () =
+  hr "Extension: CWE-416 use-after-free (beyond the paper's Table 2)";
+  let total = List.length Workloads.Uaf.all in
+  let rf = ref 0 and mc = ref 0 and benign_bad = ref 0 in
+  List.iter
+    (fun (c : Workloads.Uaf.case) ->
+      let bin = Workloads.Uaf.binary c in
+      let hard = Redfat.harden bin in
+      let b =
+        Redfat.run_hardened ~inputs:Workloads.Uaf.benign_inputs hard.binary
+      in
+      (match b.verdict with Redfat.Finished 0 -> () | _ -> incr benign_bad);
+      let a =
+        Redfat.run_hardened ~inputs:Workloads.Uaf.attack_inputs hard.binary
+      in
+      (match a.verdict with Redfat.Detected _ -> incr rf | _ -> ());
+      let _, _, m =
+        Redfat.run_memcheck ~inputs:Workloads.Uaf.attack_inputs bin
+      in
+      if Baselines.Memcheck.errors m <> [] then incr mc)
+    Workloads.Uaf.all;
+  pf "%-34s %d/%d detected (Memcheck: %d/%d); %d benign failures\n"
+    "CWE-416-Use-After-Free" !rf total !mc total !benign_bad;
+  (* the quarantine-difference case *)
+  let bin = Minic.Codegen.compile Workloads.Uaf.reuse_case in
+  let hard = Redfat.harden bin in
+  let r = Redfat.run_hardened hard.binary in
+  let _, _, m = Redfat.run_memcheck bin in
+  pf "slot-reuse case (no quarantine):   RedFat %s; Memcheck %s\n"
+    (match r.verdict with
+     | Redfat.Detected _ -> "detected"
+     | _ -> "MISSED (known limitation: freed slots are reused)")
+    (if Baselines.Memcheck.errors m <> [] then "detected (quarantine)"
+     else "missed");
+  pf "(temporal protection comes from the zeroed metadata word; like the\n";
+  pf " real tool, reuse without quarantine ends the detection window)\n"
+
+(* ------------------------------------------------------------------ *)
+(* §7.4: shared objects and separate instrumentation                    *)
+(* ------------------------------------------------------------------ *)
+
+let sec74 () =
+  hr "Section 7.4: separate instrumentation of executable and library";
+  let lib_origin = Lowfat.Layout.code_base + 0x10_0000 in
+  let lib_tramp = Lowfat.Layout.trampoline_base + 0x100_0000 in
+  let open Minic.Build in
+  let lib_bin, lib_syms =
+    Minic.Codegen.compile_with_symbols ~origin:lib_origin ~shared:true
+      (Minic.Ast.program
+         [
+           Minic.Ast.func ~name:"decode" ~params:[ "buf"; "idx" ]
+             [ Minic.Ast.Store (E8, v "buf", v "idx", i 0x41); return_ (i 1) ];
+         ])
+  in
+  let main_bin =
+    Minic.Codegen.compile ~externs:lib_syms
+      (Minic.Ast.program
+         [
+           Minic.Ast.func ~name:"main"
+             [
+               let_ "buf" (alloc_elems (i 8));
+               let_ "post" (alloc_elems (i 8));
+               expr (call "decode" [ v "buf"; Minic.Ast.Input ]);
+               print_ (idx (v "post") (i 0));
+               return_ (i 0);
+             ];
+         ])
+  in
+  let attack = [ 12 ] in
+  let show name main lib =
+    let hrun = Redfat.run_hardened ~libs:[ lib ] ~inputs:attack main in
+    pf "%-44s %s\n" name (Redfat.verdict_to_string hrun.verdict)
+  in
+  let hard_main = (Redfat.harden main_bin).binary in
+  let hard_lib =
+    (Rw.rewrite ~tramp_base:lib_tramp Rw.optimized lib_bin).binary
+  in
+  pf "attack input writes buf[12] inside libdecoder.so's decode():\n";
+  show "neither module instrumented" main_bin lib_bin;
+  show "main instrumented, library NOT" hard_main lib_bin;
+  show "main AND library instrumented" hard_main hard_lib;
+  pf "(as in the paper: only explicitly instrumented modules are protected;\n";
+  pf " shared objects are instrumented separately, with their own trampolines)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Ablations of the design decisions DESIGN.md calls out               *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  hr "Ablations (design decisions of sections 3-4)";
+  let benches = [ "mcf"; "milc"; "povray" ] in
+  pf "%-10s %9s | %-28s %-22s %-22s\n" "bench" "baseline"
+    "state(): lowfat-meta vs shadow" "merged-UB vs branchy"
+    "randomized heap";
+  List.iter
+    (fun name ->
+      let b = Workloads.Spec.find name in
+      let bin = Workloads.Spec.binary b in
+      let refs = Workloads.Spec.ref_inputs b in
+      let base, _ = Redfat.run_baseline ~inputs:refs bin in
+      let hard = Redfat.harden bin in
+      let cyc ?random rt =
+        let hrun = Redfat.run_hardened ~options:rt ?random ~inputs:refs hard.binary in
+        (match hrun.verdict with
+         | Redfat.Finished _ -> ()
+         | v -> failwith (Redfat.verdict_to_string v));
+        (float_of_int hrun.run.cycles /. float_of_int base.cycles, hrun)
+      in
+      let meta, _ = cyc log_opts in
+      let shadow_ov, shr =
+        cyc { log_opts with state_impl = Rt.Asan_shadow }
+      in
+      let merged, _ = cyc log_opts in
+      let branchy, _ = cyc { log_opts with merged_ub = false } in
+      let plain, _ = cyc log_opts in
+      let rand, _ = cyc ~random:1337 log_opts in
+      pf "%-10s %9d | meta %.2fx shadow %.2fx (%dKiB) | %.2fx vs %.2fx | %.2fx vs %.2fx\n%!"
+        name base.cycles meta shadow_ov
+        (shr.rt.shadow.shadow_bytes / 1024)
+        merged branchy plain rand)
+    benches;
+  pf "(lowfat-meta shares base(ptr) with the LowFat check and needs no\n";
+  pf " shadow map; merged-UB saves a branch per check; randomization is\n";
+  pf " within noise of the deterministic allocator.)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel wall-time micro-benchmarks (one Test.make per experiment)  *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel () =
+  hr "Bechamel wall-time benchmarks (one test per table/figure)";
+  let open Bechamel in
+  let open Toolkit in
+  let spec_bench = Workloads.Spec.find "mcf" in
+  let spec_bin = Workloads.Spec.binary spec_bench in
+  let spec_hard = Redfat.harden spec_bin in
+  let juliet_case = List.hd Workloads.Juliet.all in
+  let juliet_bin = Workloads.Juliet.binary juliet_case in
+  let juliet_hard = Redfat.harden juliet_bin in
+  let kraken_bench = Workloads.Kraken.find "crypto-aes" in
+  let kraken_bin = Workloads.Kraken.binary kraken_bench in
+  let kraken_hard = Redfat.harden ~opts:chrome_opts kraken_bin in
+  let small = [ 0; 2 ] in
+  let t_table1 =
+    Test.make ~name:"table1-harden-run-mcf"
+      (Staged.stage (fun () ->
+           let hrun =
+             Redfat.run_hardened ~options:log_opts ~inputs:small
+               spec_hard.binary
+           in
+           ignore hrun.run.cycles))
+  in
+  let t_table2 =
+    Test.make ~name:"table2-attack-detect-juliet"
+      (Staged.stage (fun () ->
+           let hrun =
+             Redfat.run_hardened ~inputs:juliet_case.attack_inputs
+               juliet_hard.binary
+           in
+           ignore hrun.verdict))
+  in
+  let t_fig8 =
+    Test.make ~name:"fig8-kraken-crypto-aes"
+      (Staged.stage (fun () ->
+           let hrun =
+             Redfat.run_hardened ~options:chrome_rt ~inputs:[ 5 ]
+               kraken_hard.binary
+           in
+           ignore hrun.run.cycles))
+  in
+  let t_rewrite =
+    Test.make ~name:"fig8-rewrite-speed"
+      (Staged.stage (fun () -> ignore (Redfat.harden spec_bin)))
+  in
+  let tests =
+    Test.make_grouped ~name:"redfat" [ t_table1; t_table2; t_fig8; t_rewrite ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = List.map (fun i -> Analyze.all ols i raw) instances in
+  let merged = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun measure tbl ->
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> pf "%-36s %12.0f ns/run (%s)\n" name est measure
+          | _ -> pf "%-36s (no estimate)\n" name)
+        tbl)
+    merged
+
+(* ------------------------------------------------------------------ *)
+
+let all () =
+  fig2 ();
+  fig3 ();
+  fig4 ();
+  fig67 ();
+  fig5 ();
+  fig1 ();
+  table2 ();
+  uaf ();
+  fps ();
+  detected ();
+  table1 ();
+  fig8 ();
+  stats ();
+  sec74 ();
+  ablation ();
+  bechamel ()
+
+let () =
+  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
+  | "table1" -> table1 ()
+  | "table2" -> table2 ()
+  | "fig1" -> fig1 ()
+  | "fig2" -> fig2 ()
+  | "fig3" -> fig3 ()
+  | "fig4" -> fig4 ()
+  | "fig5" -> fig5 ()
+  | "fig67" -> fig67 ()
+  | "fig8" -> fig8 ()
+  | "fps" -> fps ()
+  | "detected" -> detected ()
+  | "ablation" -> ablation ()
+  | "sec74" -> sec74 ()
+  | "uaf" -> uaf ()
+  | "stats" -> stats ()
+  | "bechamel" -> bechamel ()
+  | "all" -> all ()
+  | other ->
+    prerr_endline ("unknown experiment: " ^ other);
+    exit 1

@@ -1,0 +1,366 @@
+(* The redfat command-line tool, mirroring the real RedFat's workflow:
+
+     redfat compile victim.mc -o victim.relf  # or: redfat workload spec:mcf
+     redfat disasm victim.relf                # inspect it
+     redfat profile victim.relf --inputs 3 -o allow.lst
+     redfat fuzz victim.relf -o allow.lst     # or grow the suite by fuzzing
+     redfat harden victim.relf --allowlist allow.lst -o victim.hard.relf
+     redfat run victim.hard.relf --inputs 12 --env redfat
+     redfat run victim.relf --inputs 12 --env memcheck *)
+
+open Cmdliner
+
+let parse_inputs s =
+  if String.trim s = "" then []
+  else
+    String.split_on_char ',' s
+    |> List.map (fun x -> int_of_string (String.trim x))
+
+(* --- workload registry ---------------------------------------------- *)
+
+let workload_names () =
+  List.map (fun (b : Workloads.Spec.bench) -> "spec:" ^ b.name)
+    Workloads.Spec.all
+  @ List.map (fun (c : Workloads.Cve.case) -> "cve:" ^ c.name)
+      Workloads.Cve.all
+  @ List.map (fun (b : Workloads.Kraken.bench) -> "kraken:" ^ b.name)
+      Workloads.Kraken.all
+  @ [ "chrome"; "synth:<seed>" ]
+
+let find_workload name : Binfmt.Relf.t * int list =
+  match String.split_on_char ':' name with
+  | [ "spec"; n ] ->
+    let b = Workloads.Spec.find n in
+    (Workloads.Spec.binary b, Workloads.Spec.ref_inputs b)
+  | [ "cve"; n ] ->
+    let c = List.find (fun (c : Workloads.Cve.case) -> c.name = n)
+        Workloads.Cve.all
+    in
+    (Workloads.Cve.binary c, c.attack_inputs)
+  | [ "kraken"; n ] ->
+    let b = Workloads.Kraken.find n in
+    (Workloads.Kraken.binary b, Workloads.Kraken.inputs b)
+  | [ "chrome" ] -> (Workloads.Chrome.binary (), [ 0; 50 ])
+  | [ "synth"; seed ] ->
+    ( Minic.Codegen.compile
+        (Workloads.Synth.program ~seed:(int_of_string seed) ()),
+      [] )
+  | _ -> failwith ("unknown workload " ^ name ^ " (try: redfat list)")
+
+(* --- commands -------------------------------------------------------- *)
+
+let list_cmd =
+  let doc = "List the available built-in workload binaries." in
+  let run () = List.iter print_endline (workload_names ()) in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let output =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+
+let input_file =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"BINARY" ~doc:"Input RELF binary.")
+
+let inputs_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "inputs" ]
+        ~doc:"Comma-separated integers fed to the program's input() calls.")
+
+let workload_cmd =
+  let doc = "Compile a built-in workload to a RELF binary file." in
+  let wname =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME" ~doc:"Workload name, e.g. spec:mcf.")
+  in
+  let run name out =
+    let bin, default_inputs = find_workload name in
+    Binfmt.Relf.save out bin;
+    Printf.printf "wrote %s (%d bytes of code); typical inputs: %s\n" out
+      (Binfmt.Relf.code_size bin)
+      (String.concat "," (List.map string_of_int default_inputs))
+  in
+  Cmd.v (Cmd.info "workload" ~doc) Term.(const run $ wname $ output)
+
+let compile_cmd =
+  let doc = "Compile MiniC source (.mc) to a RELF binary." in
+  let src =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"SOURCE" ~doc:"MiniC source file.")
+  in
+  let run src out =
+    match Minic.Parser.compile_file src with
+    | bin ->
+      Binfmt.Relf.save out bin;
+      Printf.printf "wrote %s (%d bytes of code)\n" out
+        (Binfmt.Relf.code_size bin)
+    | exception Minic.Parser.Parse_error (msg, pos) ->
+      Printf.eprintf "%s:%d:%d: parse error: %s\n" src pos.line pos.col msg;
+      exit 1
+    | exception Minic.Lexer.Lex_error (msg, pos) ->
+      Printf.eprintf "%s:%d:%d: lex error: %s\n" src pos.line pos.col msg;
+      exit 1
+    | exception Minic.Codegen.Compile_error msg ->
+      Printf.eprintf "%s: compile error: %s\n" src msg;
+      exit 1
+  in
+  Cmd.v (Cmd.info "compile" ~doc) Term.(const run $ src $ output)
+
+let fuzz_cmd =
+  let doc =
+    "Grow a profiling test suite by coverage-guided fuzzing, then emit the \
+     resulting allow-list (the paper's AFL-boosted profiling)."
+  in
+  let seeds =
+    Arg.(
+      value & opt_all string []
+      & info [ "seed-input" ]
+          ~doc:"Seed input script (comma-separated ints); repeatable.")
+  in
+  let budget =
+    Arg.(
+      value & opt int 300
+      & info [ "budget" ] ~doc:"Number of fuzzing executions.")
+  in
+  let edge =
+    Arg.(
+      value & flag
+      & info [ "edge" ]
+          ~doc:"Guide by E9AFL-style edge coverage of the original binary \
+                instead of redfat check-site coverage.")
+  in
+  let run file seeds budget edge out =
+    let bin = Binfmt.Relf.load_file file in
+    let seeds = match List.map parse_inputs seeds with [] -> [ [] ] | s -> s in
+    let st =
+      if edge then Fuzz.E9afl.fuzz ~seeds ~budget bin
+      else Fuzz.Fuzzer.fuzz ~seeds ~budget bin
+    in
+    Printf.printf "fuzzing: %d executions, %d/%d %s covered, corpus of %d\n"
+      st.executions st.sites_covered st.total_sites
+      (if edge then "edges/blocks" else "sites")
+      (List.length st.corpus);
+    let allow =
+      Redfat.profile
+        ~test_suite:(if st.corpus = [] then [ [] ] else st.corpus)
+        bin
+    in
+    Profile.Allowlist.save out allow;
+    Printf.printf "wrote %s (%d allow-listed sites)\n" out (List.length allow)
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(const run $ input_file $ seeds $ budget $ edge $ output)
+
+let disasm_cmd =
+  let doc = "Disassemble the text (and trampoline) sections." in
+  let run file =
+    let bin = Binfmt.Relf.load_file file in
+    print_endline (Binfmt.Relf.disasm bin);
+    match Binfmt.Relf.find_section bin ".redfat" with
+    | Some s when s.bytes <> "" ->
+      print_endline "\n; --- .redfat trampolines ---";
+      print_endline (X64.Disasm.dump ~addr:s.addr s.bytes)
+    | _ -> ()
+  in
+  Cmd.v (Cmd.info "disasm" ~doc) Term.(const run $ input_file)
+
+let level_arg =
+  let levels =
+    [ ("unoptimized", Redfat.Rewrite.unoptimized);
+      ("elim", Redfat.Rewrite.with_elim);
+      ("batch", Redfat.Rewrite.with_batch);
+      ("full", Redfat.Rewrite.optimized) ]
+  in
+  Arg.(
+    value
+    & opt (enum levels) Redfat.Rewrite.optimized
+    & info [ "level" ] ~doc:"Optimization level: unoptimized|elim|batch|full.")
+
+let no_reads =
+  Arg.(
+    value & flag
+    & info [ "no-reads" ] ~doc:"Instrument writes only (Table 1 -reads).")
+
+let allowlist_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "allowlist" ]
+        ~doc:"allow.lst from 'redfat profile'; sites listed get the full \
+              (Redzone)+(LowFat) check, others (Redzone)-only.")
+
+let harden_cmd =
+  let doc = "Statically rewrite a binary with RedFat instrumentation." in
+  let run file out level noreads allow =
+    let bin = Binfmt.Relf.load_file file in
+    if Redfat.Rewrite.is_hardened bin then begin
+      Printf.eprintf
+        "%s already carries RedFat instrumentation (a .redfat section); \
+         refusing to instrument it twice.\n"
+        file;
+      exit 1
+    end;
+    let opts =
+      { level with
+        Redfat.Rewrite.instrument_reads =
+          level.Redfat.Rewrite.instrument_reads && not noreads;
+        allowlist = Option.map Profile.Allowlist.load allow }
+    in
+    let hard = Redfat.harden ~opts bin in
+    Binfmt.Relf.save out hard.binary;
+    Format.printf "%a@." Redfat.Rewrite.pp_stats hard.stats;
+    Printf.printf "wrote %s\n" out
+  in
+  Cmd.v (Cmd.info "harden" ~doc)
+    Term.(const run $ input_file $ output $ level_arg $ no_reads $ allowlist_arg)
+
+let profile_cmd =
+  let doc =
+    "Profiling phase (paper Fig. 5): run the instrumented binary on a test \
+     suite and emit the allow-list."
+  in
+  let suites =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "inputs" ]
+          ~doc:"Input script (comma-separated ints); repeatable, one per \
+                test-suite run.")
+  in
+  let run file suites out =
+    let bin = Binfmt.Relf.load_file file in
+    let test_suite = List.map parse_inputs suites in
+    let test_suite = if test_suite = [] then [ [] ] else test_suite in
+    let allow = Redfat.profile ~test_suite bin in
+    Profile.Allowlist.save out allow;
+    Printf.printf "wrote %s (%d allow-listed sites)\n" out (List.length allow)
+  in
+  Cmd.v (Cmd.info "profile" ~doc) Term.(const run $ input_file $ suites $ output)
+
+let env_arg =
+  Arg.(
+    value
+    & opt (enum [ ("baseline", `Baseline); ("redfat", `Redfat);
+                  ("memcheck", `Memcheck) ])
+        `Baseline
+    & info [ "env" ]
+        ~doc:"Execution environment: baseline (glibc), redfat (libredfat \
+              preloaded), memcheck (DBI).")
+
+let log_flag =
+  Arg.(
+    value & flag
+    & info [ "log" ]
+        ~doc:"Log memory errors and continue instead of aborting.")
+
+let random_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "randomize" ] ~docv:"SEED"
+        ~doc:"Enable heap randomization with the given seed.")
+
+let run_cmd =
+  let doc = "Run a binary in the simulated machine." in
+  let run file inputs env log random =
+    let bin = Binfmt.Relf.load_file file in
+    let inputs = parse_inputs inputs in
+    let report (r : Redfat.run_result) verdict =
+      List.iter (fun v -> Printf.printf "%d\n" v) r.outputs;
+      Printf.printf "[%s; %d instructions, %d cycles]\n"
+        (Redfat.verdict_to_string verdict)
+        r.steps r.cycles
+    in
+    match env with
+    | `Baseline ->
+      let r, v = Redfat.run_baseline ~inputs bin in
+      report r v
+    | `Redfat ->
+      let options =
+        if log then { Redfat_rt.Runtime.default_options with mode = Log }
+        else Redfat_rt.Runtime.default_options
+      in
+      let hr = Redfat.run_hardened ~options ?random ~inputs bin in
+      report hr.run hr.verdict;
+      (match hr.verdict with
+       | Redfat.Detected e ->
+         Printf.printf "%s\n" (Redfat_rt.Runtime.explain hr.rt e)
+       | _ -> ());
+      let errs = Redfat_rt.Runtime.errors hr.rt in
+      if errs <> [] then begin
+        Printf.printf "%d unique error site(s):\n" (List.length errs);
+        List.iter
+          (fun (e : Redfat_rt.Runtime.access_error) ->
+            Printf.printf "  %s\n" (Redfat_rt.Runtime.explain hr.rt e))
+          errs
+      end;
+      Printf.printf
+        "coverage: %.1f%% of heap accesses under (Redzone)+(LowFat)\n"
+        (Redfat_rt.Runtime.coverage_percent hr.rt)
+    | `Memcheck ->
+      let r, v, mc = Redfat.run_memcheck ~inputs bin in
+      report r v;
+      List.iter
+        (fun (e : Baselines.Memcheck.error) ->
+          Printf.printf "memcheck: invalid %s of size %d at %#x (rip %#x)\n"
+            (if e.write then "write" else "read")
+            e.len e.addr e.rip)
+        (Baselines.Memcheck.errors mc)
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ input_file $ inputs_arg $ env_arg $ log_flag $ random_arg)
+
+let trace_cmd =
+  let doc = "Trace the first N executed instructions (debugging aid)." in
+  let limit =
+    Arg.(value & opt int 60 & info [ "limit"; "n" ] ~doc:"Instructions to show.")
+  in
+  let run file inputs limit =
+    let bin = Binfmt.Relf.load_file file in
+    let cpu = Redfat.prepare bin in
+    cpu.inputs <- parse_inputs inputs;
+    List.iter
+      (fun (a, t) -> Hashtbl.replace cpu.trap_table a t)
+      (Redfat.Rewrite.traps_of_binary bin);
+    let rt = Redfat_rt.Runtime.create cpu.mem in
+    let vmrt = Redfat_rt.Runtime.install rt cpu in
+    cpu.rip <- bin.entry;
+    cpu.regs.(X64.Isa.rsp) <- cpu.regs.(X64.Isa.rsp) - 8;
+    Vm.Mem.write cpu.mem ~addr:cpu.regs.(X64.Isa.rsp) ~len:8
+      Vm.Cpu.halt_sentinel;
+    (try
+       for _ = 1 to limit do
+         let i, _ = X64.Decode.decode ~addr:cpu.rip
+             (Vm.Mem.read_string cpu.mem ~addr:cpu.rip ~len:40) 0
+         in
+         Printf.printf "%8x: %-40s cycles=%d\n" cpu.rip
+           (X64.Disasm.to_string i) cpu.cycles;
+         Vm.Cpu.step cpu vmrt
+       done;
+       Printf.printf "... (trace limit reached)\n"
+     with
+     | Vm.Cpu.Halt -> Printf.printf "[halted]\n"
+     | Redfat_rt.Runtime.Memory_error e ->
+       Printf.printf "[%s at site %#x]\n"
+         (Redfat_rt.Runtime.kind_name e.kind) e.site)
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run $ input_file $ inputs_arg $ limit)
+
+let main_cmd =
+  let doc = "harden stripped binaries against more memory errors" in
+  let info = Cmd.info "redfat" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [ list_cmd; workload_cmd; compile_cmd; disasm_cmd; harden_cmd;
+      profile_cmd; fuzz_cmd; run_cmd; trace_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

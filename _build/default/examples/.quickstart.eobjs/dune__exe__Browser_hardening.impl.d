@@ -1,0 +1,1 @@
+examples/browser_hardening.ml: Binfmt Format List Printf Redfat Redfat_rt String Sys Workloads X64

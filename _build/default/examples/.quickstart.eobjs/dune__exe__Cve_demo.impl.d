@@ -1,0 +1,1 @@
+examples/cve_demo.ml: Baselines Binfmt List Printf Redfat Redfat_rt Workloads X64

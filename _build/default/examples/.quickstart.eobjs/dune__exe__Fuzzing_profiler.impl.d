@@ -1,0 +1,1 @@
+examples/fuzzing_profiler.ml: Fuzz List Minic Printf Redfat

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Binfmt List Minic Printf Redfat

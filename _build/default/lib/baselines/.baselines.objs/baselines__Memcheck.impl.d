@@ -1,0 +1,1 @@
+lib/baselines/memcheck.ml: Array Binfmt Bytes Hashtbl List Lowfat String Vm X64

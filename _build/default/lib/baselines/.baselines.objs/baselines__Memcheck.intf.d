@@ -1,0 +1,1 @@
+lib/baselines/memcheck.mli: Binfmt Vm

@@ -1,0 +1,63 @@
+(** The "glibc" allocator used by uninstrumented baseline runs: a
+    simple 16-byte-aligned bump allocator with per-class free lists,
+    living in region 0 (non-fat, brk-style above .data). *)
+
+type t = {
+  mem : Vm.Mem.t;
+  mutable brk : int;
+  free_by_size : (int, int list ref) Hashtbl.t;
+  sizes : (int, int) Hashtbl.t;
+}
+
+let heap_base = Lowfat.Layout.data_base + 0x0400_0000
+
+let create mem =
+  { mem; brk = heap_base; free_by_size = Hashtbl.create 64;
+    sizes = Hashtbl.create 1024 }
+
+let round16 n = (n + 15) land lnot 15
+
+let malloc t n =
+  let n = round16 (max n 16) in
+  let bucket =
+    match Hashtbl.find_opt t.free_by_size n with
+    | Some b -> b
+    | None ->
+      let b = ref [] in
+      Hashtbl.replace t.free_by_size n b;
+      b
+  in
+  match !bucket with
+  | a :: rest ->
+    bucket := rest;
+    Hashtbl.replace t.sizes a n;
+    a
+  | [] ->
+    let a = t.brk in
+    t.brk <- a + n;
+    Vm.Mem.map t.mem ~addr:a ~len:n;
+    Hashtbl.replace t.sizes a n;
+    a
+
+let free t p =
+  if p <> 0 then
+    match Hashtbl.find_opt t.sizes p with
+    | None -> () (* tolerate, like glibc often does until corruption *)
+    | Some n ->
+      Hashtbl.remove t.sizes p;
+      let bucket =
+        match Hashtbl.find_opt t.free_by_size n with
+        | Some b -> b
+        | None ->
+          let b = ref [] in
+          Hashtbl.replace t.free_by_size n b;
+          b
+      in
+      bucket := p :: !bucket
+
+let vm_runtime (t : t) : Vm.Cpu.runtime =
+  {
+    Vm.Cpu.rt_malloc = (fun _ n -> malloc t n);
+    rt_free = (fun _ p -> free t p);
+    rt_name = "glibc";
+  }

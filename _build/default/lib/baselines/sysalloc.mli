@@ -1,0 +1,11 @@
+(** The "glibc" allocator used by uninstrumented baseline runs: a
+    16-byte-aligned bump allocator with per-size free lists in region 0
+    (non-fat, brk-style above .data). *)
+
+type t
+
+val heap_base : int
+val create : Vm.Mem.t -> t
+val malloc : t -> int -> int
+val free : t -> int -> unit
+val vm_runtime : t -> Vm.Cpu.runtime

@@ -1,0 +1,1 @@
+lib/binfmt/relf.ml: Buffer List Printf String Vm X64

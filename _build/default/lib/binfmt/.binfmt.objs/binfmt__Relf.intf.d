@@ -1,0 +1,1 @@
+lib/binfmt/relf.mli: Vm

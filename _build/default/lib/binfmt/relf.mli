@@ -1,0 +1,50 @@
+(** RELF: the binary container of the simulated toolchain — a
+    stripped-down ELF analogue (named sections at fixed virtual
+    addresses, an entry point, PIC/stripped flags, no symbols). *)
+
+type section = {
+  name : string;
+  addr : int;
+  bytes : string;
+  executable : bool;
+  writable : bool;
+}
+
+type t = {
+  entry : int;
+  pic : bool;
+  stripped : bool;
+  sections : section list;
+}
+
+val magic : string
+
+val section :
+  ?executable:bool ->
+  ?writable:bool ->
+  name:string ->
+  addr:int ->
+  string ->
+  section
+
+val find_section : t -> string -> section option
+
+val text_exn : t -> section
+(** The [.text] section; raises [Invalid_argument] if absent. *)
+
+val code_size : t -> int
+val total_size : t -> int
+
+exception Parse_error of string
+
+val serialize : t -> string
+val parse : string -> t
+
+val save : string -> t -> unit
+val load_file : string -> t
+
+val load_into : Vm.Mem.t -> t -> unit
+(** Map all sections into memory (an exec-style loader). *)
+
+val disasm : t -> string
+(** Disassembly of the text section. *)

@@ -1,0 +1,90 @@
+(** RedFat: the public API of the binary-hardening pipeline.
+
+    {[
+      let hard = Redfat.harden binary in                    (* one-phase *)
+      let hard = Redfat.profile_and_harden ~test_suite binary in (* two-phase *)
+      let hrun = Redfat.run_hardened hard.binary ~inputs in
+      match hrun.verdict with
+      | Detected e -> (* attack stopped *)
+      | Finished _ -> ...
+    ]}
+
+    Every run returns deterministic cycle counts from the VM cost
+    model, so overheads are [cycles_hardened / cycles_baseline]. *)
+
+module Rewrite = Rewriter.Rewrite
+module Runtime = Redfat_rt.Runtime
+module Allowlist = Profile.Allowlist
+
+type run_result = {
+  exit_code : int;
+  outputs : int list;
+  cycles : int;
+  steps : int;
+  mem_reads : int;
+  mem_writes : int;
+}
+
+(** How a run ended. *)
+type verdict =
+  | Finished of int                   (** exit code *)
+  | Detected of Runtime.access_error  (** the hardening aborted it *)
+  | Fault of string                   (** segfault / trap / timeout *)
+
+val verdict_to_string : verdict -> string
+
+val prepare : ?max_steps:int -> ?libs:Binfmt.Relf.t list -> Binfmt.Relf.t ->
+  Vm.Cpu.t
+(** Load the binary (and any shared objects) into a fresh VM with the
+    stack mapped; does not run it. *)
+
+val run_baseline :
+  ?inputs:int list ->
+  ?max_steps:int ->
+  ?libs:Binfmt.Relf.t list ->
+  Binfmt.Relf.t ->
+  run_result * verdict
+(** Run the original binary natively (glibc allocator, no checks). *)
+
+type hardened_run = {
+  run : run_result;
+  verdict : verdict;
+  rt : Runtime.t;  (** allocator/check state: errors, coverage, ... *)
+}
+
+val run_hardened :
+  ?options:Runtime.options ->
+  ?profiling:bool ->
+  ?random:int ->
+  ?inputs:int list ->
+  ?max_steps:int ->
+  ?libs:Binfmt.Relf.t list ->
+  Binfmt.Relf.t ->
+  hardened_run
+(** Run a (hardened) binary with libredfat preloaded.  [random] seeds
+    heap randomization; trap tables are recovered from every loaded
+    module's [.traptab] section. *)
+
+val run_memcheck :
+  ?inputs:int list ->
+  ?max_steps:int ->
+  Binfmt.Relf.t ->
+  run_result * verdict * Baselines.Memcheck.t
+(** Run the original binary under the simulated Valgrind Memcheck. *)
+
+val harden : ?opts:Rewrite.options -> Binfmt.Relf.t -> Rewrite.t
+(** One-phase hardening: every site gets the full check. *)
+
+val profile :
+  ?max_steps:int -> test_suite:int list list -> Binfmt.Relf.t -> Allowlist.t
+(** Profiling phase of Figure 5: run the instrumented binary against
+    the test suite; a site makes the allow-list when it executed in
+    some run and never failed the (LowFat) component in any run. *)
+
+val profile_and_harden :
+  ?max_steps:int ->
+  test_suite:int list list ->
+  ?opts:Rewrite.options ->
+  Binfmt.Relf.t ->
+  Rewrite.t
+(** The full two-phase workflow of Figure 5. *)

@@ -1,0 +1,1 @@
+lib/fuzz/e9afl.ml: Array Baselines Binfmt Fuzzer Hashtbl List Lowfat Option Rewriter Vm X64

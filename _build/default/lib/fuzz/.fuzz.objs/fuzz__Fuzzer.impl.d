@@ -1,0 +1,1 @@
+lib/fuzz/fuzzer.ml: Array Binfmt Hashtbl List Redfat Redfat_rt

@@ -1,0 +1,110 @@
+(** Coverage-guided input generation for the profiling phase.
+
+    Paper §5: "the quality of the generated allow-list depends on the
+    quality of the test suite ... automated coverage-guided testing
+    tools, such as AFL over binaries, can be used to boost coverage."
+    This is that booster: an AFL-style mutation loop over the program's
+    input vector, keeping every input that executes a previously-unseen
+    instrumentation site.  The resulting corpus is a test suite for
+    {!Redfat.profile}.
+
+    Fully deterministic: the mutation source is a seeded xorshift, so a
+    given (binary, seeds, budget, seed) always yields the same corpus. *)
+
+type stats = {
+  corpus : int list list;   (** the grown test suite *)
+  sites_covered : int;      (** distinct instrumentation sites executed *)
+  total_sites : int;        (** instrumented sites in the binary *)
+  executions : int;
+}
+
+type rng = { mutable s : int }
+
+let next r =
+  let s = r.s in
+  let s = s lxor (s lsl 13) land max_int in
+  let s = s lxor (s lsr 7) in
+  let s = s lxor (s lsl 17) land max_int in
+  r.s <- s;
+  s
+
+let rand r n = if n <= 0 then 0 else next r mod n
+
+(* AFL-ish integer-vector mutations: tweak, interesting-value splice,
+   grow, shrink, crossover. *)
+let mutate r (input : int list) : int list =
+  let a = Array.of_list input in
+  let interesting = [| 0; 1; -1; 2; 7; 8; 16; 64; 255; 1024 |] in
+  let n = Array.length a in
+  (match rand r 6 with
+   | 0 when n > 0 ->
+     let k = rand r n in
+     a.(k) <- a.(k) + (rand r 9 - 4)
+   | 1 when n > 0 ->
+     let k = rand r n in
+     a.(k) <- interesting.(rand r (Array.length interesting))
+   | 2 when n > 0 ->
+     let k = rand r n in
+     a.(k) <- a.(k) lxor (1 lsl rand r 10)
+   | 3 when n > 0 ->
+     let k = rand r n in
+     a.(k) <- a.(k) * 2
+   | _ -> ());
+  let l = Array.to_list a in
+  match rand r 4 with
+  | 0 -> l @ [ rand r 256 ] (* grow *)
+  | 1 -> (match l with _ :: t when t <> [] -> t | l -> l) (* shrink *)
+  | _ -> l
+
+(** [fuzz binary ~seeds ~budget ~seed] grows a profiling test suite. *)
+let fuzz ?(seeds = [ [] ]) ?(budget = 300) ?(seed = 1) ?max_steps
+    (binary : Binfmt.Relf.t) : stats =
+  let prof = Redfat.Rewrite.rewrite Redfat.Rewrite.profiling_build binary in
+  let total_sites = prof.stats.checks_emitted in
+  let r = { s = max 1 seed } in
+  let covered = Hashtbl.create 256 in
+  let corpus = ref [] in
+  let executions = ref 0 in
+  let log_opts =
+    { Redfat_rt.Runtime.default_options with mode = Redfat_rt.Runtime.Log }
+  in
+  let try_input inputs =
+    incr executions;
+    let hr =
+      Redfat.run_hardened ?max_steps ~options:log_opts ~profiling:true ~inputs
+        prof.binary
+    in
+    let fresh = ref false in
+    List.iter
+      (fun site ->
+        if not (Hashtbl.mem covered site) then begin
+          Hashtbl.replace covered site ();
+          fresh := true
+        end)
+      (Redfat_rt.Runtime.executed_sites hr.rt);
+    if !fresh then corpus := inputs :: !corpus
+  in
+  List.iter try_input seeds;
+  let corpus_array () = Array.of_list !corpus in
+  for _ = 1 to budget do
+    let c = corpus_array () in
+    let parent =
+      if Array.length c = 0 then [] else c.(rand r (Array.length c))
+    in
+    try_input (mutate r parent)
+  done;
+  {
+    corpus = List.rev !corpus;
+    sites_covered = Hashtbl.length covered;
+    total_sites;
+    executions = !executions;
+  }
+
+(** One-call convenience: fuzz, then run the Figure-5 workflow with the
+    grown corpus. *)
+let fuzz_and_harden ?seeds ?budget ?seed ?max_steps
+    ?(opts = Redfat.Rewrite.optimized) (binary : Binfmt.Relf.t) :
+    Redfat.Rewrite.t * stats =
+  let st = fuzz ?seeds ?budget ?seed ?max_steps binary in
+  let test_suite = if st.corpus = [] then [ [] ] else st.corpus in
+  (Redfat.profile_and_harden ?max_steps ~test_suite ~opts binary, st)

@@ -1,0 +1,38 @@
+(** Coverage-guided input generation for the profiling phase (the
+    AFL-style booster the paper's §5 points at).  Deterministic for a
+    given (binary, seeds, budget, seed). *)
+
+(** Deterministic xorshift state shared with {!E9afl}. *)
+type rng = { mutable s : int }
+
+val rand : rng -> int -> int
+val mutate : rng -> int list -> int list
+(** One AFL-ish mutation of an input vector. *)
+
+type stats = {
+  corpus : int list list;  (** the grown test suite *)
+  sites_covered : int;
+  total_sites : int;
+  executions : int;
+}
+
+val fuzz :
+  ?seeds:int list list ->
+  ?budget:int ->
+  ?seed:int ->
+  ?max_steps:int ->
+  Binfmt.Relf.t ->
+  stats
+(** Grow a profiling test suite by mutating input vectors, keeping
+    every input that executes a previously-unseen instrumentation
+    site. *)
+
+val fuzz_and_harden :
+  ?seeds:int list list ->
+  ?budget:int ->
+  ?seed:int ->
+  ?max_steps:int ->
+  ?opts:Redfat.Rewrite.options ->
+  Binfmt.Relf.t ->
+  Redfat.Rewrite.t * stats
+(** Fuzz, then run the Figure-5 workflow with the grown corpus. *)

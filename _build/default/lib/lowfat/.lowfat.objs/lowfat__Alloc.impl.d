@@ -1,0 +1,1 @@
+lib/lowfat/alloc.ml: Array Hashtbl Layout List Vm

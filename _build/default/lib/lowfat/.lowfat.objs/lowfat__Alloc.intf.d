@@ -1,0 +1,1 @@
+lib/lowfat/alloc.mli: Hashtbl Vm

@@ -1,0 +1,1 @@
+lib/lowfat/layout.ml: Array List

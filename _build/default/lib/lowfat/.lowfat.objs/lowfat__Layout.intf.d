@@ -1,0 +1,1 @@
+lib/lowfat/layout.mli:

@@ -1,0 +1,52 @@
+(** The low-fat memory allocator ([lowfat_malloc]/[lowfat_free]).
+
+    Fresh objects are carved by a per-class bump pointer starting at
+    the first size-aligned address of the class's region; freed objects
+    go to a per-class free list.  Allocations beyond the largest class
+    fall back to a legacy bump heap in a non-fat region, invisible to
+    low-fat checking (like LowFat's fallback to malloc). *)
+
+exception Invalid_free of int
+exception Double_free of int
+exception Out_of_memory of int
+
+type stats = {
+  mutable allocs : int;
+  mutable frees : int;
+  mutable legacy_allocs : int;
+  mutable bytes_requested : int;
+  mutable bytes_reserved : int;  (** including class-rounding padding *)
+}
+
+type t = {
+  mem : Vm.Mem.t;
+  bump : int array;
+  freelist : int list array;
+  live : (int, int) Hashtbl.t;
+  mutable legacy_bump : int;
+  legacy_size : (int, int) Hashtbl.t;
+  stats : stats;
+  mutable rng : int;
+}
+
+val create : ?random:int -> Vm.Mem.t -> t
+(** [random] (paper §8's "basic heap randomization") seeds
+    deterministic randomization of subheap start offsets and free-list
+    reuse order. *)
+
+val malloc : t -> int -> int
+(** Allocate [n] bytes; the result is size-aligned inside its class's
+    region (or a legacy non-fat pointer for very large [n]).  The slot
+    is mapped. *)
+
+val free : t -> int -> unit
+(** Release an object by its base address.  Raises {!Double_free} or
+    {!Invalid_free} on misuse. *)
+
+val is_live : t -> int -> bool
+
+val reserved_size : t -> int -> int option
+(** Reserved (class-rounded) size of a live object, if the address is
+    its base. *)
+
+val live_count : t -> int

@@ -1,0 +1,105 @@
+(** The low-fat virtual address space layout (paper Figure 2).
+
+    The address space is partitioned into equally-sized 32 GiB regions.
+    Regions [1..m] are low-fat: region [i] contains a subheap servicing
+    allocations of exactly [sizes.(i-1)] bytes, and every object in it
+    is aligned to a multiple of that size, so
+
+      size(ptr) = SIZES[ptr / 32GiB]
+      base(ptr) = ptr - (ptr mod size(ptr))
+
+    are a table lookup and a modulo.  Region 0 (code, globals) and the
+    regions above [m] (stack, legacy heap) are non-fat: [size] returns
+    [max_int] and [base] returns 0 (NULL), so non-fat pointers are
+    always considered in-bounds by the checks. *)
+
+let region_bits = 35
+let region_size = 1 lsl region_bits (* 32 GiB *)
+
+(** Allocation size classes: 16·i up to 1 KiB (fine-grained, like the
+    LowFat default configuration), then powers of two up to 256 MiB. *)
+let sizes : int array =
+  Array.of_list
+    (List.init 64 (fun i -> 16 * (i + 1))
+    @ List.init 18 (fun i -> 2048 lsl i))
+
+let num_classes = Array.length sizes
+
+(* SIZES, indexed by region number; padded with non-fat entries. *)
+let sizes_table : int array =
+  Array.init (num_classes + 8) (fun i ->
+      if i >= 1 && i <= num_classes then sizes.(i - 1) else max_int)
+
+let region_of_addr addr = addr lsr region_bits
+
+let is_fat addr =
+  let r = region_of_addr addr in
+  r >= 1 && r <= num_classes
+
+(** [size ptr]: allocation size bound for the region of [ptr];
+    [max_int] for non-fat pointers. *)
+let size ptr =
+  let r = region_of_addr ptr in
+  if r >= 0 && r < Array.length sizes_table then sizes_table.(r) else max_int
+
+(** [base ptr]: start of the (potential) object containing [ptr];
+    0 (NULL) for non-fat pointers. *)
+let base ptr =
+  let r = region_of_addr ptr in
+  if r >= 1 && r <= num_classes then
+    let sz = sizes_table.(r) in
+    ptr - (ptr mod sz)
+  else 0
+
+(** Smallest size class holding [n] bytes: [Some (index, class_size)],
+    or [None] when [n] exceeds the largest class (legacy fallback). *)
+let class_of_size n =
+  if n <= 0 then invalid_arg "Layout.class_of_size"
+  else if n <= 1024 then begin
+    let i = (n + 15) / 16 in
+    Some (i, 16 * i)
+  end
+  else begin
+    let rec go i =
+      if i >= num_classes then None
+      else if sizes.(i) >= n then Some (i + 1, sizes.(i))
+      else go (i + 1)
+    in
+    go 64
+  end
+
+let region_start i = i lsl region_bits
+let region_end i = (i + 1) lsl region_bits
+
+(* --- fixed non-fat placements ------------------------------------- *)
+
+let heap_lo = region_start 1
+let heap_hi = region_end num_classes
+
+(** Program text; region 0, ≥ 2 GiB below the heap. *)
+let code_base = 0x40_0000
+
+(** Trampoline area: within rel32 (±2 GiB) reach of the text section,
+    still region 0 (non-fat). *)
+let trampoline_base = 0x4040_0000
+
+(** Globals (.data); region 0. *)
+let data_base = 0x1000_0000
+
+(** Legacy (non-fat) heap for allocations beyond the largest class. *)
+let legacy_heap_region = num_classes + 2
+let legacy_heap_base = region_start legacy_heap_region
+
+(** Stack: its own non-fat region, far (≫ 2 GiB) from the fat heap. *)
+let stack_region = num_classes + 4
+let stack_size = 8 * 1024 * 1024
+let stack_top = region_start stack_region + (16 * 1024 * 1024)
+let stack_lo = stack_top - stack_size
+
+(** The check-elimination distance rule (paper §6): a statically-known
+    base address can be proven unable to reach the fat heap when it is
+    at least 2 GiB away from it. *)
+let two_gb = 1 lsl 31
+
+let addr_range_clear_of_heap ~lo ~hi =
+  hi < heap_lo - two_gb || lo > heap_hi + two_gb

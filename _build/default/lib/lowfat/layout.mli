@@ -1,0 +1,62 @@
+(** The low-fat virtual address space layout (paper Figure 2).
+
+    The address space is partitioned into 32 GiB regions; regions
+    [1..num_classes] each hold a subheap of one allocation size class
+    with every object aligned to a multiple of its class size, so
+    [size] and [base] are computable from the pointer bits alone.
+    Everything else (code, globals, stack, legacy heap) is non-fat:
+    [size] is [max_int] and [base] is 0 (NULL), so non-fat pointers
+    always pass bounds checks. *)
+
+val region_bits : int
+val region_size : int
+
+val sizes : int array
+(** Allocation size classes: 16·i up to 1 KiB, then powers of two up
+    to 256 MiB. *)
+
+val num_classes : int
+
+val sizes_table : int array
+(** SIZES, indexed by region number; [max_int] marks non-fat regions. *)
+
+val region_of_addr : int -> int
+val is_fat : int -> bool
+
+val size : int -> int
+(** [size ptr]: allocation size bound for [ptr]'s region; [max_int]
+    for non-fat pointers. *)
+
+val base : int -> int
+(** [base ptr]: start of the (potential) object slot containing [ptr];
+    0 for non-fat pointers. *)
+
+val class_of_size : int -> (int * int) option
+(** Smallest class holding [n] bytes: [Some (class_index, class_size)],
+    or [None] when [n] exceeds the largest class (legacy fallback).
+    Raises [Invalid_argument] for [n <= 0]. *)
+
+val region_start : int -> int
+val region_end : int -> int
+
+(** {2 Fixed placements (all non-fat)} *)
+
+val heap_lo : int
+val heap_hi : int
+val code_base : int
+val trampoline_base : int
+(** Within rel32 (±2 GiB) reach of the text section. *)
+
+val data_base : int
+val legacy_heap_region : int
+val legacy_heap_base : int
+val stack_region : int
+val stack_size : int
+val stack_top : int
+val stack_lo : int
+
+val two_gb : int
+
+val addr_range_clear_of_heap : lo:int -> hi:int -> bool
+(** The check-elimination distance rule (paper §6): a statically-known
+    address range provably unable to reach the fat heap. *)

@@ -1,0 +1,1 @@
+lib/minic/build.ml: Ast X64

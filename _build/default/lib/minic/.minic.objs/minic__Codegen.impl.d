@@ -1,0 +1,1 @@
+lib/minic/codegen.ml: Array Asm Ast Binfmt Hashtbl Isa List Lowfat Option Printf String X64

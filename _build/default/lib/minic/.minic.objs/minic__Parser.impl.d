@@ -1,0 +1,1 @@
+lib/minic/parser.ml: Ast Binfmt Codegen Lexer List Printf X64

@@ -1,0 +1,60 @@
+(** MiniC: the source language of the simulated toolchain.
+
+    A small C-like imperative language — integers, heap arrays, globals,
+    functions — compiled by {!Codegen} to x64l binaries.  The evaluation
+    workloads (SPEC kernels, CVE models, Juliet cases, Kraken kernels)
+    are all MiniC programs, so every binary the rewriter hardens went
+    through a real compilation pipeline, with the idioms (indexed
+    operands, rsp-relative spills, unrolled stores) that make the
+    rewriter's analyses meaningful. *)
+
+(** Array element width: 8-byte ints or single bytes. *)
+type elem = E8 | E1
+
+let elem_bytes = function E8 -> 8 | E1 -> 1
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Band | Bor | Bxor | Shl | Shr
+
+type expr =
+  | Int of int
+  | Var of string               (** local, parameter, or global (address) *)
+  | Bin of binop * expr * expr
+  | Cmp of X64.Isa.cc * expr * expr   (** 1 if true else 0 *)
+  | Load of elem * expr * expr        (** arr[idx] *)
+  | Loadk of elem * expr * expr * int (** arr[idx + k], k folded into disp *)
+  | Alloc of expr               (** malloc(n bytes); returns pointer *)
+  | Input                       (** next scripted input (0 if exhausted) *)
+  | Call of string * expr list  (** ≤ 4 arguments *)
+  | Addr_of of string           (** address of a function (code pointer) *)
+  | Call_ptr of expr * expr list
+      (** indirect call through a function pointer; ≤ 4 arguments *)
+
+type stmt =
+  | Let of string * expr        (** declare-and-init a local *)
+  | Set of string * expr
+  | Store of elem * expr * expr * expr        (** arr[idx] = v *)
+  | Storek of elem * expr * expr * int * expr (** arr[idx + k] = v *)
+  | Multi_store of elem * expr * expr * (int * expr) list
+      (** arr[idx + k_j] = v_j for each (k_j, v_j): the address registers
+          are computed once, producing the batchable/mergeable
+          instruction runs of paper Example 2 *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of string * expr * expr * stmt list   (** for v = lo; v < hi; v++ *)
+  | Expr of expr                (** evaluate for side effects *)
+  | Print of expr
+  | Free of expr
+  | Return of expr
+
+type func = { name : string; params : string list; body : stmt list }
+
+type program = {
+  globals : (string * int) list;  (** name, size in bytes (zeroed) *)
+  funcs : func list;              (** must include "main" *)
+}
+
+let func ~name ?(params = []) body = { name; params; body }
+
+let program ?(globals = []) funcs = { globals; funcs }

@@ -1,0 +1,50 @@
+(** Concise AST builders for writing MiniC programs in OCaml (used by
+    the workload suites and tests). *)
+
+open Ast
+
+let i n = Int n
+let v x = Var x
+let ( +: ) a b = Bin (Add, a, b)
+let ( -: ) a b = Bin (Sub, a, b)
+let ( *: ) a b = Bin (Mul, a, b)
+let ( /: ) a b = Bin (Div, a, b)
+let ( %: ) a b = Bin (Rem, a, b)
+let ( &: ) a b = Bin (Band, a, b)
+let ( |: ) a b = Bin (Bor, a, b)
+let ( ^: ) a b = Bin (Bxor, a, b)
+let ( <<: ) a n = Bin (Shl, a, Int n)
+let ( >>: ) a n = Bin (Shr, a, Int n)
+let ( =: ) a b = Cmp (X64.Isa.Eq, a, b)
+let ( <>: ) a b = Cmp (X64.Isa.Ne, a, b)
+let ( <: ) a b = Cmp (X64.Isa.Lt, a, b)
+let ( <=: ) a b = Cmp (X64.Isa.Le, a, b)
+let ( >: ) a b = Cmp (X64.Isa.Gt, a, b)
+let ( >=: ) a b = Cmp (X64.Isa.Ge, a, b)
+
+(** 8-byte element access *)
+let idx a j = Load (E8, a, j)
+let idxk a j k = Loadk (E8, a, j, k)
+let set a j x = Store (E8, a, j, x)
+let setk a j k x = Storek (E8, a, j, k, x)
+let msets a j items = Multi_store (E8, a, j, items)
+
+(** byte access *)
+let idx1 a j = Load (E1, a, j)
+let set1 a j x = Store (E1, a, j, x)
+let set1k a j k x = Storek (E1, a, j, k, x)
+
+let let_ x e = Let (x, e)
+let assign x e = Set (x, e)
+let alloc_elems n = Alloc (Bin (Mul, n, Int 8))   (* n 8-byte elements *)
+let alloc_bytes n = Alloc n
+let if_ c a b = If (c, a, b)
+let while_ c body = While (c, body)
+let for_ x lo hi body = For (x, lo, hi, body)
+let return_ e = Return e
+let print_ e = Print e
+let free_ e = Free e
+let call f args = Call (f, args)
+let addr_of f = Addr_of f
+let call_ptr f args = Call_ptr (f, args)
+let expr e = Expr e

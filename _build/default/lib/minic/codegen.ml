@@ -1,0 +1,495 @@
+(** MiniC → x64l code generation.
+
+    Deliberately "-O2-shaped" where it matters to the rewriter: the
+    hottest locals are register-allocated into callee-saved registers
+    (so, as in real optimized code, most traffic is register traffic,
+    not stack traffic); the remaining locals live at [disp(%rsp)] with
+    no frame pointer (so the check-elimination rule fires exactly as it
+    does on real optimized binaries); array accesses compile to indexed
+    memory operands [disp(base,idx,scale)]; and [Multi_store] emits
+    runs of stores sharing base/index registers (the batching/merging
+    fodder of paper Example 2). *)
+
+open X64
+
+exception Compile_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Compile_error s)) fmt
+
+let scratch = [| Isa.r8; Isa.r9; Isa.r10; Isa.r11 |]
+let nscratch = Array.length scratch
+let arg_regs = [| Isa.rdi; Isa.rsi; Isa.rdx; Isa.rcx |]
+
+(* registers available to the (usage-count) register allocator *)
+let callee_saved = [| Isa.rbx; Isa.rbp; Isa.r12; Isa.r13; Isa.r14; Isa.r15 |]
+
+(** Where a local lives: a callee-saved register or a stack slot. *)
+type loc = Lreg of Isa.reg | Lslot of int
+
+type ctx = {
+  mutable items : Asm.item list; (* reverse order *)
+  mutable labels : int;
+  slots : (string, loc) Hashtbl.t;
+  globals : (string, int) Hashtbl.t;
+  mutable push_depth : int; (* bytes pushed below the frame *)
+  frame : int;
+  epilogue : string;
+}
+
+let emit ctx i = ctx.items <- Asm.I i :: ctx.items
+let emit_item ctx it = ctx.items <- it :: ctx.items
+
+let fresh ctx prefix =
+  ctx.labels <- ctx.labels + 1;
+  Printf.sprintf "%s%d" prefix ctx.labels
+
+let local_loc ctx name =
+  match Hashtbl.find_opt ctx.slots name with
+  | Some l -> l
+  | None -> fail "unknown local %s" name
+
+let slot_mem ctx slot =
+  Isa.mem ~disp:((8 * slot) + ctx.push_depth) ~base:Isa.rsp ()
+
+let width_of_elem = function Ast.E8 -> Isa.W8 | Ast.E1 -> Isa.W1
+
+(* --- expressions ---------------------------------------------------- *)
+
+(* [eval ctx depth e] leaves the value of [e] in [scratch.(depth)] (or,
+   when the register stack is exhausted, spills through the machine
+   stack) and returns the result register. *)
+let rec eval ctx depth (e : Ast.expr) : Isa.reg =
+  let dst = scratch.(depth mod nscratch) in
+  (* two-operand helper handling register exhaustion *)
+  let eval2 a b (k : Isa.reg -> Isa.reg -> unit) : Isa.reg =
+    let ra = eval ctx depth a in
+    if depth + 1 < nscratch then begin
+      let rb = eval ctx (depth + 1) b in
+      k ra rb;
+      ra
+    end
+    else begin
+      emit ctx (Isa.Push ra);
+      ctx.push_depth <- ctx.push_depth + 8;
+      let rb = eval ctx depth b in
+      (* move rb out of the way, recover the left operand into rax *)
+      emit ctx (Isa.Mov_rr (Isa.rdx, rb));
+      emit ctx (Isa.Pop Isa.rax);
+      ctx.push_depth <- ctx.push_depth - 8;
+      k Isa.rax Isa.rdx;
+      emit ctx (Isa.Mov_rr (dst, Isa.rax));
+      dst
+    end
+  in
+  match e with
+  | Int n ->
+    emit ctx (Isa.Mov_ri (dst, n));
+    dst
+  | Var x ->
+    (match Hashtbl.find_opt ctx.slots x with
+     | Some (Lreg r) ->
+       emit ctx (Isa.Mov_rr (dst, r));
+       dst
+     | Some (Lslot s) ->
+       emit ctx (Isa.Load (Isa.W8, dst, slot_mem ctx s));
+       dst
+     | None ->
+       (match Hashtbl.find_opt ctx.globals x with
+        | Some addr ->
+          emit ctx (Isa.Mov_ri (dst, addr));
+          dst
+        | None -> fail "unbound variable %s" x))
+  | Bin ((Shl | Shr) as op, a, Int n) ->
+    let ra = eval ctx depth a in
+    emit ctx
+      (Isa.Shift_ri ((if op = Shl then Isa.Shl else Isa.Shr), ra, n land 63));
+    ra
+  | Bin ((Shl | Shr), _, _) -> fail "shift amount must be a constant"
+  | Bin (op, a, b) ->
+    eval2 a b (fun ra rb ->
+        match op with
+        | Add -> emit ctx (Isa.Alu_rr (Isa.Add, ra, rb))
+        | Sub -> emit ctx (Isa.Alu_rr (Isa.Sub, ra, rb))
+        | Band -> emit ctx (Isa.Alu_rr (Isa.And, ra, rb))
+        | Bor -> emit ctx (Isa.Alu_rr (Isa.Or, ra, rb))
+        | Bxor -> emit ctx (Isa.Alu_rr (Isa.Xor, ra, rb))
+        | Mul -> emit ctx (Isa.Mul_rr (ra, rb))
+        | Div -> emit ctx (Isa.Div_rr (ra, rb))
+        | Rem -> emit ctx (Isa.Rem_rr (ra, rb))
+        | Shl | Shr -> assert false)
+  | Cmp (cc, a, b) ->
+    eval2 a b (fun ra rb ->
+        emit ctx (Isa.Cmp_rr (ra, rb));
+        emit ctx (Isa.Setcc (cc, ra)))
+  | Load (el, arr, idx) -> eval_load ctx depth el arr idx 0
+  | Loadk (el, arr, idx, k) -> eval_load ctx depth el arr idx k
+  | Alloc n ->
+    let rn = eval ctx depth n in
+    emit ctx (Isa.Mov_rr (Isa.rdi, rn));
+    emit ctx (Isa.Callrt Isa.Malloc);
+    emit ctx (Isa.Mov_rr (dst, Isa.rax));
+    dst
+  | Input ->
+    emit ctx (Isa.Callrt Isa.Input);
+    emit ctx (Isa.Mov_rr (dst, Isa.rax));
+    dst
+  | Addr_of f ->
+    emit_item ctx (Asm.Mov_label (dst, "fn_" ^ f));
+    dst
+  | Call_ptr (fe, args) ->
+    if List.length args > Array.length arg_regs then
+      fail "indirect call: too many arguments";
+    let live = List.init (min depth nscratch) (fun i -> scratch.(i)) in
+    List.iter
+      (fun r ->
+        emit ctx (Isa.Push r);
+        ctx.push_depth <- ctx.push_depth + 8)
+      live;
+    (* the callee address is computed first and parked on the stack
+       while the arguments claim the scratch registers *)
+    let rf = eval ctx 0 fe in
+    emit ctx (Isa.Push rf);
+    ctx.push_depth <- ctx.push_depth + 8;
+    List.iteri
+      (fun j a ->
+        if j >= nscratch then fail "indirect call: argument too deep";
+        ignore (eval ctx j a))
+      args;
+    List.iteri
+      (fun j _ -> emit ctx (Isa.Mov_rr (arg_regs.(j), scratch.(j))))
+      args;
+    emit ctx (Isa.Pop Isa.rax);
+    ctx.push_depth <- ctx.push_depth - 8;
+    emit ctx (Isa.Call_ind Isa.rax);
+    List.iter
+      (fun r ->
+        emit ctx (Isa.Pop r);
+        ctx.push_depth <- ctx.push_depth - 8)
+      (List.rev live);
+    emit ctx (Isa.Mov_rr (dst, Isa.rax));
+    dst
+  | Call (f, args) ->
+    if List.length args > Array.length arg_regs then
+      fail "%s: too many arguments" f;
+    (* save the live expression registers *)
+    let live = List.init (min depth nscratch) (fun i -> scratch.(i)) in
+    List.iter
+      (fun r ->
+        emit ctx (Isa.Push r);
+        ctx.push_depth <- ctx.push_depth + 8)
+      live;
+    (* arguments are evaluated into the freed scratch registers *)
+    List.iteri
+      (fun j a ->
+        if j >= nscratch then fail "%s: argument too deep" f;
+        let r = eval ctx j a in
+        ignore r)
+      args;
+    List.iteri
+      (fun j _ -> emit ctx (Isa.Mov_rr (arg_regs.(j), scratch.(j))))
+      args;
+    emit_item ctx (Asm.Call_l ("fn_" ^ f));
+    List.iter
+      (fun r ->
+        emit ctx (Isa.Pop r);
+        ctx.push_depth <- ctx.push_depth - 8)
+      (List.rev live);
+    emit ctx (Isa.Mov_rr (dst, Isa.rax));
+    dst
+
+and eval_load ctx depth el arr idx k : Isa.reg =
+  let dst = scratch.(depth mod nscratch) in
+  let sz = Ast.elem_bytes el in
+  let w = width_of_elem el in
+  let ra = eval ctx depth arr in
+  if depth + 1 < nscratch then begin
+    let ri = eval ctx (depth + 1) idx in
+    emit ctx
+      (Isa.Load (w, ra, Isa.mem ~disp:(k * sz) ~base:ra ~idx:ri ~scale:sz ()));
+    ra
+  end
+  else begin
+    emit ctx (Isa.Push ra);
+    ctx.push_depth <- ctx.push_depth + 8;
+    let ri = eval ctx depth idx in
+    emit ctx (Isa.Mov_rr (Isa.rdx, ri));
+    emit ctx (Isa.Pop Isa.rax);
+    ctx.push_depth <- ctx.push_depth - 8;
+    emit ctx
+      (Isa.Load
+         (w, dst, Isa.mem ~disp:(k * sz) ~base:Isa.rax ~idx:Isa.rdx ~scale:sz ()));
+    dst
+  end
+
+(* --- statements ----------------------------------------------------- *)
+
+let rec stmt ctx (s : Ast.stmt) : unit =
+  match s with
+  | Let (x, e) | Set (x, e) ->
+    let r = eval ctx 0 e in
+    (match local_loc ctx x with
+     | Lreg hr -> emit ctx (Isa.Mov_rr (hr, r))
+     | Lslot s -> emit ctx (Isa.Store (Isa.W8, slot_mem ctx s, r)))
+  | Store (el, arr, idx, v) -> store ctx el arr idx 0 v
+  | Storek (el, arr, idx, k, v) -> store ctx el arr idx k v
+  | Multi_store (el, arr, idx, items) ->
+    let sz = Ast.elem_bytes el in
+    let w = width_of_elem el in
+    let ra = eval ctx 0 arr in
+    let ri = eval ctx 1 idx in
+    List.iter
+      (fun (k, v) ->
+        let rv = eval ctx 2 v in
+        emit ctx
+          (Isa.Store
+             (w, Isa.mem ~disp:(k * sz) ~base:ra ~idx:ri ~scale:sz (), rv)))
+      items
+  | If (cond, yes, no) ->
+    let l_else = fresh ctx "Lelse" and l_end = fresh ctx "Lend" in
+    branch_false ctx cond l_else;
+    List.iter (stmt ctx) yes;
+    if no <> [] then emit_item ctx (Asm.Jmp_l l_end);
+    emit_item ctx (Asm.Label l_else);
+    List.iter (stmt ctx) no;
+    if no <> [] then emit_item ctx (Asm.Label l_end)
+  | While (cond, body) ->
+    let l_loop = fresh ctx "Lloop" and l_end = fresh ctx "Lend" in
+    emit_item ctx (Asm.Label l_loop);
+    branch_false ctx cond l_end;
+    List.iter (stmt ctx) body;
+    emit_item ctx (Asm.Jmp_l l_loop);
+    emit_item ctx (Asm.Label l_end)
+  | For (x, lo, hi, body) ->
+    let l_loop = fresh ctx "Lloop" and l_end = fresh ctx "Lend" in
+    stmt ctx (Let (x, lo));
+    emit_item ctx (Asm.Label l_loop);
+    branch_false ctx (Cmp (Isa.Lt, Var x, hi)) l_end;
+    List.iter (stmt ctx) body;
+    (match local_loc ctx x with
+     | Lreg hr -> emit ctx (Isa.Alu_ri (Isa.Add, hr, 1))
+     | Lslot s ->
+       let r = eval ctx 0 (Var x) in
+       emit ctx (Isa.Alu_ri (Isa.Add, r, 1));
+       emit ctx (Isa.Store (Isa.W8, slot_mem ctx s, r)));
+    emit_item ctx (Asm.Jmp_l l_loop);
+    emit_item ctx (Asm.Label l_end)
+  | Expr e -> ignore (eval ctx 0 e)
+  | Print e ->
+    let r = eval ctx 0 e in
+    emit ctx (Isa.Mov_rr (Isa.rdi, r));
+    emit ctx (Isa.Callrt Isa.Print)
+  | Free e ->
+    let r = eval ctx 0 e in
+    emit ctx (Isa.Mov_rr (Isa.rdi, r));
+    emit ctx (Isa.Callrt Isa.Free)
+  | Return e ->
+    let r = eval ctx 0 e in
+    emit ctx (Isa.Mov_rr (Isa.rax, r));
+    emit_item ctx (Asm.Jmp_l ctx.epilogue)
+
+and store ctx el arr idx k v =
+  let sz = Ast.elem_bytes el in
+  let w = width_of_elem el in
+  let ra = eval ctx 0 arr in
+  let ri = eval ctx 1 idx in
+  let rv = eval ctx 2 v in
+  emit ctx
+    (Isa.Store (w, Isa.mem ~disp:(k * sz) ~base:ra ~idx:ri ~scale:sz (), rv))
+
+and branch_false ctx cond target =
+  match cond with
+  | Ast.Cmp (cc, a, b) ->
+    let ra = eval ctx 0 a in
+    let rb = eval ctx 1 b in
+    emit ctx (Isa.Cmp_rr (ra, rb));
+    emit_item ctx (Asm.Jcc_l (Isa.cc_negate cc, target))
+  | Ast.Int 0 -> emit_item ctx (Asm.Jmp_l target)
+  | Ast.Int _ -> ()
+  | _ ->
+    let r = eval ctx 0 cond in
+    emit ctx (Isa.Test_rr (r, r));
+    emit_item ctx (Asm.Jcc_l (Isa.Eq, target))
+
+(* --- functions and programs ---------------------------------------- *)
+
+let rec collect_locals acc (s : Ast.stmt) =
+  let add acc x = if List.mem x acc then acc else acc @ [ x ] in
+  match s with
+  | Let (x, _) | Set (x, _) -> add acc x
+  | For (x, _, _, body) -> List.fold_left collect_locals (add acc x) body
+  | If (_, a, b) ->
+    List.fold_left collect_locals (List.fold_left collect_locals acc a) b
+  | While (_, body) -> List.fold_left collect_locals acc body
+  | Store _ | Storek _ | Multi_store _ | Expr _ | Print _ | Free _ | Return _
+    -> acc
+
+(* usage counts drive the register allocator: the most-referenced
+   locals get the callee-saved registers *)
+let count_uses (body : Ast.stmt list) : (string, int) Hashtbl.t =
+  let counts = Hashtbl.create 16 in
+  let bump x = Hashtbl.replace counts x (1 + Option.value ~default:0 (Hashtbl.find_opt counts x)) in
+  let rec expr (e : Ast.expr) =
+    match e with
+    | Int _ | Input | Addr_of _ -> ()
+    | Var x -> bump x
+    | Bin (_, a, b) | Cmp (_, a, b) | Load (_, a, b) -> expr a; expr b
+    | Loadk (_, a, b, _) -> expr a; expr b
+    | Alloc a -> expr a
+    | Call (_, args) -> List.iter expr args
+    | Call_ptr (f, args) -> expr f; List.iter expr args
+  in
+  let rec stmt (s : Ast.stmt) =
+    match s with
+    | Let (x, e) | Set (x, e) -> bump x; expr e
+    | Store (_, a, b, c) -> expr a; expr b; expr c
+    | Storek (_, a, b, _, c) -> expr a; expr b; expr c
+    | Multi_store (_, a, b, items) ->
+      expr a; expr b; List.iter (fun (_, e) -> expr e) items
+    | If (c, y, n) -> expr c; List.iter stmt y; List.iter stmt n
+    | While (c, body) ->
+      (* weight loop bodies: their locals are hot *)
+      expr c; List.iter stmt body; List.iter stmt body
+    | For (x, lo, hi, body) ->
+      bump x; bump x; bump x; expr lo; expr hi;
+      List.iter stmt body; List.iter stmt body
+    | Expr e | Print e | Free e | Return e -> expr e
+  in
+  List.iter stmt body;
+  counts
+
+let compile_func ~globals (f : Ast.func) : Asm.item list =
+  let locals = List.fold_left collect_locals f.params f.body in
+  let counts = count_uses f.body in
+  List.iter
+    (fun p -> if not (Hashtbl.mem counts p) then Hashtbl.replace counts p 0)
+    f.params;
+  (* stable sort by descending usage; the top ones get registers *)
+  let ranked =
+    List.stable_sort
+      (fun a b ->
+        compare
+          (Option.value ~default:0 (Hashtbl.find_opt counts b))
+          (Option.value ~default:0 (Hashtbl.find_opt counts a)))
+      locals
+  in
+  let nregs = Array.length callee_saved in
+  let in_regs = List.filteri (fun k _ -> k < nregs) ranked in
+  let spilled = List.filter (fun x -> not (List.mem x in_regs)) locals in
+  let nslots = List.length spilled in
+  let frame = (nslots * 8 + 15) land lnot 15 in
+  let epilogue = "Lret_" ^ f.name in
+  let ctx =
+    {
+      items = [];
+      labels = 0;
+      slots = Hashtbl.create 16;
+      globals;
+      push_depth = 0;
+      frame;
+      epilogue;
+    }
+  in
+  let used_saved = List.mapi (fun k _ -> callee_saved.(k)) in_regs in
+  List.iteri (fun k x -> Hashtbl.replace ctx.slots x (Lreg callee_saved.(k))) in_regs;
+  List.iteri (fun i x -> Hashtbl.replace ctx.slots x (Lslot i)) spilled;
+  emit_item ctx (Asm.Label ("fn_" ^ f.name));
+  List.iter (fun r -> emit ctx (Isa.Push r)) used_saved;
+  if frame > 0 then emit ctx (Isa.Alu_ri (Isa.Sub, Isa.rsp, frame));
+  List.iteri
+    (fun j p ->
+      if j >= Array.length arg_regs then fail "%s: too many parameters" f.name;
+      match local_loc ctx p with
+      | Lreg hr -> emit ctx (Isa.Mov_rr (hr, arg_regs.(j)))
+      | Lslot s -> emit ctx (Isa.Store (Isa.W8, slot_mem ctx s, arg_regs.(j))))
+    f.params;
+  List.iter (stmt ctx) f.body;
+  (* implicit return 0 *)
+  emit ctx (Isa.Mov_ri (Isa.rax, 0));
+  emit_item ctx (Asm.Label epilogue);
+  if frame > 0 then emit ctx (Isa.Alu_ri (Isa.Add, Isa.rsp, frame));
+  List.iter (fun r -> emit ctx (Isa.Pop r)) (List.rev used_saved);
+  emit ctx Isa.Ret;
+  (* fresh labels are function-local: prefix them *)
+  let prefix = "F" ^ f.name ^ "_" in
+  let rename = function
+    | Asm.Label l when String.length l > 0 && l.[0] = 'L' ->
+      Asm.Label (prefix ^ l)
+    | Asm.Jmp_l l when l.[0] = 'L' -> Asm.Jmp_l (prefix ^ l)
+    | Asm.Jcc_l (cc, l) when l.[0] = 'L' -> Asm.Jcc_l (cc, prefix ^ l)
+    | it -> it
+  in
+  (* items were accumulated in reverse; rev_map restores program order *)
+  List.rev_map rename ctx.items
+
+(** Compile a module.
+
+    [origin]/[data_origin] place the text and data sections (distinct
+    modules — executable and shared objects — live at distinct bases);
+    [externs] resolves calls to functions defined in another,
+    already-placed module (static linking against a loaded .so);
+    [shared] builds a library: no [main] required, the entry point is
+    the first function, and exported symbols are returned by
+    {!compile_with_symbols}. *)
+let compile_with_symbols ?(origin = Lowfat.Layout.code_base)
+    ?(data_origin = Lowfat.Layout.data_base) ?(externs = [])
+    ?(shared = false) (p : Ast.program) :
+    Binfmt.Relf.t * (string * int) list =
+  if (not shared) && not (List.exists (fun f -> f.Ast.name = "main") p.funcs)
+  then fail "no main function";
+  (* main (if any) first so the entry point is the text start *)
+  let funcs =
+    List.filter (fun f -> f.Ast.name = "main") p.funcs
+    @ List.filter (fun f -> f.Ast.name <> "main") p.funcs
+  in
+  let globals = Hashtbl.create 16 in
+  let data_size = ref 0 in
+  List.iter
+    (fun (name, size) ->
+      Hashtbl.replace globals name (data_origin + !data_size);
+      data_size := !data_size + ((size + 15) land lnot 15))
+    p.globals;
+  let items = List.concat_map (compile_func ~globals) funcs in
+  (* resolve extern calls: rewrite Call_l/Mov_label of undefined
+     functions into absolute forms against the import table *)
+  let defined = Hashtbl.create 16 in
+  List.iter (fun f -> Hashtbl.replace defined ("fn_" ^ f.Ast.name) ()) funcs;
+  let items =
+    List.map
+      (fun it ->
+        match it with
+        | Asm.Call_l l when not (Hashtbl.mem defined l || l.[0] = 'L' || l.[0] = 'F') ->
+          (match List.assoc_opt l externs with
+           | Some addr -> Asm.I (Isa.Call addr)
+           | None -> fail "undefined function %s" l)
+        | Asm.Mov_label (r, l) when not (Hashtbl.mem defined l) ->
+          (match List.assoc_opt l externs with
+           | Some addr -> Asm.I (Isa.Mov_ri (r, addr))
+           | None -> fail "undefined function %s" l)
+        | it -> it)
+      items
+  in
+  let code, labels = Asm.assemble ~origin items in
+  let entry =
+    match Hashtbl.find_opt labels "fn_main" with
+    | Some a -> a
+    | None -> origin
+  in
+  let symbols =
+    List.map (fun f -> ("fn_" ^ f.Ast.name, Hashtbl.find labels ("fn_" ^ f.Ast.name)))
+      funcs
+  in
+  let sections =
+    [ Binfmt.Relf.section ~executable:true ~name:".text" ~addr:origin code ]
+    @
+    if !data_size > 0 then
+      [
+        Binfmt.Relf.section ~writable:true ~name:".data" ~addr:data_origin
+          (String.make !data_size '\000');
+      ]
+    else []
+  in
+  ({ Binfmt.Relf.entry; pic = false; stripped = true; sections }, symbols)
+
+let compile ?origin ?data_origin ?externs ?shared (p : Ast.program) :
+    Binfmt.Relf.t =
+  fst (compile_with_symbols ?origin ?data_origin ?externs ?shared p)

@@ -1,0 +1,28 @@
+(** MiniC → x64l code generation.
+
+    "-O2-shaped" where it matters to the rewriter: hot locals are
+    register-allocated, the rest live at [disp(%rsp)] with no frame
+    pointer, array accesses compile to indexed memory operands, and
+    [Multi_store] emits mergeable store runs. *)
+
+exception Compile_error of string
+
+val compile_with_symbols :
+  ?origin:int ->
+  ?data_origin:int ->
+  ?externs:(string * int) list ->
+  ?shared:bool ->
+  Ast.program ->
+  Binfmt.Relf.t * (string * int) list
+(** Compile a module and return its exported symbol table
+    ([fn_<name>] → address).  [origin]/[data_origin] place the
+    sections; [externs] resolves calls into other, already-placed
+    modules; [shared] builds a library (no [main] required). *)
+
+val compile :
+  ?origin:int ->
+  ?data_origin:int ->
+  ?externs:(string * int) list ->
+  ?shared:bool ->
+  Ast.program ->
+  Binfmt.Relf.t

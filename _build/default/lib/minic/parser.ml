@@ -1,0 +1,380 @@
+(** Recursive-descent parser for MiniC source text.
+
+    The surface syntax (see also [examples/*.mc]):
+
+    {v
+    // a comment
+    global table[64];                 // global array of 64 cells
+
+    fn kernel(n) {
+      var a = alloc(16);              // 16 8-byte elements
+      var buf = balloc(64);           // 64 bytes
+      var s = 0;
+      for (j in 0 .. 16) { a[j] = j * j; }
+      while (s < 10) { s = s + 1; }
+      if (a[0] == 0 && s >= 10) { print(s); } else { print(0); }
+      buf.[3] = 255;                  // byte store
+      s = s + buf.[3];                // byte load
+      free(a); free(buf);
+      return s;
+    }
+
+    fn main() {
+      var fp = &kernel;               // function pointer
+      print((fp)(input()));           // indirect call
+      return 0;
+    }
+    v}
+
+    Operator precedence is C's.  [&&]/[||] are {e not} short-circuit:
+    both operands are always evaluated (they lower to bitwise ops over
+    normalized booleans), which the docs call out because it matters
+    for memory safety of guarded accesses. *)
+
+exception Parse_error of string * Lexer.pos
+
+type state = { mutable toks : Lexer.t list }
+
+let fail_at pos fmt =
+  Printf.ksprintf (fun s -> raise (Parse_error (s, pos))) fmt
+
+let peek st =
+  match st.toks with [] -> assert false | t :: _ -> t
+
+let next st =
+  match st.toks with
+  | [] -> assert false
+  | t :: rest ->
+    st.toks <- (if rest = [] then [ t ] else rest);
+    t
+
+let expect st tok =
+  let t = next st in
+  if t.tok <> tok then
+    fail_at t.pos "expected %s but found %s" (Lexer.token_name tok)
+      (Lexer.token_name t.tok)
+
+let expect_ident st =
+  let t = next st in
+  match t.tok with
+  | Lexer.IDENT s -> s
+  | other -> fail_at t.pos "expected an identifier, found %s"
+               (Lexer.token_name other)
+
+(* normalize a value to a 0/1 boolean for &&/|| *)
+let truthy (e : Ast.expr) : Ast.expr =
+  match e with
+  | Ast.Cmp _ -> e (* already 0/1 *)
+  | e -> Ast.Cmp (X64.Isa.Ne, e, Ast.Int 0)
+
+(* fold [e + k] / [e - k] constants into Loadk/Storek displacements *)
+let split_const (e : Ast.expr) : Ast.expr * int =
+  match e with
+  | Ast.Bin (Ast.Add, e', Ast.Int k) -> (e', k)
+  | Ast.Bin (Ast.Add, Ast.Int k, e') -> (e', k)
+  | Ast.Bin (Ast.Sub, e', Ast.Int k) -> (e', -k)
+  | e -> (e, 0)
+
+(* --- expressions ----------------------------------------------------- *)
+
+(* binary operator precedence, C-style (higher binds tighter) *)
+let binop_of_token (t : Lexer.token) : (int * (Ast.expr -> Ast.expr -> Ast.expr)) option =
+  let bin op a b = Ast.Bin (op, a, b) in
+  let cmp cc a b = Ast.Cmp (cc, a, b) in
+  match t with
+  | Lexer.OROR -> Some (1, fun a b -> bin Ast.Bor (truthy a) (truthy b))
+  | Lexer.ANDAND -> Some (2, fun a b -> bin Ast.Band (truthy a) (truthy b))
+  | Lexer.PIPE -> Some (3, bin Ast.Bor)
+  | Lexer.CARET -> Some (4, bin Ast.Bxor)
+  | Lexer.AMP -> Some (5, bin Ast.Band)
+  | Lexer.EQ -> Some (6, cmp X64.Isa.Eq)
+  | Lexer.NE -> Some (6, cmp X64.Isa.Ne)
+  | Lexer.LT -> Some (7, cmp X64.Isa.Lt)
+  | Lexer.LE -> Some (7, cmp X64.Isa.Le)
+  | Lexer.GT -> Some (7, cmp X64.Isa.Gt)
+  | Lexer.GE -> Some (7, cmp X64.Isa.Ge)
+  | Lexer.SHL ->
+    Some
+      ( 8,
+        fun a b ->
+          match b with
+          | Ast.Int k -> Ast.Bin (Ast.Shl, a, Ast.Int k)
+          | _ -> Ast.Bin (Ast.Shl, a, b) )
+  | Lexer.SHR -> Some (8, fun a b -> Ast.Bin (Ast.Shr, a, b))
+  | Lexer.PLUS -> Some (9, bin Ast.Add)
+  | Lexer.MINUS -> Some (9, bin Ast.Sub)
+  | Lexer.STAR -> Some (10, bin Ast.Mul)
+  | Lexer.SLASH -> Some (10, bin Ast.Div)
+  | Lexer.PERCENT -> Some (10, bin Ast.Rem)
+  | _ -> None
+
+let rec parse_expr st = parse_binary st 0
+
+and parse_binary st min_prec =
+  let lhs = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match binop_of_token (peek st).tok with
+    | Some (prec, mk) when prec >= min_prec ->
+      ignore (next st);
+      let rhs = parse_binary st (prec + 1) in
+      lhs := mk !lhs rhs
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary st =
+  let t = peek st in
+  match t.tok with
+  | Lexer.MINUS ->
+    ignore (next st);
+    (match parse_unary st with
+     | Ast.Int n -> Ast.Int (-n)
+     | e -> Ast.Bin (Ast.Sub, Ast.Int 0, e))
+  | Lexer.TILDE ->
+    ignore (next st);
+    Ast.Bin (Ast.Bxor, parse_unary st, Ast.Int (-1))
+  | Lexer.AMP ->
+    ignore (next st);
+    let f = expect_ident st in
+    Ast.Addr_of f
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = ref (parse_primary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match (peek st).tok with
+    | Lexer.LBRACK ->
+      ignore (next st);
+      let idx = parse_expr st in
+      expect st Lexer.RBRACK;
+      let idx', k = split_const idx in
+      e :=
+        (if k = 0 then Ast.Load (Ast.E8, !e, idx)
+         else Ast.Loadk (Ast.E8, !e, idx', k))
+    | Lexer.DOTBRACK ->
+      ignore (next st);
+      let idx = parse_expr st in
+      expect st Lexer.RBRACK;
+      let idx', k = split_const idx in
+      e :=
+        (if k = 0 then Ast.Load (Ast.E1, !e, idx)
+         else Ast.Loadk (Ast.E1, !e, idx', k))
+    | Lexer.LPAREN ->
+      (* indirect call through the value computed so far *)
+      ignore (next st);
+      let args = parse_args st in
+      e := Ast.Call_ptr (!e, args)
+    | _ -> continue_ := false
+  done;
+  !e
+
+and parse_args st =
+  if (peek st).tok = Lexer.RPAREN then begin
+    ignore (next st);
+    []
+  end
+  else begin
+    let rec go acc =
+      let a = parse_expr st in
+      let t = next st in
+      match t.tok with
+      | Lexer.COMMA -> go (a :: acc)
+      | Lexer.RPAREN -> List.rev (a :: acc)
+      | other ->
+        fail_at t.pos "expected ',' or ')' in argument list, found %s"
+          (Lexer.token_name other)
+    in
+    go []
+  end
+
+and parse_primary st =
+  let t = next st in
+  match t.tok with
+  | Lexer.INT n -> Ast.Int n
+  | Lexer.KINPUT ->
+    expect st Lexer.LPAREN;
+    expect st Lexer.RPAREN;
+    Ast.Input
+  | Lexer.KALLOC ->
+    expect st Lexer.LPAREN;
+    let e = parse_expr st in
+    expect st Lexer.RPAREN;
+    Ast.Alloc (Ast.Bin (Ast.Mul, e, Ast.Int 8))
+  | Lexer.KBALLOC ->
+    expect st Lexer.LPAREN;
+    let e = parse_expr st in
+    expect st Lexer.RPAREN;
+    Ast.Alloc e
+  | Lexer.IDENT f when (peek st).tok = Lexer.LPAREN ->
+    ignore (next st);
+    let args = parse_args st in
+    Ast.Call (f, args)
+  | Lexer.IDENT x -> Ast.Var x
+  | Lexer.LPAREN ->
+    let e = parse_expr st in
+    expect st Lexer.RPAREN;
+    e
+  | other -> fail_at t.pos "expected an expression, found %s"
+               (Lexer.token_name other)
+
+(* --- statements ------------------------------------------------------ *)
+
+let rec parse_block st : Ast.stmt list =
+  expect st Lexer.LBRACE;
+  let rec go acc =
+    if (peek st).tok = Lexer.RBRACE then begin
+      ignore (next st);
+      List.rev acc
+    end
+    else go (parse_stmt st :: acc)
+  in
+  go []
+
+and parse_stmt st : Ast.stmt =
+  let t = peek st in
+  match t.tok with
+  | Lexer.KVAR ->
+    ignore (next st);
+    let x = expect_ident st in
+    expect st Lexer.ASSIGN;
+    let e = parse_expr st in
+    expect st Lexer.SEMI;
+    Ast.Let (x, e)
+  | Lexer.KIF ->
+    ignore (next st);
+    expect st Lexer.LPAREN;
+    let c = parse_expr st in
+    expect st Lexer.RPAREN;
+    let yes = parse_block st in
+    let no =
+      if (peek st).tok = Lexer.KELSE then begin
+        ignore (next st);
+        parse_block st
+      end
+      else []
+    in
+    Ast.If (c, yes, no)
+  | Lexer.KWHILE ->
+    ignore (next st);
+    expect st Lexer.LPAREN;
+    let c = parse_expr st in
+    expect st Lexer.RPAREN;
+    Ast.While (c, parse_block st)
+  | Lexer.KFOR ->
+    (* for (x in lo .. hi) { ... } *)
+    ignore (next st);
+    expect st Lexer.LPAREN;
+    let x = expect_ident st in
+    expect st Lexer.KIN;
+    let lo = parse_expr st in
+    expect st Lexer.DOTDOT;
+    let hi = parse_expr st in
+    expect st Lexer.RPAREN;
+    Ast.For (x, lo, hi, parse_block st)
+  | Lexer.KRETURN ->
+    ignore (next st);
+    let e = parse_expr st in
+    expect st Lexer.SEMI;
+    Ast.Return e
+  | Lexer.KPRINT ->
+    ignore (next st);
+    expect st Lexer.LPAREN;
+    let e = parse_expr st in
+    expect st Lexer.RPAREN;
+    expect st Lexer.SEMI;
+    Ast.Print e
+  | Lexer.KFREE ->
+    ignore (next st);
+    expect st Lexer.LPAREN;
+    let e = parse_expr st in
+    expect st Lexer.RPAREN;
+    expect st Lexer.SEMI;
+    Ast.Free e
+  | _ ->
+    (* expression statement or assignment: parse an expression, then
+       decide by the next token; the left side must be an lvalue *)
+    let e = parse_expr st in
+    let t2 = next st in
+    (match t2.tok with
+     | Lexer.SEMI -> Ast.Expr e
+     | Lexer.ASSIGN ->
+       let rhs = parse_expr st in
+       expect st Lexer.SEMI;
+       (match e with
+        | Ast.Var x -> Ast.Set (x, rhs)
+        | Ast.Load (el, arr, idx) -> Ast.Store (el, arr, idx, rhs)
+        | Ast.Loadk (el, arr, idx, k) -> Ast.Storek (el, arr, idx, k, rhs)
+        | _ -> fail_at t2.pos "left side of '=' is not assignable")
+     | other ->
+       fail_at t2.pos "expected ';' or '=' after expression, found %s"
+         (Lexer.token_name other))
+
+(* --- top level ------------------------------------------------------- *)
+
+let parse_program (src : string) : Ast.program =
+  let st = { toks = Lexer.tokenize src } in
+  let globals = ref [] and funcs = ref [] in
+  let rec go () =
+    match (peek st).tok with
+    | Lexer.EOF -> ()
+    | Lexer.KGLOBAL ->
+      ignore (next st);
+      let name = expect_ident st in
+      expect st Lexer.LBRACK;
+      let t = next st in
+      let elems =
+        match t.tok with
+        | Lexer.INT n -> n
+        | other -> fail_at t.pos "expected array size, found %s"
+                     (Lexer.token_name other)
+      in
+      expect st Lexer.RBRACK;
+      expect st Lexer.SEMI;
+      globals := (name, elems * 8) :: !globals;
+      go ()
+    | Lexer.KFN ->
+      ignore (next st);
+      let name = expect_ident st in
+      expect st Lexer.LPAREN;
+      let params =
+        if (peek st).tok = Lexer.RPAREN then begin
+          ignore (next st);
+          []
+        end
+        else begin
+          let rec go acc =
+            let p = expect_ident st in
+            let t = next st in
+            match t.tok with
+            | Lexer.COMMA -> go (p :: acc)
+            | Lexer.RPAREN -> List.rev (p :: acc)
+            | other ->
+              fail_at t.pos "expected ',' or ')' in parameters, found %s"
+                (Lexer.token_name other)
+          in
+          go []
+        end
+      in
+      let body = parse_block st in
+      funcs := Ast.func ~name ~params body :: !funcs;
+      go ()
+    | other ->
+      fail_at (peek st).pos "expected 'fn' or 'global', found %s"
+        (Lexer.token_name other)
+  in
+  go ();
+  Ast.program ~globals:(List.rev !globals) (List.rev !funcs)
+
+(** Parse and compile source text in one step. *)
+let compile_source ?origin ?data_origin ?externs ?shared (src : string) :
+    Binfmt.Relf.t =
+  Codegen.compile ?origin ?data_origin ?externs ?shared (parse_program src)
+
+let compile_file ?origin ?data_origin ?externs ?shared (path : string) :
+    Binfmt.Relf.t =
+  let ic = open_in_bin path in
+  let src = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  compile_source ?origin ?data_origin ?externs ?shared src

@@ -1,0 +1,1 @@
+lib/profile/allowlist.ml: List Printf String

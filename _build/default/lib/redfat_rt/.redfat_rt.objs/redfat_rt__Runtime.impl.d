@@ -1,0 +1,1 @@
+lib/redfat_rt/runtime.ml: Array Hashtbl List Lowfat Printf Shadow Vm X64

@@ -1,0 +1,1 @@
+lib/redfat_rt/runtime.mli: Hashtbl Lowfat Shadow Vm X64

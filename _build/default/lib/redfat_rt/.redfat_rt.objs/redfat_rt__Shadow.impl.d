@@ -1,0 +1,1 @@
+lib/redfat_rt/shadow.ml: Bytes Char Hashtbl

@@ -1,0 +1,91 @@
+(** ASAN-style shadow memory: the [state_shadow] implementation of the
+    paper's §4.1, kept as an ablation backend against the default
+    metadata-in-redzone design ([state_lowfat]).
+
+    One shadow byte tracks each 8-byte application granule:
+
+      shadow(ptr) = *(SHADOW_MAP + ptr/8)
+
+    Encoding (following AddressSanitizer): [8] = all 8 bytes
+    addressable, [1..7] = only the first k bytes addressable (a
+    partially-used trailing granule), [0] = unaddressable (never
+    allocated / redzone), [0xfd] = freed memory.
+
+    The point of the comparison (and the reason RedFat does not use
+    this): the shadow map is a second large memory structure whose
+    upkeep duplicates the object-tracking the low-fat allocator already
+    does, whereas storing state/size inside the redzone reuses the
+    [base(ptr)] computation that the (LowFat) check needs anyway. *)
+
+let granule = 8
+let freed = 0xfd
+
+type t = {
+  pages : (int, Bytes.t) Hashtbl.t; (* shadow page = 4 KiB of app/8 *)
+  mutable shadow_bytes : int;       (** distinct shadow bytes touched *)
+}
+
+let create () = { pages = Hashtbl.create 256; shadow_bytes = 0 }
+
+let page_bits = 12
+let page_size = 1 lsl page_bits
+
+let shadow_byte t ~sindex =
+  match Hashtbl.find_opt t.pages (sindex lsr page_bits) with
+  | Some p -> Char.code (Bytes.get p (sindex land (page_size - 1)))
+  | None -> 0
+
+let set_shadow_byte t ~sindex v =
+  let page =
+    match Hashtbl.find_opt t.pages (sindex lsr page_bits) with
+    | Some p -> p
+    | None ->
+      let p = Bytes.make page_size '\000' in
+      Hashtbl.add t.pages (sindex lsr page_bits) p;
+      p
+  in
+  Bytes.set page (sindex land (page_size - 1)) (Char.chr v);
+  t.shadow_bytes <- t.shadow_bytes + 1
+
+(** Mark [addr, addr+len) addressable ([addr] must be 8-aligned, as
+    low-fat objects are). *)
+let mark_allocated t ~addr ~len =
+  let full = len / granule in
+  for k = 0 to full - 1 do
+    set_shadow_byte t ~sindex:((addr / granule) + k) granule
+  done;
+  let rest = len mod granule in
+  if rest > 0 then set_shadow_byte t ~sindex:((addr / granule) + full) rest
+
+let mark_freed t ~addr ~len =
+  let granules = (len + granule - 1) / granule in
+  for k = 0 to granules - 1 do
+    set_shadow_byte t ~sindex:((addr / granule) + k) freed
+  done
+
+(** The §4.1 state lookup for a single byte address. *)
+type state = Allocated | Redzone | Free
+
+let state t ptr =
+  let s = shadow_byte t ~sindex:(ptr / granule) in
+  if s = freed then Free
+  else if s >= 1 && s <= granule && ptr mod granule < s then Allocated
+  else Redzone
+
+(** Check that [lb, ub) is entirely addressable; returns the first bad
+    state encountered, plus the micro-op cost of the scan (address
+    shift + shadow load + compare per granule, as in ASAN's fast
+    path). *)
+let check_range t ~lb ~ub : state option * int =
+  let cost = ref 2 (* SHADOW_MAP offset computation *) in
+  let bad = ref None in
+  let p = ref lb in
+  while !bad = None && !p < ub do
+    cost := !cost + 3;
+    (match state t !p with
+     | Allocated -> ()
+     | s -> bad := Some s);
+    (* advance to the next granule boundary *)
+    p := ((!p / granule) + 1) * granule
+  done;
+  (!bad, !cost)

@@ -1,0 +1,1 @@
+lib/rewriter/analysis.ml: Array Cfg List Lowfat X64

@@ -1,0 +1,1 @@
+lib/rewriter/analysis.mli: Cfg X64

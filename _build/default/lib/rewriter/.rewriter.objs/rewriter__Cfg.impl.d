@@ -1,0 +1,1 @@
+lib/rewriter/cfg.ml: Array Hashtbl X64

@@ -1,0 +1,1 @@
+lib/rewriter/cfg.mli: Hashtbl X64

@@ -1,0 +1,1 @@
+lib/rewriter/generic.ml: Array Binfmt Buffer Bytes Cfg Char Hashtbl List Lowfat Printf String X64

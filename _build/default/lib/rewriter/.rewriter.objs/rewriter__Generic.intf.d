@@ -1,0 +1,1 @@
+lib/rewriter/generic.mli: Binfmt X64

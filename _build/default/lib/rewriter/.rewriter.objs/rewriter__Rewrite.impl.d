@@ -1,0 +1,1 @@
+lib/rewriter/rewrite.ml: Analysis Array Binfmt Buffer Bytes Cfg Char Format Hashtbl List Lowfat Printf String X64

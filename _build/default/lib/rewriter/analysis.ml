@@ -1,0 +1,70 @@
+(** Local static analyses feeding the rewriter's optimizations.
+
+    - {!eliminable}: the check-elimination rule (paper §6) — memory
+      operands that provably cannot reach the low-fat heap.
+    - {!clobbers}: the trampoline-specialization analysis ("additional
+      low-level optimizations", §6) — how many scratch registers and
+      whether %eflags must be preserved around the instrumentation,
+      determined by a forward clobber scan within the basic block. *)
+
+(** The trampoline code needs this many scratch registers when none are
+    statically known to be dead at the instrumentation point. *)
+let scratch_needed = 3
+
+(** A memory operand that can never point into the low-fat heap does
+    not need a check: no index register, and either no base register
+    (the displacement is a ±2 GiB absolute, always ≥ 2 GiB away from
+    the heap in the standard layout) or the base is the stack pointer
+    (the stack lives ≥ 2 GiB from the heap). *)
+let eliminable (m : X64.Isa.mem) ~(len : int) : bool =
+  match m.idx with
+  | Some _ -> false
+  | None ->
+    (match m.base with
+     | None ->
+       Lowfat.Layout.addr_range_clear_of_heap ~lo:m.disp ~hi:(m.disp + len)
+     | Some r -> r = X64.Isa.rsp)
+
+(** Result of the clobber scan at an instrumentation point. *)
+type spec = { nsaves : int; save_flags : bool }
+
+let conservative = { nsaves = scratch_needed; save_flags = true }
+
+(* Scan forward from instruction [start] (inclusive: the displaced
+   instruction itself still runs after the check) through the basic
+   block, up to [limit] instructions, computing which registers are
+   written before being read (dead at the point) and whether the flags
+   are written before being read. *)
+let clobbers (cfg : Cfg.t) ~(start : int) ~(limit : int) : spec =
+  let read = Array.make X64.Isa.num_regs false in
+  let dead = Array.make X64.Isa.num_regs false in
+  let flags_dead = ref None in
+  let stop = ref false in
+  let i = ref start in
+  let n = Cfg.num_instrs cfg in
+  let steps = ref 0 in
+  while (not !stop) && !i < n && !steps < limit do
+    let addr, instr, _len = cfg.instrs.(!i) in
+    if !i > start && Cfg.is_leader cfg addr then stop := true
+    else begin
+      List.iter (fun r -> if not dead.(r) then read.(r) <- true)
+        (X64.Isa.uses instr);
+      List.iter (fun r -> if not read.(r) then dead.(r) <- true)
+        (X64.Isa.defs instr);
+      if !flags_dead = None then begin
+        if X64.Isa.reads_flags instr then flags_dead := Some false
+        else if X64.Isa.writes_flags instr then flags_dead := Some true
+      end;
+      (match X64.Isa.flow_of instr with
+       | Fall -> ()
+       | Branch _ | Goto _ | To_call _ | Dyn_call | Dyn_goto | Stop ->
+         stop := true);
+      incr i;
+      incr steps
+    end
+  done;
+  let ndead = Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 dead in
+  {
+    nsaves = max 0 (scratch_needed - ndead);
+    save_flags = (match !flags_dead with Some true -> false | _ -> true);
+  }

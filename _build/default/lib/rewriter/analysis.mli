@@ -1,0 +1,19 @@
+(** Local static analyses feeding the rewriter's optimizations. *)
+
+val scratch_needed : int
+(** Scratch registers the trampoline needs when none are provably dead. *)
+
+val eliminable : X64.Isa.mem -> len:int -> bool
+(** The check-elimination rule (paper §6): no index register, and
+    either no base (an absolute ≥ 2 GiB from the heap) or an
+    rsp base (the stack is ≥ 2 GiB from the heap). *)
+
+(** Result of the clobber scan at an instrumentation point. *)
+type spec = { nsaves : int; save_flags : bool }
+
+val conservative : spec
+
+val clobbers : Cfg.t -> start:int -> limit:int -> spec
+(** Forward scan from instruction index [start] through its basic
+    block (at most [limit] instructions): registers written before
+    read are dead at the point and need no save; likewise the flags. *)

@@ -1,0 +1,63 @@
+(** Over-approximate control-flow recovery (paper §6).
+
+    Precise CFG recovery from stripped binaries is undecidable; the
+    batching optimization only needs an *over-approximation* of jump
+    targets — a spurious leader merely splits a batch in two (smaller
+    batches, same correctness), while a missed leader could move a
+    check onto a path that never executes it.  We therefore err on the
+    side of more leaders: every direct branch/call target, every
+    fall-through edge of a branch, call or return, and conservatively
+    the instruction after any indirect transfer. *)
+
+type t = {
+  text_addr : int;
+  instrs : (int * X64.Isa.instr * int) array; (* addr, instr, length *)
+  index_of : (int, int) Hashtbl.t;            (* addr -> instrs index *)
+  leaders : (int, unit) Hashtbl.t;            (* BB start addresses *)
+}
+
+let recover ~(text_addr : int) (code : string) : t =
+  let instrs = Array.of_list (X64.Disasm.sweep ~addr:text_addr code) in
+  let index_of = Hashtbl.create (Array.length instrs) in
+  Array.iteri (fun i (a, _, _) -> Hashtbl.replace index_of a i) instrs;
+  let leaders = Hashtbl.create 256 in
+  let mark a = if Hashtbl.mem index_of a then Hashtbl.replace leaders a () in
+  mark text_addr;
+  (* code-pointer constant scanning: an immediate that is a valid
+     instruction address is a potential indirect-branch target (taken
+     function addresses), so it must never be displaced or batched
+     across.  This is the standard conservative heuristic of static
+     rewriters for stripped binaries. *)
+  Array.iter
+    (fun (_, i, _) ->
+      match i with
+      | X64.Isa.Mov_ri (_, v) when Hashtbl.mem index_of v -> mark v
+      | _ -> ())
+    instrs;
+  Array.iter
+    (fun (a, i, len) ->
+      match X64.Isa.flow_of i with
+      | Fall -> ()
+      | Goto t -> mark t
+      | Branch t ->
+        mark t;
+        mark (a + len)
+      | To_call t ->
+        mark t;
+        mark (a + len)
+      (* indirect transfers: the target is statically unknown; the
+         return fall-through is a leader, and potential dynamic targets
+         are recovered below by code-pointer constant scanning *)
+      | Dyn_call -> mark (a + len)
+      | Dyn_goto -> mark (a + len)
+      | Stop -> mark (a + len))
+    instrs;
+  { text_addr; instrs; index_of; leaders }
+
+let is_leader t addr = Hashtbl.mem t.leaders addr
+
+let num_instrs t = Array.length t.instrs
+
+(** Index of the instruction at [addr], if [addr] is a decode-aligned
+    instruction start. *)
+let index_at t addr = Hashtbl.find_opt t.index_of addr

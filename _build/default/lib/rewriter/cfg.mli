@@ -1,0 +1,23 @@
+(** Over-approximate control-flow recovery (paper §6).
+
+    A spurious leader merely splits a batch (smaller batches, same
+    correctness); missed leaders would be unsound, so recovery errs on
+    the side of more: direct branch/call targets, fall-throughs of
+    branches/calls/returns/indirect transfers, and every code-pointer
+    constant found in the instruction stream (potential indirect
+    targets). *)
+
+type t = {
+  text_addr : int;
+  instrs : (int * X64.Isa.instr * int) array;  (** addr, instr, length *)
+  index_of : (int, int) Hashtbl.t;
+  leaders : (int, unit) Hashtbl.t;
+}
+
+val recover : text_addr:int -> string -> t
+
+val is_leader : t -> int -> bool
+val num_instrs : t -> int
+
+val index_at : t -> int -> int option
+(** Index of the instruction starting at an address, if decode-aligned. *)

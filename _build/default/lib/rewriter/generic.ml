@@ -1,0 +1,162 @@
+(** Generic trampoline instrumentation: the E9Tool layer.
+
+    RedFat is one client of E9Patch; E9Tool exposes the same patching
+    machinery for arbitrary payloads (instruction counting, AFL-style
+    coverage tracking, call tracing, ...).  This module is that layer
+    for x64l: a caller-supplied selector picks instructions and assigns
+    payload ids; each selected instruction is patched to a trampoline
+    that executes a [Probe id] pseudo-op (delivered to the VM's
+    [on_probe] hook) before the displaced instruction.
+
+    The patch tactics are the same as the hardening rewriter's:
+    [jmp rel32] with NOP padding, successor eviction for short
+    instructions, 1-byte trap fallback. *)
+
+type site = {
+  s_addr : int;
+  s_index : int;
+  s_instr : X64.Isa.instr;
+  s_leader : bool;  (** starts a recovered basic block *)
+}
+
+type t = {
+  binary : Binfmt.Relf.t;
+  traps : (int * int) list;
+  probes : int;         (** instrumentation points inserted *)
+  jump_patches : int;
+  evictions : int;
+  trap_patches : int;
+}
+
+let jmp_len = 5
+
+(** [instrument ?tramp_base ~select binary]: patch every instruction
+    for which [select] returns a payload id. *)
+let instrument ?(tramp_base = Lowfat.Layout.trampoline_base)
+    ~(select : site -> int option) (binary : Binfmt.Relf.t) : t =
+  let text = Binfmt.Relf.text_exn binary in
+  let cfg = Cfg.recover ~text_addr:text.addr text.bytes in
+  let n = Cfg.num_instrs cfg in
+  let chosen = ref [] in
+  for i = n - 1 downto 0 do
+    let addr, instr, _ = cfg.instrs.(i) in
+    let site =
+      { s_addr = addr; s_index = i; s_instr = instr;
+        s_leader = Cfg.is_leader cfg addr }
+    in
+    match select site with
+    | Some id -> chosen := (i, id) :: !chosen
+    | None -> ()
+  done;
+  let patch_starts = Hashtbl.create 64 in
+  List.iter (fun (i, _) -> Hashtbl.replace patch_starts i ()) !chosen;
+  let text_bytes = Bytes.of_string text.bytes in
+  let tramp = Buffer.create 1024 in
+  let traps = ref [] in
+  let jump_patches = ref 0 and evictions = ref 0 and trap_patches = ref 0 in
+  let patch_byte addr b = Bytes.set text_bytes (addr - text.addr) (Char.chr b) in
+  let patch_string addr s =
+    Bytes.blit_string s 0 text_bytes (addr - text.addr) (String.length s)
+  in
+  List.iter
+    (fun (i, id) ->
+      let a0, _, l0 = cfg.instrs.(i) in
+      let displaced = ref [ i ] and span = ref l0 in
+      let tactic =
+        if l0 >= jmp_len then `Jump
+        else begin
+          let ok = ref true and k = ref (i + 1) in
+          while !span < jmp_len && !ok do
+            if !k >= n then ok := false
+            else begin
+              let ak, ik, lk = cfg.instrs.(!k) in
+              if
+                Cfg.is_leader cfg ak
+                || Hashtbl.mem patch_starts !k
+                || X64.Isa.flow_of ik <> X64.Isa.Fall
+              then ok := false
+              else begin
+                displaced := !k :: !displaced;
+                span := !span + lk;
+                incr k
+              end
+            end
+          done;
+          if !span >= jmp_len && !ok then `Jump else `Trap
+        end
+      in
+      (match tactic with
+       | `Trap ->
+         displaced := [ i ];
+         span := l0
+       | `Jump -> ());
+      let displaced = List.rev !displaced in
+      if List.length displaced > 1 then
+        evictions := !evictions + List.length displaced - 1;
+      let tramp_addr = tramp_base + Buffer.length tramp in
+      X64.Encode.encode_at tramp
+        (tramp_base + Buffer.length tramp)
+        (X64.Isa.Probe id);
+      List.iter
+        (fun k ->
+          let _, ik, _ = cfg.instrs.(k) in
+          X64.Encode.encode_at tramp (tramp_base + Buffer.length tramp) ik)
+        displaced;
+      X64.Encode.encode_at tramp
+        (tramp_base + Buffer.length tramp)
+        (X64.Isa.Jmp (a0 + !span));
+      match tactic with
+      | `Jump ->
+        incr jump_patches;
+        patch_string a0 (X64.Encode.encode_seq ~addr:a0 [ X64.Isa.Jmp tramp_addr ]);
+        for off = jmp_len to !span - 1 do
+          patch_byte (a0 + off) X64.Encode.op_nop
+        done
+      | `Trap ->
+        incr trap_patches;
+        patch_byte a0 X64.Encode.op_trap;
+        traps := (a0, tramp_addr) :: !traps)
+    !chosen;
+  let traps = List.rev !traps in
+  let traptab =
+    String.concat ""
+      (List.map (fun (a, t) -> Printf.sprintf "%x %x\n" a t) traps)
+  in
+  let sections =
+    List.map
+      (fun (s : Binfmt.Relf.section) ->
+        if s.name = ".text" then { s with bytes = Bytes.to_string text_bytes }
+        else s)
+      binary.sections
+    @ [ Binfmt.Relf.section ~executable:true ~name:".e9tool" ~addr:tramp_base
+          (Buffer.contents tramp) ]
+    @
+    if traptab = "" then []
+    else [ Binfmt.Relf.section ~name:".traptab" ~addr:0 traptab ]
+  in
+  {
+    binary = { binary with sections };
+    traps;
+    probes = List.length !chosen;
+    jump_patches = !jump_patches;
+    evictions = !evictions;
+    trap_patches = !trap_patches;
+  }
+
+(** Instrument every recovered basic-block leader (coverage tracking).
+    Payload ids are assigned densely in address order; returns the
+    result and the id count. *)
+let instrument_blocks ?tramp_base (binary : Binfmt.Relf.t) : t * int =
+  let counter = ref 0 in
+  let r =
+    instrument ?tramp_base
+      ~select:(fun s ->
+        if s.s_leader then begin
+          let id = !counter in
+          incr counter;
+          Some id
+        end
+        else None)
+      binary
+  in
+  (r, !counter)

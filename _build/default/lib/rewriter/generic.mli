@@ -1,0 +1,28 @@
+(** Generic trampoline instrumentation: the E9Tool layer.  A selector
+    picks instructions and assigns payload ids; each is patched to a
+    trampoline executing [Probe id] (delivered to the VM's [on_probe]
+    hook) before the displaced instruction, using the same patch
+    tactics as the hardening rewriter. *)
+
+type site = {
+  s_addr : int;
+  s_index : int;
+  s_instr : X64.Isa.instr;
+  s_leader : bool;  (** starts a recovered basic block *)
+}
+
+type t = {
+  binary : Binfmt.Relf.t;
+  traps : (int * int) list;
+  probes : int;
+  jump_patches : int;
+  evictions : int;
+  trap_patches : int;
+}
+
+val instrument :
+  ?tramp_base:int -> select:(site -> int option) -> Binfmt.Relf.t -> t
+
+val instrument_blocks : ?tramp_base:int -> Binfmt.Relf.t -> t * int
+(** Probe every recovered basic-block leader (coverage tracking);
+    returns the result and the number of blocks. *)

@@ -1,0 +1,436 @@
+(** The RedFat static binary rewriter (paper §3-§6), built on
+    E9Patch-style trampoline patching:
+
+    - every instrumentable memory operand gets a check, placed in a
+      trampoline in an otherwise-unused code area within rel32 reach;
+    - the patched instruction is replaced by a 5-byte [jmp rel32]; when
+      the instruction is shorter, successor *eviction* displaces the
+      following instructions into the trampoline too, and when that is
+      impossible a 1-byte trap patch with a trap-table entry is the
+      fallback (slow but always applicable);
+    - optimizations: check {e elimination} (operands that cannot reach
+      the heap), check {e batching} (one trampoline guards a run of
+      accesses within a basic block), check {e merging} (one check
+      covers several accesses differing only in displacement), and
+      scratch/flags save specialization. *)
+
+type options = {
+  elim : bool;
+  batch : bool;
+  merge : bool;
+  scratch_opt : bool;
+  instrument_reads : bool;
+  instrument_writes : bool;
+  allowlist : int list option;
+      (** [None]: every site gets the Full (Redzone+LowFat) check.
+          [Some sites]: Full only for listed sites, Redzone otherwise
+          (the production phase of the paper §5 workflow). *)
+  profiling : bool;
+      (** profiling build: per-site checks (no merging), all Full *)
+}
+
+let unoptimized =
+  { elim = false; batch = false; merge = false; scratch_opt = false;
+    instrument_reads = true; instrument_writes = true; allowlist = None;
+    profiling = false }
+
+let with_elim = { unoptimized with elim = true }
+let with_batch = { with_elim with batch = true }
+
+(** All optimizations of Table 1's "+merge" column (which also enables
+    the low-level trampoline specialization). *)
+let optimized = { with_batch with merge = true; scratch_opt = true }
+
+let production ~allowlist = { optimized with allowlist = Some allowlist }
+
+let profiling_build =
+  { optimized with merge = false; profiling = true; allowlist = None }
+
+type stats = {
+  instrs_total : int;
+  mem_ops : int;            (** instructions with an explicit operand *)
+  eliminated : int;
+  instrumented : int;       (** sites actually guarded *)
+  full_sites : int;
+  redzone_sites : int;
+  trampolines : int;
+  checks_emitted : int;     (** post-merging check count *)
+  jump_patches : int;
+  evictions : int;          (** successor instructions displaced *)
+  trap_patches : int;
+  text_bytes : int;
+  tramp_bytes : int;
+}
+
+type t = {
+  binary : Binfmt.Relf.t;
+  traps : (int * int) list;  (** patch address -> trampoline address *)
+  stats : stats;
+}
+
+type member = {
+  mi : int;                   (* instruction index *)
+  addr : int;
+  m : X64.Isa.mem;
+  bytes : int;                (* access size *)
+  write : bool;
+}
+
+(* --- batching ------------------------------------------------------- *)
+
+(* Group members into batches: members guarded by one trampoline placed
+   at the first member.  Validity (paper §6): same basic block, no
+   intervening control flow or runtime call, and no intervening
+   instruction redefines a register the member's operand uses (the
+   "reorder to position I1" property). *)
+let make_batches (cfg : Cfg.t) (opts : options) (members : member list) :
+    member list list =
+  if not opts.batch then List.map (fun m -> [ m ]) members
+  else begin
+    let batches = ref [] and current = ref [] in
+    let defined = Array.make X64.Isa.num_regs false in
+    let scanned = ref 0 (* next instr index to scan *) in
+    let flush () =
+      if !current <> [] then begin
+        batches := List.rev !current :: !batches;
+        current := []
+      end
+    in
+    let start_fresh (m : member) =
+      flush ();
+      current := [ m ];
+      Array.fill defined 0 X64.Isa.num_regs false;
+      (* the first member's own defs matter for later members *)
+      let _, i0, _ = cfg.instrs.(m.mi) in
+      List.iter (fun r -> defined.(r) <- true) (X64.Isa.defs i0);
+      scanned := m.mi + 1
+    in
+    let try_extend (m : member) =
+      (* scan (last scanned, m.mi) for barriers and defs *)
+      let ok = ref true in
+      let k = ref !scanned in
+      while !ok && !k < m.mi do
+        let addr, i, _ = cfg.instrs.(!k) in
+        if Cfg.is_leader cfg addr then ok := false
+        else begin
+          (match X64.Isa.flow_of i with
+           | Fall -> ()
+           | _ -> ok := false);
+          (match i with X64.Isa.Callrt _ -> ok := false | _ -> ());
+          List.iter (fun r -> defined.(r) <- true) (X64.Isa.defs i);
+          incr k
+        end
+      done;
+      (* the member's own address must not start a new basic block *)
+      if Cfg.is_leader cfg m.addr then ok := false;
+      if !ok then begin
+        let operand_ok =
+          List.for_all (fun r -> not defined.(r)) (X64.Isa.mem_uses m.m)
+        in
+        if operand_ok then begin
+          current := m :: !current;
+          let _, im, _ = cfg.instrs.(m.mi) in
+          List.iter (fun r -> defined.(r) <- true) (X64.Isa.defs im);
+          scanned := m.mi + 1;
+          true
+        end
+        else false
+      end
+      else false
+    in
+    List.iter
+      (fun m ->
+        match !current with
+        | [] -> start_fresh m
+        | _ -> if not (try_extend m) then start_fresh m)
+      members;
+    flush ();
+    List.rev !batches
+  end
+
+(* --- merging -------------------------------------------------------- *)
+
+type group = {
+  g_variant : X64.Isa.variant;
+  g_mem : X64.Isa.mem;
+  g_lo : int;
+  g_hi : int;
+  g_write : bool;
+  g_site : int;
+}
+
+let operand_key (m : X64.Isa.mem) = (m.seg, m.base, m.idx, m.scale)
+
+(* Merge checks for operands sharing (variant, seg, base, idx, scale):
+   the covered range becomes [min disp, max disp+len) (paper §6,
+   Figure 7). *)
+let make_groups (opts : options) ~(variant_of : member -> X64.Isa.variant)
+    (batch : member list) : group list =
+  let singleton m =
+    {
+      g_variant = variant_of m;
+      g_mem = m.m;
+      g_lo = m.m.disp;
+      g_hi = m.m.disp + m.bytes;
+      g_write = m.write;
+      g_site = m.addr;
+    }
+  in
+  if not opts.merge then List.map singleton batch
+  else begin
+    let table = Hashtbl.create 8 and order = ref [] in
+    List.iter
+      (fun m ->
+        let key = (variant_of m, operand_key m.m) in
+        match Hashtbl.find_opt table key with
+        | None ->
+          Hashtbl.add table key (ref (singleton m));
+          order := key :: !order
+        | Some g ->
+          g :=
+            { !g with
+              g_lo = min !g.g_lo m.m.disp;
+              g_hi = max !g.g_hi (m.m.disp + m.bytes);
+              g_write = !g.g_write || m.write })
+      batch;
+    List.rev_map (fun key -> !(Hashtbl.find table key)) !order
+  end
+
+(* --- the rewriting driver ------------------------------------------- *)
+
+let jmp_len = 5
+
+(** [rewrite ?tramp_base opts binary]: instrument [binary].
+    [tramp_base] places the trampoline section (distinct modules of one
+    process need distinct trampoline areas, still within rel32 reach of
+    their text). *)
+let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) (opts : options)
+    (binary : Binfmt.Relf.t) : t =
+  let text = Binfmt.Relf.text_exn binary in
+  let cfg = Cfg.recover ~text_addr:text.addr text.bytes in
+  let n = Cfg.num_instrs cfg in
+  (* 1. collect instrumentable members *)
+  let mem_ops = ref 0 and eliminated = ref 0 in
+  let members = ref [] in
+  for i = 0 to n - 1 do
+    let addr, instr, _len = cfg.instrs.(i) in
+    match X64.Isa.mem_operand instr with
+    | None -> ()
+    | Some (m, w, write) ->
+      incr mem_ops;
+      let wanted =
+        if write then opts.instrument_writes else opts.instrument_reads
+      in
+      if wanted then begin
+        let bytes = X64.Isa.width_bytes w in
+        if opts.elim && Analysis.eliminable m ~len:bytes then incr eliminated
+        else members := { mi = i; addr; m; bytes; write } :: !members
+      end
+  done;
+  let members = List.rev !members in
+  let allow =
+    match opts.allowlist with
+    | None -> None
+    | Some sites ->
+      let h = Hashtbl.create (List.length sites) in
+      List.iter (fun s -> Hashtbl.replace h s ()) sites;
+      Some h
+  in
+  let variant_of (m : member) : X64.Isa.variant =
+    if opts.profiling then X64.Isa.Full
+    else
+      match allow with
+      | None -> X64.Isa.Full
+      | Some h -> if Hashtbl.mem h m.addr then X64.Isa.Full else X64.Isa.Redzone
+  in
+  let batches = make_batches cfg opts members in
+  let patch_starts = Hashtbl.create 64 in
+  List.iter
+    (function
+      | [] -> ()
+      | first :: _ -> Hashtbl.replace patch_starts first.mi ())
+    batches;
+  (* 2. build trampolines and patches *)
+  let text_bytes = Bytes.of_string text.bytes in
+  let tramp = Buffer.create 4096 in
+  let traps = ref [] in
+  let full_sites = ref 0 and redzone_sites = ref 0 in
+  let checks_emitted = ref 0 and jump_patches = ref 0 in
+  let trap_patches = ref 0 and evictions = ref 0 in
+  let patch_byte addr b =
+    Bytes.set text_bytes (addr - text.addr) (Char.chr b)
+  in
+  let patch_string addr s =
+    Bytes.blit_string s 0 text_bytes (addr - text.addr) (String.length s)
+  in
+  let do_batch (batch : member list) =
+    match batch with
+    | [] -> ()
+    | first :: _ ->
+      List.iter
+        (fun m ->
+          match variant_of m with
+          | X64.Isa.Full -> incr full_sites
+          | X64.Isa.Redzone -> incr redzone_sites)
+        batch;
+      (* plan the patch tactic at the first member *)
+      let a0, _i0, l0 = cfg.instrs.(first.mi) in
+      let displaced = ref [ first.mi ] and span = ref l0 in
+      let tactic =
+        if l0 >= jmp_len then `Jump
+        else begin
+          (* successor eviction (E9Patch tactic T3) *)
+          let ok = ref true and k = ref (first.mi + 1) in
+          while !span < jmp_len && !ok do
+            if !k >= n then ok := false
+            else begin
+              let ak, ik, lk = cfg.instrs.(!k) in
+              if
+                Cfg.is_leader cfg ak
+                || Hashtbl.mem patch_starts !k
+                || X64.Isa.flow_of ik <> X64.Isa.Fall
+              then ok := false
+              else begin
+                displaced := !k :: !displaced;
+                span := !span + lk;
+                incr k
+              end
+            end
+          done;
+          if !span >= jmp_len && !ok then `Evict else `Trap
+        end
+      in
+      let tactic = if tactic = `Evict then `Jump else tactic in
+      (match tactic with
+       | `Trap ->
+         displaced := [ first.mi ];
+         span := l0
+       | `Jump | `Evict -> ());
+      let displaced = List.rev !displaced in
+      if List.length displaced > 1 then
+        evictions := !evictions + List.length displaced - 1;
+      (* emit the trampoline *)
+      let tramp_addr = tramp_base + Buffer.length tramp in
+      let spec =
+        if opts.scratch_opt then Analysis.clobbers cfg ~start:first.mi ~limit:24
+        else Analysis.conservative
+      in
+      let groups = make_groups opts ~variant_of batch in
+      List.iteri
+        (fun gi (g : group) ->
+          incr checks_emitted;
+          let ck =
+            {
+              X64.Isa.ck_variant = g.g_variant;
+              ck_mem = { g.g_mem with disp = 0 };
+              ck_lo = g.g_lo;
+              ck_hi = g.g_hi;
+              ck_write = g.g_write;
+              ck_site = g.g_site;
+              ck_nsaves = (if gi = 0 then spec.nsaves else 0);
+              ck_save_flags = (if gi = 0 then spec.save_flags else false);
+            }
+          in
+          X64.Encode.encode_at tramp
+            (tramp_base + Buffer.length tramp)
+            (X64.Isa.Check ck))
+        groups;
+      List.iter
+        (fun k ->
+          let _, ik, _ = cfg.instrs.(k) in
+          X64.Encode.encode_at tramp (tramp_base + Buffer.length tramp) ik)
+        displaced;
+      let back = a0 + !span in
+      X64.Encode.encode_at tramp
+        (tramp_base + Buffer.length tramp)
+        (X64.Isa.Jmp back);
+      (* apply the text patch *)
+      (match tactic with
+       | `Jump ->
+         incr jump_patches;
+         let patch = X64.Encode.encode_seq ~addr:a0 [ X64.Isa.Jmp tramp_addr ] in
+         patch_string a0 patch;
+         for off = jmp_len to !span - 1 do
+           patch_byte (a0 + off) X64.Encode.op_nop
+         done
+       | `Trap ->
+         incr trap_patches;
+         patch_byte a0 X64.Encode.op_trap;
+         traps := (a0, tramp_addr) :: !traps
+       | `Evict -> assert false)
+  in
+  List.iter do_batch batches;
+  let tramp_bytes = Buffer.contents tramp in
+  let traps = List.rev !traps in
+  (* the trap table ships inside the binary (like E9Patch's loader
+     metadata), so a hardened RELF file is self-contained *)
+  let traptab =
+    String.concat ""
+      (List.map (fun (a, t) -> Printf.sprintf "%x %x\n" a t) traps)
+  in
+  let sections =
+    List.map
+      (fun (s : Binfmt.Relf.section) ->
+        if s.name = ".text" then { s with bytes = Bytes.to_string text_bytes }
+        else s)
+      binary.sections
+    @ [
+        Binfmt.Relf.section ~executable:true ~name:".redfat"
+          ~addr:tramp_base tramp_bytes;
+      ]
+    @
+    if traptab = "" then []
+    else [ Binfmt.Relf.section ~name:".traptab" ~addr:0 traptab ]
+  in
+  let stats =
+    {
+      instrs_total = n;
+      mem_ops = !mem_ops;
+      eliminated = !eliminated;
+      instrumented = List.length members;
+      full_sites = !full_sites;
+      redzone_sites = !redzone_sites;
+      trampolines = List.length batches;
+      checks_emitted = !checks_emitted;
+      jump_patches = !jump_patches;
+      evictions = !evictions;
+      trap_patches = !trap_patches;
+      text_bytes = String.length text.bytes;
+      tramp_bytes = String.length tramp_bytes;
+    }
+  in
+  { binary = { binary with sections }; traps; stats }
+
+(** Recover the trap table from a hardened binary's [.traptab] section. *)
+let traps_of_binary (b : Binfmt.Relf.t) : (int * int) list =
+  match Binfmt.Relf.find_section b ".traptab" with
+  | None -> []
+  | Some s ->
+    String.split_on_char '\n' s.bytes
+    |> List.filter_map (fun line ->
+           match String.split_on_char ' ' line with
+           | [ a; t ] ->
+             (try Some (int_of_string ("0x" ^ a), int_of_string ("0x" ^ t))
+              with _ -> None)
+           | _ -> None)
+
+(** A binary is considered hardened if it carries a [.redfat] section. *)
+let is_hardened (b : Binfmt.Relf.t) =
+  Binfmt.Relf.find_section b ".redfat" <> None
+
+let pp_stats fmt (s : stats) =
+  Format.fprintf fmt
+    "@[<v>instructions:      %d@,\
+     memory operands:   %d@,\
+     eliminated:        %d@,\
+     instrumented:      %d (full %d / redzone %d)@,\
+     trampolines:       %d@,\
+     checks emitted:    %d@,\
+     jump patches:      %d@,\
+     evictions:         %d@,\
+     trap patches:      %d@,\
+     text bytes:        %d@,\
+     trampoline bytes:  %d@]"
+    s.instrs_total s.mem_ops s.eliminated s.instrumented s.full_sites
+    s.redzone_sites s.trampolines s.checks_emitted s.jump_patches s.evictions
+    s.trap_patches s.text_bytes s.tramp_bytes

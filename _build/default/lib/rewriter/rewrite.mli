@@ -1,0 +1,65 @@
+(** The RedFat static binary rewriter (paper §3-§6): E9Patch-style
+    trampoline patching with the check elimination, batching and
+    merging optimizations. *)
+
+type options = {
+  elim : bool;              (** check elimination (§6) *)
+  batch : bool;             (** check batching (§6) *)
+  merge : bool;             (** check merging (§6) *)
+  scratch_opt : bool;       (** trampoline save specialization (§6) *)
+  instrument_reads : bool;
+  instrument_writes : bool;
+  allowlist : int list option;
+      (** [None]: every site gets the Full check.  [Some sites]: Full
+          only for listed sites, Redzone otherwise (production phase of
+          the §5 workflow). *)
+  profiling : bool;
+      (** profiling build: per-site checks (no merging), all Full *)
+}
+
+val unoptimized : options
+(** Table 1's "unoptimized" column. *)
+
+val with_elim : options
+val with_batch : options
+
+val optimized : options
+(** Table 1's "+merge" column: all optimizations. *)
+
+val production : allowlist:int list -> options
+val profiling_build : options
+
+type stats = {
+  instrs_total : int;
+  mem_ops : int;
+  eliminated : int;
+  instrumented : int;
+  full_sites : int;
+  redzone_sites : int;
+  trampolines : int;
+  checks_emitted : int;
+  jump_patches : int;
+  evictions : int;
+  trap_patches : int;
+  text_bytes : int;
+  tramp_bytes : int;
+}
+
+type t = {
+  binary : Binfmt.Relf.t;    (** the hardened binary (self-contained) *)
+  traps : (int * int) list;  (** patch address -> trampoline address *)
+  stats : stats;
+}
+
+val rewrite : ?tramp_base:int -> options -> Binfmt.Relf.t -> t
+(** Instrument a binary.  [tramp_base] places the trampoline section
+    (distinct modules of one process need distinct areas, each within
+    rel32 reach of its text). *)
+
+val traps_of_binary : Binfmt.Relf.t -> (int * int) list
+(** Recover the trap table from a hardened binary's [.traptab]
+    section (hardened binaries are self-contained on disk). *)
+
+val is_hardened : Binfmt.Relf.t -> bool
+
+val pp_stats : Format.formatter -> stats -> unit

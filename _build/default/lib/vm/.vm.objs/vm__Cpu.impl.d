@@ -1,0 +1,1 @@
+lib/vm/cpu.ml: Array Hashtbl Int List Mem X64

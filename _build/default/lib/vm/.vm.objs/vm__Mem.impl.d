@@ -1,0 +1,1 @@
+lib/vm/mem.ml: Buffer Bytes Char Hashtbl String

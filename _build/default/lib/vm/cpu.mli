@@ -1,0 +1,72 @@
+(** The x64l interpreter with a deterministic cycle cost model.
+
+    Overheads in every experiment are ratios of the [cycles] counter
+    between runs; the model charges every piece of work the
+    instrumentation introduces (trampoline jumps, check micro-ops, DBI
+    dispatch, trap-table redirects) a defensible relative cost. *)
+
+exception Halt
+
+(** Carries the rip of the faulting division. *)
+exception Div_by_zero of int
+
+exception Invalid_opcode of int
+
+(** Carries the steps executed when the limit was hit. *)
+exception Timeout of int
+
+(** Explicit Exit runtime call, carrying the exit code. *)
+exception Exited of int
+
+(** Lazy flags: [Cmp a b] records the operand pair; condition codes are
+    evaluated from it on demand. *)
+type flags = { mutable fa : int; mutable fb : int }
+
+type t = {
+  mem : Mem.t;
+  regs : int array;                   (** 16 general-purpose registers *)
+  mutable rip : int;
+  flags : flags;
+  mutable cycles : int;               (** the cost-model counter *)
+  mutable steps : int;                (** instructions executed *)
+  mutable max_steps : int;
+  mutable on_check : (t -> X64.Isa.check -> int) option;
+      (** instrumentation hook: returns the cycle cost to charge *)
+  mutable on_probe : (t -> int -> int) option;
+      (** generic-instrumentation hook (E9Tool payloads) *)
+  mutable on_mem : (t -> addr:int -> len:int -> write:bool -> unit) option;
+      (** DBI hook, called on every explicit memory access *)
+  mutable dispatch_cost : int;        (** extra cycles per instruction *)
+  trap_table : (int, int) Hashtbl.t;  (** patch address -> trampoline *)
+  icache : (int, X64.Isa.instr * int) Hashtbl.t;
+  mutable inputs : int list;          (** script for the Input runtime fn *)
+  mutable outputs : int list;         (** Print results, reverse order *)
+  mutable mem_reads : int;
+  mutable mem_writes : int;
+}
+
+val halt_sentinel : int
+(** Return address whose pop halts the machine (pushed by {!run}). *)
+
+val create : ?max_steps:int -> unit -> t
+
+val outputs : t -> int list
+(** Printed values, in program order. *)
+
+val ea : t -> X64.Isa.mem -> int
+(** Effective address of a memory operand under the current registers. *)
+
+(** The runtime library the [Callrt] instruction dispatches into
+    (glibc, libredfat, or the Memcheck wrappers). *)
+type runtime = {
+  rt_malloc : t -> int -> int;
+  rt_free : t -> int -> unit;
+  rt_name : string;
+}
+
+val step : t -> runtime -> unit
+(** Execute one instruction; raises {!Halt} on hlt or final ret. *)
+
+val run : t -> runtime -> entry:int -> int
+(** Run from [entry] until the program halts; returns the exit code
+    (0 unless the program called Exit). *)

@@ -1,0 +1,153 @@
+(** Sparse paged memory over a simulated 64-bit virtual address space.
+
+    Pages are 4 KiB and materialized on [map]; accessing an unmapped
+    page faults, like the MMU would.  Addresses are OCaml [int]s: the
+    simulated layout tops out at a few TiB (see {!Lowfat.Layout}),
+    comfortably inside 62 bits. *)
+
+exception Segfault of int
+
+let page_bits = 12
+let page_size = 1 lsl page_bits
+
+type t = {
+  pages : (int, Bytes.t) Hashtbl.t;     (* materialized pages *)
+  reserved : (int, unit) Hashtbl.t;     (* mapped but untouched pages *)
+  (* one-entry cache: page lookups dominate the interpreter profile *)
+  mutable last_page_no : int;
+  mutable last_page : Bytes.t;
+}
+
+let none = Bytes.create 0
+
+let create () =
+  {
+    pages = Hashtbl.create 4096;
+    reserved = Hashtbl.create 4096;
+    last_page_no = -1;
+    last_page = none;
+  }
+
+(* Demand-zero paging: [map] only reserves; the backing bytes appear on
+   first touch.  This keeps huge sparse allocations (the legacy heap
+   serves multi-hundred-MB requests) cheap on the host. *)
+let page_of t addr =
+  let no = addr lsr page_bits in
+  if no = t.last_page_no then t.last_page
+  else
+    match Hashtbl.find_opt t.pages no with
+    | Some p ->
+      t.last_page_no <- no;
+      t.last_page <- p;
+      p
+    | None ->
+      if Hashtbl.mem t.reserved no then begin
+        let p = Bytes.make page_size '\000' in
+        Hashtbl.add t.pages no p;
+        Hashtbl.remove t.reserved no;
+        t.last_page_no <- no;
+        t.last_page <- p;
+        p
+      end
+      else raise (Segfault addr)
+
+let is_mapped t addr =
+  let no = addr lsr page_bits in
+  Hashtbl.mem t.pages no || Hashtbl.mem t.reserved no
+
+(** Reserve (demand-zero) every page covering [addr, addr+len). *)
+let map t ~addr ~len =
+  if len > 0 then begin
+    let first = addr lsr page_bits and last = (addr + len - 1) lsr page_bits in
+    for no = first to last do
+      if not (Hashtbl.mem t.pages no || Hashtbl.mem t.reserved no) then
+        Hashtbl.add t.reserved no ()
+    done
+  end
+
+(** Remove the mapping; later access faults.  Used to model redzone
+    poisoning of never-reused areas and by tests. *)
+let unmap t ~addr ~len =
+  if len > 0 then begin
+    let first = addr lsr page_bits and last = (addr + len - 1) lsr page_bits in
+    for no = first to last do
+      Hashtbl.remove t.pages no;
+      Hashtbl.remove t.reserved no;
+      if t.last_page_no = no then t.last_page_no <- -1
+    done
+  end
+
+let read_u8 t addr =
+  let p = page_of t addr in
+  Char.code (Bytes.unsafe_get p (addr land (page_size - 1)))
+
+let write_u8 t addr v =
+  let p = page_of t addr in
+  Bytes.unsafe_set p (addr land (page_size - 1)) (Char.unsafe_chr (v land 0xff))
+
+(** Little-endian read of [len] in {1,2,4,8} bytes, zero-extended.
+    An 8-byte read reconstructs the stored 63-bit int. *)
+(* explicit lets fix the evaluation (and hence faulting) order at the
+   first byte of the access, like hardware would *)
+let read t ~addr ~len =
+  match len with
+  | 1 -> read_u8 t addr
+  | 2 ->
+    let b0 = read_u8 t addr in
+    let b1 = read_u8 t (addr + 1) in
+    b0 lor (b1 lsl 8)
+  | 4 ->
+    let b0 = read_u8 t addr in
+    let b1 = read_u8 t (addr + 1) in
+    let b2 = read_u8 t (addr + 2) in
+    let b3 = read_u8 t (addr + 3) in
+    b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)
+  | 8 ->
+    let b0 = read_u8 t addr in
+    let b1 = read_u8 t (addr + 1) in
+    let b2 = read_u8 t (addr + 2) in
+    let b3 = read_u8 t (addr + 3) in
+    let b4 = read_u8 t (addr + 4) in
+    let b5 = read_u8 t (addr + 5) in
+    let b6 = read_u8 t (addr + 6) in
+    let b7 = read_u8 t (addr + 7) in
+    b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24) lor (b4 lsl 32)
+    lor (b5 lsl 40) lor (b6 lsl 48) lor (b7 lsl 56)
+  | _ -> invalid_arg "Mem.read"
+
+let write t ~addr ~len v =
+  match len with
+  | 1 -> write_u8 t addr v
+  | 2 ->
+    write_u8 t addr v;
+    write_u8 t (addr + 1) (v lsr 8)
+  | 4 ->
+    write_u8 t addr v;
+    write_u8 t (addr + 1) (v lsr 8);
+    write_u8 t (addr + 2) (v lsr 16);
+    write_u8 t (addr + 3) (v lsr 24)
+  | 8 ->
+    write_u8 t addr v;
+    write_u8 t (addr + 1) (v lsr 8);
+    write_u8 t (addr + 2) (v lsr 16);
+    write_u8 t (addr + 3) (v lsr 24);
+    write_u8 t (addr + 4) (v lsr 32);
+    write_u8 t (addr + 5) (v lsr 40);
+    write_u8 t (addr + 6) (v lsr 48);
+    write_u8 t (addr + 7) (v lsr 56)
+  | _ -> invalid_arg "Mem.write"
+
+let write_string t ~addr s =
+  map t ~addr ~len:(String.length s);
+  String.iteri (fun k c -> write_u8 t (addr + k) (Char.code c)) s
+
+(** Read up to [len] bytes starting at [addr], stopping early at the
+    first unmapped page.  Used by the instruction fetcher. *)
+let read_string t ~addr ~len =
+  let b = Buffer.create len in
+  (try
+     for k = 0 to len - 1 do
+       Buffer.add_char b (Char.chr (read_u8 t (addr + k)))
+     done
+   with Segfault _ -> ());
+  Buffer.contents b

@@ -1,0 +1,1 @@
+lib/workloads/chrome.ml: Kernels List Minic Printf

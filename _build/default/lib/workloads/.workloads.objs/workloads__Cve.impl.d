@@ -1,0 +1,1 @@
+lib/workloads/cve.ml: Binfmt Minic

@@ -1,0 +1,1 @@
+lib/workloads/juliet.ml: List Minic Printf

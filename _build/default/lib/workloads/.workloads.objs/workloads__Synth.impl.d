@@ -1,0 +1,1 @@
+lib/workloads/synth.ml: List Minic Printf Random X64

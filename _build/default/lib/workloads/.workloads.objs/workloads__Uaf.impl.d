@@ -1,0 +1,1 @@
+lib/workloads/uaf.ml: List Minic Printf

@@ -1,0 +1,63 @@
+(** The Chrome-scale binary (paper §7.3).
+
+    A very large stripped binary — hundreds of distinct functions,
+    well over 100k instructions — assembled from parameterized clones
+    of every kernel family, plus a browser-like dispatcher main.  The
+    scalability claim this exercises is about the *rewriter*: it must
+    patch every instrumentable instruction of a binary much larger
+    than all SPEC stand-ins combined, and the result must still run.
+
+    Only a small slice of the functions is ever called at runtime
+    (like a browser running one benchmark page), but the rewriter has
+    no way to know that and instruments everything. *)
+
+open Minic.Ast
+open Minic.Build
+
+(** Build the program with [copies] clones of each kernel family
+    (default sized to overshoot 100k instructions). *)
+let program ?(copies = 56) () : program =
+  let clones =
+    List.concat_map
+      (fun (fam, builder) ->
+        List.init copies (fun k -> builder (Printf.sprintf "%s_%d" fam k)))
+      Kernels.all_builders
+    (* plus indirect-dispatch interpreters, the JS-engine-like part *)
+    @ List.concat (List.init (copies / 8 + 1) (fun k ->
+          Kernels.interp_funcs (Printf.sprintf "interp_%d" k)))
+  in
+  (* main dispatches on the input like a JS engine picking a workload:
+     call one representative from a few families *)
+  let main =
+    func ~name:"main"
+      [
+        let_ "which" Input;
+        let_ "n" Input;
+        let_ "s" (i 0);
+        if_ (v "which" =: i 0)
+          [ assign "s" (call "crypto_rounds_0" [ v "n" ]) ]
+          [
+            if_ (v "which" =: i 1)
+              [ assign "s" (call "stencil2d_0" [ v "n" ]) ]
+              [
+                if_ (v "which" =: i 2)
+                  [ assign "s" (call "byte_scan_0" [ v "n" ]) ]
+                  [
+                    if_ (v "which" =: i 4)
+                      [ assign "s" (call "interp_0" [ v "n" ]) ]
+                      [ assign "s" (call "hash_table_0" [ v "n" ]) ];
+                  ];
+              ];
+          ];
+        print_ (v "s");
+        return_ (i 0);
+      ]
+  in
+  Minic.Ast.program (main :: clones)
+
+let binary ?copies () = Minic.Codegen.compile (program ?copies ())
+
+(** The four runtime workloads the dispatcher can execute. *)
+let workloads = [ ("crypto", [ 0; 200 ]); ("stencil", [ 1; 8 ]);
+                  ("bytes", [ 2; 50 ]); ("hash", [ 3; 1000 ]);
+                  ("interp", [ 4; 2000 ]) ]

@@ -1,0 +1,154 @@
+(** Models of the four real-world CVEs of paper Table 2.
+
+    Each model reproduces the vulnerability's *offset structure*: an
+    attacker-controlled index produces a non-incremental out-of-bounds
+    heap access that skips past any 16-byte redzone into an adjacent
+    heap object — exactly the class of error that redzone-only tools
+    (Memcheck) miss and the (LowFat) component catches. *)
+
+open Minic.Ast
+open Minic.Build
+
+type case = {
+  name : string;
+  cve : string;
+  description : string;
+  program : program;
+  benign_inputs : int list;
+  attack_inputs : int list;
+}
+
+(** CVE-2012-4295 (wireshark): paper Figure 1.  The sdh_g707_format_t
+    struct is heap-allocated; [m_vc_index_array] has 5 byte elements at
+    offset 2; the write [m_vc_index_array\[speed-1\] = 0] is attacker
+    controlled through [speed]. *)
+let wireshark : case =
+  let fill =
+    (* channelised_fill_sdh_g707_format(in_fmt, vc_size, speed) *)
+    func ~name:"fill" ~params:[ "fmt"; "vc_size"; "speed" ]
+      [
+        if_ (v "vc_size" =: i 0) [ return_ (i (-1)) ] [];
+        set1 (v "fmt") (i 0) (v "vc_size");       (* m_vc_size *)
+        set1 (v "fmt") (i 1) (v "speed");         (* m_sdh_line_rate *)
+        (* memset(&m_vc_index_array[0], 0xff, DECHAN_MAX_AUG_INDEX) *)
+        for_ "j" (i 0) (i 5) [ set1k (v "fmt") (v "j") 2 (i 255) ];
+        (* in_fmt->m_vc_index_array[speed - 1] = 0   <- the bug *)
+        Store (E1, v "fmt", v "speed" -: i 1 +: i 2, i 0);
+        return_ (i 0);
+      ]
+  in
+  let main =
+    func ~name:"main"
+      [
+        let_ "fmt" (alloc_bytes (i 13));
+        (* the adjacent heap region an attacker would corrupt: sized so
+           the crafted offset lands in live heap data under both the
+           low-fat and the glibc-style layout *)
+        let_ "victim" (alloc_bytes (i 256));
+        for_ "j" (i 0) (i 13) [ set1 (v "victim") (v "j") (i 0x41) ];
+        let_ "vc_size" Input;
+        let_ "speed" Input;
+        let_ "r" (call "fill" [ v "fmt"; v "vc_size"; v "speed" ]);
+        print_ (v "r");
+        print_ (idx1 (v "victim") (i 0));
+        return_ (i 0);
+      ]
+  in
+  {
+    name = "wireshark";
+    cve = "CVE-2012-4295";
+    description = "non-incremental byte write via packet 'speed' field";
+    program = program [ main; fill ];
+    benign_inputs = [ 4; 3 ];   (* vc_size=4, speed=3: in bounds *)
+    attack_inputs = [ 4; 200 ]; (* speed=200 skips the redzone *)
+  }
+
+(** CVE-2007-3476 (php/libgd): GIF LZW decoding writes a color-table
+    entry at an attacker-controlled code index. *)
+let php_gd_gif : case =
+  let main =
+    func ~name:"main"
+      [
+        let_ "table" (alloc_elems (i 16));
+        let_ "heapmeta" (alloc_elems (i 16));
+        for_ "j" (i 0) (i 16) [ set (v "heapmeta") (v "j") (i 7) ];
+        let_ "code" Input;
+        (* td->tbl[code] = ...  with code from the compressed stream *)
+        set (v "table") (v "code") (i 0x61616161);
+        print_ (idx (v "heapmeta") (i 0));
+        return_ (i 0);
+      ]
+  in
+  {
+    name = "php-gd-gif";
+    cve = "CVE-2007-3476";
+    description = "LZW color-table write at attacker code index";
+    program = program [ main ];
+    benign_inputs = [ 7 ];
+    attack_inputs = [ 22 ]; (* 16 elems -> slot 144B; idx 22 lands in the
+                               adjacent object, past the redzone *)
+  }
+
+(** CVE-2016-1903 (php/gd imagerotate): out-of-bounds *read* through an
+    attacker-controlled rotation offset. *)
+let php_gd_rotate : case =
+  let main =
+    func ~name:"main"
+      [
+        let_ "src" (alloc_elems (i 16));
+        let_ "secret" (alloc_elems (i 16));
+        for_ "j" (i 0) (i 16)
+          [
+            set (v "src") (v "j") (v "j");
+            set (v "secret") (v "j") (i 0x5ec2e7);
+          ];
+        let_ "off" Input;
+        (* gdImageGetPixel reads past the row end *)
+        let_ "pix" (idx (v "src") (v "off"));
+        print_ (v "pix");
+        return_ (i 0);
+      ]
+  in
+  {
+    name = "php-gd-rotate";
+    cve = "CVE-2016-1903";
+    description = "imagerotate out-of-bounds read (info leak)";
+    program = program [ main ];
+    benign_inputs = [ 5 ];
+    attack_inputs = [ 22 ];
+  }
+
+(** CVE-2016-2335 (7zip): UDF volume parsing uses an unvalidated
+    PartitionRef as an index into the partitions array. *)
+let sevenzip_udf : case =
+  let main =
+    func ~name:"main"
+      [
+        let_ "partitions" (alloc_elems (i 8));
+        let_ "objects" (alloc_elems (i 8));
+        for_ "j" (i 0) (i 8)
+          [
+            set (v "partitions") (v "j") (v "j" +: i 100);
+            set (v "objects") (v "j") (i 0xdead);
+          ];
+        let_ "ref" Input;
+        (* partition = vol.PartitionMaps[msd.PartitionRef] ... *)
+        let_ "part" (idx (v "partitions") (v "ref"));
+        (* ... then state is written back through it *)
+        set (v "partitions") (v "ref") (v "part" +: i 1);
+        print_ (idx (v "objects") (i 0));
+        return_ (i 0);
+      ]
+  in
+  {
+    name = "7zip-udf";
+    cve = "CVE-2016-2335";
+    description = "UDF PartitionRef used unvalidated as array index";
+    program = program [ main ];
+    benign_inputs = [ 3 ];
+    attack_inputs = [ 14 ]; (* 8 elems -> 80B slot; idx 14 = adjacent data *)
+  }
+
+let all = [ php_gd_gif; php_gd_rotate; wireshark; sevenzip_udf ]
+
+let binary (c : case) : Binfmt.Relf.t = Minic.Codegen.compile c.program

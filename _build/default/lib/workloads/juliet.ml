@@ -1,0 +1,207 @@
+(** A Juliet-style CWE-122 (heap buffer overflow) test generator.
+
+    Reproduces the structure of the NIST Juliet subset used in paper
+    Table 2: 480 distinct test cases = 15 overflow patterns x 32
+    control/data-flow variants, each with a *non-incremental* overflow
+    whose offset skips the 16-byte redzone into an adjacent heap
+    object.  Every case has a benign input (in bounds) and an attack
+    input (skipping), like Juliet's good/bad function pairs.
+
+    Layout facts the offsets rely on: target arrays hold 8 elements
+    (64 B + 16 B metadata = 80 B slots in the low-fat heap; 64 B block
+    + 16 B redzone = 80 B stride under Memcheck), so element offsets
+    >= 12 (or <= -12) land squarely inside the neighbouring object for
+    both layouts, touching no redzone. *)
+
+open Minic.Ast
+open Minic.Build
+
+type case = {
+  id : string;
+  pattern : int;
+  variant : int;
+  program : program;
+  benign_inputs : int list;
+  attack_inputs : int list;
+}
+
+let array_elems = 8
+let skip_offset = 12 (* elements: past own slot and neighbour's redzone *)
+
+(* Each pattern yields (body, benign_input, attack_input): [body] are
+   the statements performing the (possibly overflowing) access on
+   arrays "buf" (target) and "pre" (the object allocated just before),
+   with the attacker value already in local "idx". *)
+let patterns :
+    (string * (unit -> stmt list) * int * int) list =
+  [
+    ( "direct-index-write",
+      (fun () -> [ set (v "buf") (v "idx") (i 0x42) ]),
+      3, skip_offset );
+    ( "index-arith-write",
+      (fun () -> [ set (v "buf") (v "idx" +: i 2) (i 0x42) ]),
+      3, skip_offset );
+    ( "strided-loop-write",
+      (fun () ->
+        [ for_ "j" (i 0) (i 2) [ set (v "buf") (v "j" *: v "idx") (i 7) ] ]),
+      3, skip_offset );
+    ( "byte-offset-write",
+      (fun () -> [ Store (E1, v "bbuf", v "idx" *: i 8, i 0x41) ]),
+      3, skip_offset );
+    ( "copy-loop-offset",
+      (fun () ->
+        [
+          for_ "j" (i 0) (i 2)
+            [ set (v "buf") (v "idx" +: v "j") (idx (v "pre") (v "j")) ];
+        ]),
+      3, skip_offset );
+    ( "size-miscalc",
+      (fun () ->
+        [
+          let_ "m" (alloc_elems (v "idx" %: i 4 +: i 1));
+          let_ "mbig" (alloc_bytes (i 512));
+          set (v "m") (v "idx") (i 5);
+          free_ (v "m");
+          free_ (v "mbig");
+        ]),
+      3, 40 (* benign: 4 elems, write m[3]; attack: 1 elem, write m[40]
+               lands inside mbig under Memcheck's layout *) );
+    ( "struct-member-overflow",
+      (fun () ->
+        (* struct { hdr[2]; payload[6] }: payload index from input *)
+        [ setk (v "buf") (v "idx") 2 (i 9) ]),
+      2, skip_offset );
+    ( "negative-index-write",
+      (* -8 elements: skips the 16-byte metadata redzone below the
+         object and lands in the previous object's data, in both the
+         low-fat and the Memcheck layout *)
+      (fun () -> [ set (v "buf") (i 0 -: v "idx") (i 0x43) ]),
+      0, 8 );
+    ( "scaled-index-write",
+      (fun () -> [ set (v "buf") (v "idx" *: i 2) (i 0x44) ]),
+      3, 6 );
+    ( "read-then-write",
+      (fun () ->
+        [
+          let_ "t" (idx (v "buf") (v "idx"));
+          set (v "buf") (v "idx") (v "t" +: i 1);
+        ]),
+      3, skip_offset );
+    ( "flattened-2d-write",
+      (fun () ->
+        (* buf viewed as 2x4: row index attacker controlled *)
+        [ set (v "buf") (v "idx" *: i 4 +: i 1) (i 6) ]),
+      1, 3 (* row 3 -> element 13: inside the neighbouring object *) );
+    ( "alloc-too-small",
+      (fun () ->
+        [
+          let_ "m" (alloc_elems (i 4));
+          let_ "mbig" (alloc_bytes (i 512));
+          set (v "m") (v "idx") (i 3);
+          free_ (v "m");
+          free_ (v "mbig");
+        ]),
+      2, skip_offset );
+    ( "swap-elements",
+      (fun () ->
+        [
+          let_ "t" (idx (v "buf") (i 0));
+          set (v "buf") (v "idx") (v "t");
+        ]),
+      3, skip_offset );
+    ( "conditional-path-write",
+      (fun () ->
+        [
+          if_ (v "idx" >: i 1)
+            [ set (v "buf") (v "idx") (i 8) ]
+            [ set (v "buf") (i 0) (i 8) ];
+        ]),
+      3, skip_offset );
+    ( "write-after-scan",
+      (fun () ->
+        [
+          let_ "acc" (i 0);
+          for_ "j" (i 0) (i array_elems)
+            [ assign "acc" (v "acc" +: idx (v "buf") (v "j")) ];
+          set (v "buf") (v "idx" +: (v "acc" *: i 0)) (i 2);
+        ]),
+      3, skip_offset );
+  ]
+
+(* Data-flow laundering of the attacker index (Juliet's dataflow
+   variants): how Input reaches local "idx". *)
+let launder variant : stmt list =
+  match variant land 3 with
+  | 0 -> [ let_ "idx" Input ]
+  | 1 ->
+    [
+      let_ "t1" Input; let_ "t2" (v "t1"); let_ "t3" (v "t2");
+      let_ "idx" (v "t3");
+    ]
+  | 2 ->
+    [
+      let_ "cell" (alloc_elems (i 4));
+      set (v "cell") (i 1) Input;
+      let_ "idx" (idx (v "cell") (i 1));
+      free_ (v "cell");
+    ]
+  | _ -> [ let_ "t1" Input; let_ "idx" (v "t1" +: i 7 -: i 7) ]
+
+(* Control-flow wrapping (Juliet's control-flow variants): the body
+   runs directly, behind if(1), inside a run-once loop, or behind a
+   call chain of depth 1..3. *)
+let build_case pi (pname, body, benign, attack) variant : case =
+  let guard = (variant lsr 2) land 1 in
+  let depth = (variant lsr 3) land 3 in
+  let core : stmt list = body () in
+  let guarded =
+    if guard = 1 then [ if_ (i 1 >: i 0) core [] ] else core
+  in
+  let alloc_and_act =
+    [
+      (* allocation order fixes the adjacency both layouts rely on:
+         pre | bbuf | buf | post, 80-byte strides in both *)
+      let_ "pre" (alloc_elems (i array_elems));
+      let_ "bbuf" (alloc_bytes (i (array_elems * 8)));
+      let_ "buf" (alloc_elems (i array_elems));
+      let_ "post" (alloc_elems (i array_elems));
+      for_ "j" (i 0) (i array_elems)
+        [
+          set (v "pre") (v "j") (v "j");
+          set (v "buf") (v "j") (i 0);
+          set (v "post") (v "j") (i 1);
+        ];
+    ]
+    @ launder variant @ guarded
+    @ [ print_ (idx (v "post") (i 0)); return_ (i 0) ]
+  in
+  let funcs =
+    if depth = 0 then [ func ~name:"main" alloc_and_act ]
+    else begin
+      (* main -> helper1 -> ... -> helperN holding the body *)
+      let rec chain d =
+        if d = depth then [ func ~name:(Printf.sprintf "h%d" d) alloc_and_act ]
+        else
+          func ~name:(Printf.sprintf "h%d" d)
+            [ return_ (call (Printf.sprintf "h%d" (d + 1)) []) ]
+          :: chain (d + 1)
+      in
+      func ~name:"main" [ return_ (call "h1" []) ] :: chain 1
+    end
+  in
+  {
+    id = Printf.sprintf "CWE122_%s_v%02d" pname variant;
+    pattern = pi;
+    variant;
+    program = program funcs;
+    benign_inputs = [ benign ];
+    attack_inputs = [ attack ];
+  }
+
+let all : case list =
+  List.concat
+    (List.mapi
+       (fun pi p -> List.init 32 (fun variant -> build_case pi p variant))
+       patterns)
+
+let binary (c : case) = Minic.Codegen.compile c.program

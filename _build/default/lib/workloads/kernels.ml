@@ -1,0 +1,1546 @@
+(** Reusable MiniC computational kernels.
+
+    Each builder produces a complete function [fun name(n) -> checksum]
+    mimicking the dominant loop structure of one family of SPEC /
+    Kraken benchmarks: hashing, sorting, pointer chasing, stencils,
+    dynamic programming, n-body, sparse algebra, crypto rounds, ...
+    The builders are reused across suites with different scales, so
+    every binary has a realistic instruction mix (indexed operands,
+    unrolled mergeable stores, spill traffic, calls). *)
+
+open Minic.Ast
+open Minic.Build
+
+let n = v "n"
+
+(** Hash-table insert/lookup mix (perlbench, xalancbmk flavour). *)
+let hash_table name : func =
+  func ~name ~params:[ "n" ]
+    [
+      let_ "tab" (alloc_elems (i 1024));
+      for_ "t" (i 0) n
+        [
+          let_ "h" (v "t" *: i 2654435761 >>: 8 &: i 1023);
+          set (v "tab") (v "h") (idx (v "tab") (v "h") +: v "t" +: i 1);
+          (* probe a second slot, like chained lookup *)
+          let_ "h2" (v "h" +: i 1 &: i 1023);
+          set (v "tab") (v "h2") (idx (v "tab") (v "h2") ^: v "t");
+        ];
+      let_ "s" (i 0);
+      for_ "j" (i 0) (i 1024) [ assign "s" (v "s" +: idx (v "tab") (v "j")) ];
+      free_ (v "tab");
+      return_ (v "s");
+    ]
+
+(** Block sort + run-length pass (bzip2 flavour). *)
+let block_sort name : func =
+  func ~name ~params:[ "n" ]
+    [
+      let_ "blk" (alloc_elems (i 64));
+      let_ "s" (i 0);
+      for_ "t" (i 0) n
+        [
+          for_ "j" (i 0) (i 64)
+            [ set (v "blk") (v "j") (v "j" *: i 37 +: v "t" &: i 255) ];
+          (* insertion sort the block *)
+          for_ "j" (i 1) (i 64)
+            [
+              let_ "key" (idx (v "blk") (v "j"));
+              let_ "p" (v "j" -: i 1);
+              let_ "go" (i 1);
+              while_ (v "go" =: i 1)
+                [
+                  if_ (v "p" >=: i 0)
+                    [
+                      if_
+                        (idx (v "blk") (v "p") >: v "key")
+                        [
+                          setk (v "blk") (v "p") 1 (idx (v "blk") (v "p"));
+                          assign "p" (v "p" -: i 1);
+                        ]
+                        [ assign "go" (i 0) ];
+                    ]
+                    [ assign "go" (i 0) ];
+                ];
+              setk (v "blk") (v "p") 1 (v "key");
+            ];
+          (* run-length checksum *)
+          for_ "j" (i 1) (i 64)
+            [
+              if_
+                (idx (v "blk") (v "j") =: idxk (v "blk") (v "j") (-1))
+                [ assign "s" (v "s" +: i 1) ]
+                [ assign "s" (v "s" +: idx (v "blk") (v "j")) ];
+            ];
+        ];
+      free_ (v "blk");
+      return_ (v "s");
+    ]
+
+(** Pointer chasing over array-encoded linked structures (gcc, mcf). *)
+let graph_chase name : func =
+  func ~name ~params:[ "n" ]
+    [
+      let_ "next" (alloc_elems (i 512));
+      let_ "cost" (alloc_elems (i 512));
+      for_ "j" (i 0) (i 512)
+        [
+          set (v "next") (v "j") (v "j" *: i 167 +: i 13 &: i 511);
+          set (v "cost") (v "j") (v "j" &: i 63);
+        ];
+      let_ "s" (i 0);
+      let_ "p" (i 0);
+      for_ "t" (i 0) n
+        [
+          assign "s" (v "s" +: idx (v "cost") (v "p"));
+          (* relax the edge, then follow it *)
+          set (v "cost") (v "p") (idx (v "cost") (v "p") +: i 1 &: i 255);
+          assign "p" (idx (v "next") (v "p"));
+        ];
+      free_ (v "next");
+      free_ (v "cost");
+      return_ (v "s");
+    ]
+
+(** Board scanning with neighbour inspection (gobmk, sjeng). *)
+let board_scan name : func =
+  let dim = 32 in
+  func ~name ~params:[ "n" ]
+    [
+      let_ "b" (alloc_elems (i (dim * dim)));
+      for_ "j" (i 0) (i (dim * dim)) [ set (v "b") (v "j") (v "j" &: i 3) ];
+      let_ "s" (i 0);
+      for_ "t" (i 0) n
+        [
+          for_ "y" (i 1) (i (dim - 1))
+            [
+              for_ "x" (i 1) (i (dim - 1))
+                [
+                  let_ "p" (v "y" *: i dim +: v "x");
+                  let_ "lib"
+                    (idxk (v "b") (v "p") 1
+                    +: idxk (v "b") (v "p") (-1)
+                    +: idxk (v "b") (v "p") dim
+                    +: idxk (v "b") (v "p") (-dim));
+                  if_ (v "lib" >: i 6)
+                    [ set (v "b") (v "p") (v "lib" &: i 3) ]
+                    [ assign "s" (v "s" +: v "lib") ];
+                ];
+            ];
+        ];
+      free_ (v "b");
+      return_ (v "s");
+    ]
+
+(** Dynamic-programming matrix fill (hmmer Viterbi, h264ref SAD). *)
+let dp_matrix name : func =
+  let cols = 48 in
+  func ~name ~params:[ "n" ]
+    [
+      let_ "row" (alloc_elems (i cols));
+      let_ "prev" (alloc_elems (i cols));
+      for_ "j" (i 0) (i cols) [ set (v "prev") (v "j") (v "j" *: i 7) ];
+      let_ "s" (i 0);
+      for_ "t" (i 0) n
+        [
+          for_ "j" (i 1) (i cols)
+            [
+              let_ "a" (idxk (v "prev") (v "j") (-1) +: i 3);
+              let_ "c" (idx (v "prev") (v "j") +: i 1);
+              let_ "m"
+                (Bin
+                   ( Add,
+                     v "a",
+                     Bin (Mul, Cmp (X64.Isa.Gt, v "c", v "a"), v "c" -: v "a") ));
+              set (v "row") (v "j") (v "m");
+            ];
+          (* swap via copy *)
+          for_ "j" (i 0) (i cols)
+            [ set (v "prev") (v "j") (idx (v "row") (v "j")) ];
+          assign "s" (v "s" +: idx (v "prev") (i (cols - 1)));
+        ];
+      free_ (v "row");
+      free_ (v "prev");
+      return_ (v "s");
+    ]
+
+(** Single-pass xor/shift gate application (libquantum). *)
+let gate_array name : func =
+  func ~name ~params:[ "n" ]
+    [
+      let_ "q" (alloc_elems (i 2048));
+      for_ "j" (i 0) (i 2048) [ set (v "q") (v "j") (v "j") ];
+      let_ "s" (i 0);
+      for_ "t" (i 0) n
+        [
+          for_ "j" (i 0) (i 2048)
+            [
+              set (v "q") (v "j")
+                (idx (v "q") (v "j") ^: (v "t" <<: 3) |: i 1);
+            ];
+          assign "s" (v "s" +: idx (v "q") (v "t" &: i 2047));
+        ];
+      free_ (v "q");
+      return_ (v "s");
+    ]
+
+(** Binary-heap push/pop event loop (omnetpp). *)
+let event_queue name : func =
+  func ~name ~params:[ "n" ]
+    [
+      let_ "heap" (alloc_elems (i 256));
+      let_ "sz" (i 0);
+      let_ "s" (i 0);
+      let_ "seed" (i 12345);
+      for_ "t" (i 0) n
+        [
+          assign "seed" (v "seed" *: i 1103515245 +: i 12345 &: i 0xffffff);
+          if_ (Bin (Band, v "sz" <: i 255, v "seed" &: i 1 =: i 1))
+            [ (* push *)
+              set (v "heap") (v "sz") (v "seed" &: i 65535);
+              let_ "c" (v "sz");
+              assign "sz" (v "sz" +: i 1);
+              let_ "go" (i 1);
+              while_ (v "go" =: i 1)
+                [
+                  if_ (v "c" >: i 0)
+                    [
+                      let_ "par" (v "c" -: i 1 >>: 1);
+                      if_
+                        (Cmp
+                           ( X64.Isa.Lt,
+                             idx (v "heap") (v "c"),
+                             idx (v "heap") (v "par") ))
+                        [
+                          let_ "tmp" (idx (v "heap") (v "par"));
+                          set (v "heap") (v "par") (idx (v "heap") (v "c"));
+                          set (v "heap") (v "c") (v "tmp");
+                          assign "c" (v "par");
+                        ]
+                        [ assign "go" (i 0) ];
+                    ]
+                    [ assign "go" (i 0) ];
+                ];
+            ]
+            [ (* pop *)
+              if_ (v "sz" >: i 0)
+                [
+                  assign "s" (v "s" +: idx (v "heap") (i 0));
+                  assign "sz" (v "sz" -: i 1);
+                  set (v "heap") (i 0) (idx (v "heap") (v "sz"));
+                ]
+                [];
+            ];
+        ];
+      free_ (v "heap");
+      return_ (v "s" +: v "sz");
+    ]
+
+(** Grid scan with open-list minimum search (astar). *)
+let grid_path name : func =
+  let dim = 24 in
+  func ~name ~params:[ "n" ]
+    [
+      let_ "g" (alloc_elems (i (dim * dim)));
+      let_ "open_" (alloc_elems (i 64));
+      for_ "j" (i 0) (i (dim * dim)) [ set (v "g") (v "j") (v "j" %: i 9 +: i 1) ];
+      let_ "s" (i 0);
+      for_ "t" (i 0) n
+        [
+          for_ "j" (i 0) (i 64)
+            [ set (v "open_") (v "j") (v "j" *: v "t" +: v "j" &: i 511) ];
+          let_ "best" (i 0);
+          for_ "j" (i 1) (i 64)
+            [
+              if_
+                (Cmp
+                   ( X64.Isa.Lt,
+                     idx (v "open_") (v "j"),
+                     idx (v "open_") (v "best") ))
+                [ assign "best" (v "j") ]
+                [];
+            ];
+          let_ "p" (idx (v "open_") (v "best") %: i (dim * dim));
+          assign "s" (v "s" +: idx (v "g") (v "p"));
+          set (v "g") (v "p") (idx (v "g") (v "p") +: i 1);
+        ];
+      free_ (v "g");
+      free_ (v "open_");
+      return_ (v "s");
+    ]
+
+(** 2-D relaxation stencil with unrolled (mergeable) writes
+    (milc, lbm, cactusADM, leslie3d, GemsFDTD flavour). *)
+let stencil2d name : func =
+  let dim = 16 in
+  func ~name ~params:[ "n" ]
+    [
+      let_ "g" (alloc_elems (i (dim * dim)));
+      let_ "h" (alloc_elems (i (dim * dim)));
+      for_ "j" (i 0) (i (dim * dim)) [ set (v "g") (v "j") (v "j" &: i 127) ];
+      let_ "s" (i 0);
+      for_ "t" (i 0) n
+        [
+          for_ "y" (i 1) (i (dim - 1))
+            [
+              (* x advances by 2: two mergeable stores per iteration *)
+              let_ "x" (i 1);
+              while_ (v "x" <: i (dim - 1))
+                [
+                  let_ "p" (v "y" *: i dim +: v "x");
+                  let_ "a0"
+                    (idxk (v "g") (v "p") (-1)
+                    +: idxk (v "g") (v "p") 1
+                    +: idxk (v "g") (v "p") (-dim)
+                    +: idxk (v "g") (v "p") dim);
+                  let_ "a1"
+                    (idx (v "g") (v "p")
+                    +: idxk (v "g") (v "p") 2
+                    +: idxk (v "g") (v "p") (1 - dim)
+                    +: idxk (v "g") (v "p") (1 + dim));
+                  msets (v "h") (v "p") [ (0, v "a0" >>: 2); (1, v "a1" >>: 2) ];
+                  assign "x" (v "x" +: i 2);
+                ];
+            ];
+          (* copy back *)
+          for_ "j" (i 0) (i (dim * dim))
+            [ set (v "g") (v "j") (idx (v "h") (v "j")) ];
+          assign "s" (v "s" +: idx (v "g") (i (dim + 1)));
+        ];
+      free_ (v "g");
+      free_ (v "h");
+      return_ (v "s");
+    ]
+
+(** Pairwise force accumulation (namd, gromacs). *)
+let nbody name : func =
+  let parts = 24 in
+  func ~name ~params:[ "n" ]
+    [
+      let_ "px" (alloc_elems (i parts));
+      let_ "f" (alloc_elems (i parts));
+      for_ "j" (i 0) (i parts)
+        [
+          set (v "px") (v "j") (v "j" *: i 17 +: i 3);
+          set (v "f") (v "j") (i 0);
+        ];
+      for_ "t" (i 0) n
+        [
+          for_ "a" (i 0) (i parts)
+            [
+              for_ "b" (i 0) (i parts)
+                [
+                  let_ "d" (idx (v "px") (v "a") -: idx (v "px") (v "b"));
+                  let_ "d2" (v "d" *: v "d" +: i 1);
+                  set (v "f") (v "a")
+                    (idx (v "f") (v "a") +: (v "d" *: i 1000 /: v "d2"));
+                ];
+            ];
+          for_ "a" (i 0) (i parts)
+            [
+              set (v "px") (v "a")
+                (idx (v "px") (v "a") +: (idx (v "f") (v "a") >>: 6) &: i 4095);
+            ];
+        ];
+      let_ "s" (i 0);
+      for_ "j" (i 0) (i parts) [ assign "s" (v "s" +: idx (v "px") (v "j")) ];
+      free_ (v "px");
+      free_ (v "f");
+      return_ (v "s");
+    ]
+
+(** Sparse matrix-vector product, CSR-ish (dealII, soplex, calculix). *)
+let sparse_mv name : func =
+  let rows = 64 and nnz_per = 6 in
+  func ~name ~params:[ "n" ]
+    [
+      let_ "colidx" (alloc_elems (i (rows * nnz_per)));
+      let_ "vals" (alloc_elems (i (rows * nnz_per)));
+      let_ "x" (alloc_elems (i rows));
+      let_ "y" (alloc_elems (i rows));
+      for_ "j" (i 0) (i (rows * nnz_per))
+        [
+          set (v "colidx") (v "j") (v "j" *: i 31 %: i rows);
+          set (v "vals") (v "j") (v "j" &: i 15);
+        ];
+      for_ "j" (i 0) (i rows) [ set (v "x") (v "j") (v "j" +: i 1) ];
+      let_ "s" (i 0);
+      for_ "t" (i 0) n
+        [
+          for_ "r" (i 0) (i rows)
+            [
+              let_ "acc" (i 0);
+              for_ "e" (i 0) (i nnz_per)
+                [
+                  let_ "o" (v "r" *: i nnz_per +: v "e");
+                  assign "acc"
+                    (v "acc"
+                    +: (idx (v "vals") (v "o")
+                       *: idx (v "x") (idx (v "colidx") (v "o"))));
+                ];
+              set (v "y") (v "r") (v "acc");
+            ];
+          assign "s" (v "s" +: idx (v "y") (v "t" %: i rows));
+        ];
+      free_ (v "colidx");
+      free_ (v "vals");
+      free_ (v "x");
+      free_ (v "y");
+      return_ (v "s");
+    ]
+
+(** Fixed-point ray/sphere intersection loop (povray). *)
+let ray_trace name : func =
+  func ~name ~params:[ "n" ]
+    [
+      let_ "spheres" (alloc_elems (i 24)); (* 8 spheres x (x,y,r) *)
+      for_ "j" (i 0) (i 24) [ set (v "spheres") (v "j") (v "j" *: i 29 &: i 255) ];
+      let_ "img" (alloc_elems (i 64));
+      let_ "s" (i 0);
+      for_ "t" (i 0) n
+        [
+          for_ "px" (i 0) (i 64)
+            [
+              let_ "rx" (v "px" &: i 7);
+              let_ "ry" (v "px" >>: 3);
+              let_ "hit" (i 0);
+              for_ "o" (i 0) (i 8)
+                [
+                  let_ "dx" (idx (v "spheres") (v "o" *: i 3) -: (v "rx" <<: 4));
+                  let_ "dy"
+                    (idxk (v "spheres") (v "o" *: i 3) 1 -: (v "ry" <<: 4));
+                  let_ "rr" (idxk (v "spheres") (v "o" *: i 3) 2);
+                  if_
+                    (Cmp
+                       ( X64.Isa.Le,
+                         (v "dx" *: v "dx") +: (v "dy" *: v "dy"),
+                         v "rr" *: v "rr" ))
+                    [ assign "hit" (v "hit" +: i 1) ]
+                    [];
+                ];
+              set (v "img") (v "px") (v "hit");
+            ];
+          assign "s" (v "s" +: idx (v "img") (v "t" &: i 63));
+        ];
+      free_ (v "spheres");
+      free_ (v "img");
+      return_ (v "s");
+    ]
+
+(** Dot-product chains over rows (sphinx3, tonto, gamess flavour). *)
+let spectral name : func =
+  let dim = 64 in
+  func ~name ~params:[ "n" ]
+    [
+      let_ "m" (alloc_elems (i (dim * 8)));
+      let_ "vec" (alloc_elems (i dim));
+      for_ "j" (i 0) (i (dim * 8)) [ set (v "m") (v "j") (v "j" &: i 31) ];
+      for_ "j" (i 0) (i dim) [ set (v "vec") (v "j") (v "j" +: i 1) ];
+      let_ "s" (i 0);
+      for_ "t" (i 0) n
+        [
+          for_ "r" (i 0) (i 8)
+            [
+              let_ "acc" (i 0);
+              for_ "j" (i 0) (i dim)
+                [
+                  assign "acc"
+                    (v "acc"
+                    +: (idx (v "m") (v "r" *: i dim +: v "j")
+                       *: idx (v "vec") (v "j")));
+                ];
+              set (v "vec") (v "r" *: i 7 +: i 1 %: i dim)
+                (v "acc" >>: 5 &: i 1023);
+            ];
+          assign "s" (v "s" +: idx (v "vec") (v "t" %: i dim));
+        ];
+      free_ (v "m");
+      free_ (v "vec");
+      return_ (v "s");
+    ]
+
+(** Byte-stream scanning/tokenizing (json parsing, perl regex flavour). *)
+let byte_scan name : func =
+  let len = 1024 in
+  func ~name ~params:[ "n" ]
+    [
+      let_ "buf" (alloc_bytes (i len));
+      for_ "j" (i 0) (i len)
+        [ Store (E1, v "buf", v "j", v "j" *: i 7 +: i 13 &: i 127) ];
+      let_ "s" (i 0);
+      for_ "t" (i 0) n
+        [
+          let_ "depth" (i 0);
+          for_ "j" (i 0) (i len)
+            [
+              let_ "c" (idx1 (v "buf") (v "j"));
+              if_ (v "c" <: i 32)
+                [ assign "depth" (v "depth" +: i 1) ]
+                [
+                  if_ (v "c" >: i 96)
+                    [ assign "s" (v "s" +: v "c") ]
+                    [ assign "s" (v "s" +: v "depth") ];
+                ];
+            ];
+          set1 (v "buf") (v "t" &: i (len - 1)) (v "s" &: i 127);
+        ];
+      free_ (v "buf");
+      return_ (v "s");
+    ]
+
+(** Crypto round mixing: table lookups + xor/rotate (aes, sha256). *)
+let crypto_rounds name : func =
+  func ~name ~params:[ "n" ]
+    [
+      let_ "sbox" (alloc_elems (i 256));
+      for_ "j" (i 0) (i 256)
+        [ set (v "sbox") (v "j") (v "j" *: i 197 +: i 71 &: i 255) ];
+      let_ "st0" (i 0x12345678);
+      let_ "st1" (i 0x9abcdef0);
+      let_ "st2" (i 0x55aa55aa);
+      let_ "st3" (i 0x0f0f0f0f);
+      for_ "t" (i 0) n
+        [
+          for_ "r" (i 0) (i 16)
+            [
+              assign "st0"
+                (idx (v "sbox") (v "st0" &: i 255)
+                ^: (v "st1" <<: 3) +: (v "st2" >>: 5));
+              assign "st1" (idx (v "sbox") (v "st1" &: i 255) ^: v "st3");
+              assign "st2" (v "st2" +: idx (v "sbox") (v "st0" &: i 255));
+              assign "st3" (v "st3" ^: (v "st0" <<: 1) &: i 0xffffffff);
+              assign "st0" (v "st0" &: i 0xffffffff);
+              assign "st1" (v "st1" &: i 0xffffffff);
+              assign "st2" (v "st2" &: i 0xffffffff);
+            ];
+        ];
+      free_ (v "sbox");
+      return_ (v "st0" +: v "st1" +: v "st2" +: v "st3");
+    ]
+
+(** Bytecode-interpreter dispatch loop through a heap-resident table
+    of function pointers (perl/gcc/javascript-engine flavour); also the
+    kernel that exercises indirect calls in the rewriter's CFG
+    recovery. *)
+let interp_funcs name : func list =
+  let op ~opname body = func ~name:(name ^ "_" ^ opname) ~params:[ "x" ] body in
+  let handlers =
+    [
+      op ~opname:"add" [ return_ (v "x" +: i 3) ];
+      op ~opname:"mul" [ return_ (v "x" *: i 5 &: i 0xffff) ];
+      op ~opname:"xor" [ return_ (v "x" ^: i 0x5a5a) ];
+      op ~opname:"shr" [ return_ (v "x" >>: 1 |: i 1) ];
+    ]
+  in
+  let main =
+    func ~name ~params:[ "n" ]
+      [
+        (* the dispatch table lives on the heap, like a vtable *)
+        let_ "tab" (alloc_elems (i 4));
+        set (v "tab") (i 0) (addr_of (name ^ "_add"));
+        set (v "tab") (i 1) (addr_of (name ^ "_mul"));
+        set (v "tab") (i 2) (addr_of (name ^ "_xor"));
+        set (v "tab") (i 3) (addr_of (name ^ "_shr"));
+        let_ "acc" (i 1);
+        let_ "pc" (i 0);
+        for_ "t" (i 0) n
+          [
+            let_ "opc" (v "pc" +: v "acc" &: i 3);
+            assign "acc" (call_ptr (idx (v "tab") (v "opc")) [ v "acc" ]);
+            assign "pc" (v "pc" +: i 1);
+          ];
+        free_ (v "tab");
+        return_ (v "acc");
+      ]
+  in
+  main :: handlers
+
+(** All builders, for ballast generation (chrome-scale binaries). *)
+let all_builders : (string * (string -> func)) list =
+  [
+    ("hash_table", hash_table);
+    ("block_sort", block_sort);
+    ("graph_chase", graph_chase);
+    ("board_scan", board_scan);
+    ("dp_matrix", dp_matrix);
+    ("gate_array", gate_array);
+    ("event_queue", event_queue);
+    ("grid_path", grid_path);
+    ("stencil2d", stencil2d);
+    ("nbody", nbody);
+    ("sparse_mv", sparse_mv);
+    ("ray_trace", ray_trace);
+    ("spectral", spectral);
+    ("byte_scan", byte_scan);
+    ("crypto_rounds", crypto_rounds);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Second kernel wave: one distinct dominant loop per SPEC benchmark.  *)
+(* ------------------------------------------------------------------ *)
+
+(** Network-simplex arc relaxation over arc arrays (mcf). *)
+let arc_relax name : func =
+  let arcs = 256 in
+  func ~name ~params:[ "n" ]
+    [
+      let_ "tail" (alloc_elems (i arcs));
+      let_ "head" (alloc_elems (i arcs));
+      let_ "costa" (alloc_elems (i arcs));
+      let_ "pot" (alloc_elems (i 64));
+      for_ "j" (i 0) (i arcs)
+        [
+          set (v "tail") (v "j") (v "j" *: i 7 &: i 63);
+          set (v "head") (v "j") (v "j" *: i 13 +: i 5 &: i 63);
+          set (v "costa") (v "j") (v "j" &: i 127);
+        ];
+      for_ "j" (i 0) (i 64) [ set (v "pot") (v "j") (v "j" *: i 3) ];
+      let_ "s" (i 0);
+      for_ "t" (i 0) n
+        [
+          for_ "j" (i 0) (i arcs)
+            [
+              (* reduced cost = cost - pot[tail] + pot[head] *)
+              let_ "rc"
+                (idx (v "costa") (v "j")
+                -: idx (v "pot") (idx (v "tail") (v "j"))
+                +: idx (v "pot") (idx (v "head") (v "j")));
+              if_ (v "rc" <: i 0)
+                [
+                  set (v "pot") (idx (v "tail") (v "j"))
+                    (idx (v "pot") (idx (v "tail") (v "j")) +: i 1);
+                  assign "s" (v "s" +: i 1);
+                ]
+                [];
+            ];
+        ];
+      free_ (v "tail"); free_ (v "head"); free_ (v "costa"); free_ (v "pot");
+      return_ (v "s");
+    ]
+
+(** Alpha-beta-flavoured move generation with an explicit move stack
+    (sjeng). *)
+let move_search name : func =
+  func ~name ~params:[ "n" ]
+    [
+      let_ "board" (alloc_elems (i 64));
+      let_ "moves" (alloc_elems (i 128));
+      for_ "j" (i 0) (i 64) [ set (v "board") (v "j") (v "j" *: i 11 &: i 7) ];
+      let_ "s" (i 0);
+      for_ "t" (i 0) n
+        [
+          (* generate *)
+          let_ "top" (i 0);
+          for_ "sq" (i 0) (i 64)
+            [
+              if_
+                (idx (v "board") (v "sq") &: i 1 =: i 1)
+                [
+                  set (v "moves") (v "top") (v "sq" *: i 8 +: (v "t" &: i 7));
+                  assign "top" (v "top" +: i 1);
+                ]
+                [];
+            ];
+          (* score and unmake *)
+          for_ "m" (i 0) (v "top")
+            [
+              let_ "mv" (idx (v "moves") (v "m"));
+              let_ "to_" (v "mv" &: i 63);
+              let_ "old" (idx (v "board") (v "to_"));
+              set (v "board") (v "to_") (v "old" ^: i 3);
+              assign "s" (v "s" +: (v "old" &: i 7));
+              set (v "board") (v "to_") (v "old");
+            ];
+        ];
+      free_ (v "board"); free_ (v "moves");
+      return_ (v "s");
+    ]
+
+(** Sum-of-absolute-differences block matching over byte frames
+    (h264ref motion estimation). *)
+let sad_match name : func =
+  let w = 32 in
+  func ~name ~params:[ "n" ]
+    [
+      let_ "cur" (alloc_bytes (i (w * 8)));
+      let_ "refr" (alloc_bytes (i (w * 8)));
+      for_ "j" (i 0) (i (w * 8))
+        [
+          set1 (v "cur") (v "j") (v "j" *: i 31 &: i 255);
+          set1 (v "refr") (v "j") (v "j" *: i 37 +: i 9 &: i 255);
+        ];
+      let_ "best" (i 99999999);
+      for_ "t" (i 0) n
+        [
+          for_ "dx" (i 0) (i 8)
+            [
+              let_ "sad" (i 0);
+              for_ "p" (i 0) (i w)
+                [
+                  let_ "d"
+                    (idx1 (v "cur") (v "p" <<: 3)
+                    -: idx1 (v "refr") ((v "p" <<: 3) +: v "dx"));
+                  (* |d| without branches: (d^(d>>63)) - (d>>63) *)
+                  let_ "m" (Bin (Shr, v "d" <<: 1, Int 1));
+                  assign "sad" (v "sad" +: (v "d" *: v "d"));
+                  expr (v "m");
+                ];
+              if_ (v "sad" <: v "best") [ assign "best" (v "sad") ] [];
+            ];
+        ];
+      free_ (v "cur"); free_ (v "refr");
+      return_ (v "best");
+    ]
+
+(** DOM-like tree walk over heap node records (xalancbmk).  Nodes are
+    4-element records: [tag; first_child; next_sibling; value]. *)
+let tree_walk name : func =
+  let nodes = 128 in
+  func ~name ~params:[ "n" ]
+    [
+      let_ "pool" (alloc_elems (i (nodes * 4)));
+      (* a fixed binary-ish tree: child = 2j+1, sibling = 2j+2 *)
+      for_ "j" (i 0) (i nodes)
+        [
+          set (v "pool") (v "j" *: i 4) (v "j" &: i 15);
+          setk (v "pool") (v "j" *: i 4) 1
+            (Bin
+               ( Mul,
+                 Cmp (X64.Isa.Lt, v "j" *: i 2 +: i 1, i nodes),
+                 v "j" *: i 2 +: i 1 ));
+          setk (v "pool") (v "j" *: i 4) 2
+            (Bin
+               ( Mul,
+                 Cmp (X64.Isa.Lt, v "j" *: i 2 +: i 2, i nodes),
+                 v "j" *: i 2 +: i 2 ));
+          setk (v "pool") (v "j" *: i 4) 3 (v "j" *: i 5 &: i 255);
+        ];
+      let_ "s" (i 0);
+      for_ "t" (i 0) n
+        [
+          (* iterative DFS with an explicit stack *)
+          let_ "stk" (alloc_elems (i 64));
+          set (v "stk") (i 0) (i 0);
+          let_ "sp" (i 1);
+          while_ (v "sp" >: i 0)
+            [
+              assign "sp" (v "sp" -: i 1);
+              let_ "node" (idx (v "stk") (v "sp"));
+              assign "s" (v "s" +: idxk (v "pool") (v "node" *: i 4) 3);
+              let_ "c" (idxk (v "pool") (v "node" *: i 4) 1);
+              let_ "sib" (idxk (v "pool") (v "node" *: i 4) 2);
+              if_ (Bin (Band, v "c" >: i 0, v "sp" <: i 63))
+                [
+                  set (v "stk") (v "sp") (v "c");
+                  assign "sp" (v "sp" +: i 1);
+                ]
+                [];
+              if_ (Bin (Band, v "sib" >: i 0, v "sp" <: i 63))
+                [
+                  set (v "stk") (v "sp") (v "sib");
+                  assign "sp" (v "sp" +: i 1);
+                ]
+                [];
+            ];
+          free_ (v "stk");
+        ];
+      free_ (v "pool");
+      return_ (v "s");
+    ]
+
+(** D2Q5-flavoured lattice update with two fields (lbm / cactusADM). *)
+let lattice3 name : func =
+  let dim = 14 in
+  func ~name ~params:[ "n" ]
+    [
+      let_ "f0" (alloc_elems (i (dim * dim)));
+      let_ "f1" (alloc_elems (i (dim * dim)));
+      let_ "rho" (alloc_elems (i (dim * dim)));
+      for_ "j" (i 0) (i (dim * dim))
+        [
+          set (v "f0") (v "j") (v "j" &: i 63);
+          set (v "f1") (v "j") (v "j" *: i 3 &: i 63);
+          set (v "rho") (v "j") (i 0);
+        ];
+      for_ "t" (i 0) n
+        [
+          for_ "y" (i 1) (i (dim - 1))
+            [
+              for_ "x" (i 1) (i (dim - 1))
+                [
+                  let_ "p" (v "y" *: i dim +: v "x");
+                  let_ "d" (idx (v "f0") (v "p") +: idx (v "f1") (v "p"));
+                  msets (v "rho") (v "p") [ (0, v "d" >>: 1) ];
+                  set (v "f0") (v "p")
+                    (idxk (v "f0") (v "p") 1 +: idxk (v "f0") (v "p") (-1)
+                    >>: 1);
+                  set (v "f1") (v "p")
+                    (idxk (v "f1") (v "p") dim
+                    +: idxk (v "f1") (v "p") (-dim)
+                    >>: 1);
+                ];
+            ];
+        ];
+      let_ "s" (i 0);
+      for_ "j" (i 0) (i (dim * dim)) [ assign "s" (v "s" +: idx (v "rho") (v "j")) ];
+      free_ (v "f0"); free_ (v "f1"); free_ (v "rho");
+      return_ (v "s");
+    ]
+
+(** 1-D PDE sweep with flux limiting (zeusmp flavour). *)
+let pde1d name : func =
+  let cells = 256 in
+  func ~name ~params:[ "n" ]
+    [
+      let_ "u" (alloc_elems (i cells));
+      let_ "flux" (alloc_elems (i cells));
+      for_ "j" (i 0) (i cells) [ set (v "u") (v "j") (v "j" *: i 9 &: i 1023) ];
+      for_ "t" (i 0) n
+        [
+          for_ "j" (i 1) (i (cells - 1))
+            [
+              let_ "du" (idxk (v "u") (v "j") 1 -: idx (v "u") (v "j"));
+              (* limited flux: clamp du to [-64, 64] *)
+              if_ (v "du" >: i 64) [ assign "du" (i 64) ] [];
+              if_ (v "du" <: i (-64)) [ assign "du" (i (-64)) ] [];
+              set (v "flux") (v "j") (v "du");
+            ];
+          for_ "j" (i 1) (i (cells - 1))
+            [
+              set (v "u") (v "j")
+                (idx (v "u") (v "j")
+                +: (idx (v "flux") (v "j") -: idxk (v "flux") (v "j") (-1)
+                   >>: 2));
+            ];
+        ];
+      let_ "s" (i 0);
+      for_ "j" (i 0) (i cells) [ assign "s" (v "s" +: idx (v "u") (v "j")) ];
+      free_ (v "u"); free_ (v "flux");
+      return_ (v "s");
+    ]
+
+(** 3-D 7-point stencil (bwaves). *)
+let stencil3d name : func =
+  let d = 8 in
+  func ~name ~params:[ "n" ]
+    [
+      let_ "g" (alloc_elems (i (d * d * d)));
+      let_ "h" (alloc_elems (i (d * d * d)));
+      for_ "j" (i 0) (i (d * d * d)) [ set (v "g") (v "j") (v "j" &: i 255) ];
+      for_ "t" (i 0) n
+        [
+          for_ "z" (i 1) (i (d - 1))
+            [
+              for_ "y" (i 1) (i (d - 1))
+                [
+                  for_ "x" (i 1) (i (d - 1))
+                    [
+                      let_ "p" (v "z" *: i (d * d) +: (v "y" *: i d) +: v "x");
+                      let_ "acc"
+                        (idx (v "g") (v "p")
+                        +: idxk (v "g") (v "p") 1
+                        +: idxk (v "g") (v "p") (-1)
+                        +: idxk (v "g") (v "p") d
+                        +: idxk (v "g") (v "p") (-d)
+                        +: idxk (v "g") (v "p") (d * d)
+                        +: idxk (v "g") (v "p") (-(d * d)));
+                      set (v "h") (v "p") (v "acc" /: i 7);
+                    ];
+                ];
+            ];
+          for_ "j" (i 0) (i (d * d * d))
+            [ set (v "g") (v "j") (idx (v "h") (v "j")) ];
+        ];
+      let_ "s" (i 0);
+      for_ "j" (i 0) (i (d * d * d)) [ assign "s" (v "s" +: idx (v "g") (v "j")) ];
+      free_ (v "g"); free_ (v "h");
+      return_ (v "s");
+    ]
+
+(** FDTD E/H leapfrog field update (GemsFDTD). *)
+let fdtd2d name : func =
+  let dim = 16 in
+  func ~name ~params:[ "n" ]
+    [
+      let_ "ez" (alloc_elems (i (dim * dim)));
+      let_ "hx" (alloc_elems (i (dim * dim)));
+      let_ "hy" (alloc_elems (i (dim * dim)));
+      for_ "j" (i 0) (i (dim * dim))
+        [
+          set (v "ez") (v "j") (v "j" &: i 127);
+          set (v "hx") (v "j") (i 0);
+          set (v "hy") (v "j") (i 0);
+        ];
+      for_ "t" (i 0) n
+        [
+          (* H update *)
+          for_ "y" (i 0) (i (dim - 1))
+            [
+              for_ "x" (i 0) (i (dim - 1))
+                [
+                  let_ "p" (v "y" *: i dim +: v "x");
+                  set (v "hx") (v "p")
+                    (idx (v "hx") (v "p")
+                    -: (idxk (v "ez") (v "p") dim -: idx (v "ez") (v "p")
+                       >>: 3));
+                  set (v "hy") (v "p")
+                    (idx (v "hy") (v "p")
+                    +: (idxk (v "ez") (v "p") 1 -: idx (v "ez") (v "p")
+                       >>: 3));
+                ];
+            ];
+          (* E update *)
+          for_ "y" (i 1) (i dim)
+            [
+              for_ "x" (i 1) (i dim)
+                [
+                  let_ "p" (v "y" *: i dim +: v "x" %: i (dim * dim));
+                  set (v "ez") (v "p")
+                    (idx (v "ez") (v "p")
+                    +: (idx (v "hy") (v "p") -: idxk (v "hy") (v "p") (-1)
+                       -: idx (v "hx") (v "p")
+                       +: idxk (v "hx") (v "p") (-dim)
+                       >>: 3)
+                    &: i 0xffff);
+                ];
+            ];
+        ];
+      let_ "s" (i 0);
+      for_ "j" (i 0) (i (dim * dim)) [ assign "s" (v "s" +: idx (v "ez") (v "j")) ];
+      free_ (v "ez"); free_ (v "hx"); free_ (v "hy");
+      return_ (v "s");
+    ]
+
+(** Integer LU-flavoured elimination (soplex simplex pivots). *)
+let lu_decomp name : func =
+  let d = 14 in
+  func ~name ~params:[ "n" ]
+    [
+      let_ "m" (alloc_elems (i (d * d)));
+      let_ "s" (i 0);
+      for_ "t" (i 0) n
+        [
+          for_ "j" (i 0) (i (d * d))
+            [ set (v "m") (v "j") (v "j" *: i 23 +: v "t" &: i 255 |: i 1) ];
+          for_ "k" (i 0) (i (d - 1))
+            [
+              let_ "piv" (idx (v "m") (v "k" *: i d +: v "k") |: i 1);
+              for_ "r" (v "k" +: i 1) (i d)
+                [
+                  let_ "f" (idx (v "m") (v "r" *: i d +: v "k") /: v "piv");
+                  for_ "c" (v "k") (i d)
+                    [
+                      set (v "m") (v "r" *: i d +: v "c")
+                        (idx (v "m") (v "r" *: i d +: v "c")
+                        -: (v "f" *: idx (v "m") (v "k" *: i d +: v "c"))
+                        &: i 0xffff);
+                    ];
+                ];
+            ];
+          assign "s" (v "s" +: idx (v "m") (i (d * d - 1)));
+        ];
+      free_ (v "m");
+      return_ (v "s");
+    ]
+
+(** Finite-element assembly: per-element scatter-add into a global
+    matrix (calculix). *)
+let fe_assemble name : func =
+  let nels = 48 and ndof = 96 in
+  func ~name ~params:[ "n" ]
+    [
+      let_ "conn" (alloc_elems (i (nels * 4)));
+      let_ "kmat" (alloc_elems (i ndof));
+      for_ "j" (i 0) (i (nels * 4))
+        [ set (v "conn") (v "j") (v "j" *: i 17 %: i ndof) ];
+      for_ "j" (i 0) (i ndof) [ set (v "kmat") (v "j") (i 0) ];
+      for_ "t" (i 0) n
+        [
+          for_ "e" (i 0) (i nels)
+            [
+              (* a 4-dof element: scatter its contributions *)
+              for_ "a" (i 0) (i 4)
+                [
+                  let_ "ga" (idx (v "conn") (v "e" *: i 4 +: v "a"));
+                  let_ "acc" (i 0);
+                  for_ "b" (i 0) (i 4)
+                    [
+                      let_ "gb" (idx (v "conn") (v "e" *: i 4 +: v "b"));
+                      assign "acc" (v "acc" +: (v "ga" +: v "gb" &: i 31));
+                    ];
+                  set (v "kmat") (v "ga") (idx (v "kmat") (v "ga") +: v "acc");
+                ];
+            ];
+        ];
+      let_ "s" (i 0);
+      for_ "j" (i 0) (i ndof) [ assign "s" (v "s" +: idx (v "kmat") (v "j")) ];
+      free_ (v "conn"); free_ (v "kmat");
+      return_ (v "s");
+    ]
+
+(** Quartic loop nest of two-electron integrals (gamess). *)
+let integrals name : func =
+  let nb = 8 in
+  func ~name ~params:[ "n" ]
+    [
+      let_ "zeta" (alloc_elems (i nb));
+      let_ "fock" (alloc_elems (i (nb * nb)));
+      for_ "j" (i 0) (i nb) [ set (v "zeta") (v "j") (v "j" *: i 7 +: i 3) ];
+      for_ "j" (i 0) (i (nb * nb)) [ set (v "fock") (v "j") (i 0) ];
+      for_ "t" (i 0) n
+        [
+          for_ "a" (i 0) (i nb)
+            [
+              for_ "b" (i 0) (i nb)
+                [
+                  for_ "c" (i 0) (i nb)
+                    [
+                      let_ "zab" (idx (v "zeta") (v "a") *: idx (v "zeta") (v "b"));
+                      let_ "zc" (idx (v "zeta") (v "c"));
+                      let_ "eri" (v "zab" /: (v "zc" +: i 1) &: i 1023);
+                      set (v "fock") (v "a" *: i nb +: v "b")
+                        (idx (v "fock") (v "a" *: i nb +: v "b") +: v "eri");
+                    ];
+                ];
+            ];
+        ];
+      let_ "s" (i 0);
+      for_ "j" (i 0) (i (nb * nb)) [ assign "s" (v "s" +: idx (v "fock") (v "j")) ];
+      free_ (v "zeta"); free_ (v "fock");
+      return_ (v "s");
+    ]
+
+(** 2-D wave equation with three time levels (wrf dynamics). *)
+let wave2d name : func =
+  let dim = 16 in
+  func ~name ~params:[ "n" ]
+    [
+      let_ "prev2" (alloc_elems (i (dim * dim)));
+      let_ "cur" (alloc_elems (i (dim * dim)));
+      let_ "nxt" (alloc_elems (i (dim * dim)));
+      for_ "j" (i 0) (i (dim * dim))
+        [
+          set (v "prev2") (v "j") (v "j" &: i 63);
+          set (v "cur") (v "j") (v "j" *: i 3 &: i 63);
+        ];
+      for_ "t" (i 0) n
+        [
+          for_ "y" (i 1) (i (dim - 1))
+            [
+              for_ "x" (i 1) (i (dim - 1))
+                [
+                  let_ "p" (v "y" *: i dim +: v "x");
+                  let_ "lap"
+                    (idxk (v "cur") (v "p") 1
+                    +: idxk (v "cur") (v "p") (-1)
+                    +: idxk (v "cur") (v "p") dim
+                    +: idxk (v "cur") (v "p") (-dim)
+                    -: (idx (v "cur") (v "p") <<: 2));
+                  set (v "nxt") (v "p")
+                    ((idx (v "cur") (v "p") <<: 1)
+                    -: idx (v "prev2") (v "p")
+                    +: (v "lap" >>: 2) &: i 4095);
+                ];
+            ];
+          for_ "j" (i 0) (i (dim * dim))
+            [
+              set (v "prev2") (v "j") (idx (v "cur") (v "j"));
+              set (v "cur") (v "j") (idx (v "nxt") (v "j"));
+            ];
+        ];
+      let_ "s" (i 0);
+      for_ "j" (i 0) (i (dim * dim)) [ assign "s" (v "s" +: idx (v "cur") (v "j")) ];
+      free_ (v "prev2"); free_ (v "cur"); free_ (v "nxt");
+      return_ (v "s");
+    ]
+
+(** Gaussian-mixture scoring over feature frames (sphinx3). *)
+let gmm_eval name : func =
+  let feat = 16 and mix = 8 in
+  func ~name ~params:[ "n" ]
+    [
+      let_ "mean" (alloc_elems (i (mix * feat)));
+      let_ "x" (alloc_elems (i feat));
+      for_ "j" (i 0) (i (mix * feat)) [ set (v "mean") (v "j") (v "j" *: i 5 &: i 255) ];
+      let_ "s" (i 0);
+      for_ "t" (i 0) n
+        [
+          for_ "j" (i 0) (i feat)
+            [ set (v "x") (v "j") (v "t" *: i 13 +: v "j" &: i 255) ];
+          let_ "best" (i 99999999);
+          for_ "m" (i 0) (i mix)
+            [
+              let_ "d2" (i 0);
+              for_ "j" (i 0) (i feat)
+                [
+                  let_ "d" (idx (v "x") (v "j") -: idx (v "mean") (v "m" *: i feat +: v "j"));
+                  assign "d2" (v "d2" +: (v "d" *: v "d"));
+                ];
+              if_ (v "d2" <: v "best") [ assign "best" (v "d2") ] [];
+            ];
+          assign "s" (v "s" +: v "best");
+        ];
+      free_ (v "mean"); free_ (v "x");
+      return_ (v "s");
+    ]
+
+(** Pairwise forces with a neighbour list and distance cutoff
+    (gromacs). *)
+let cutoff_forces name : func =
+  let parts = 32 and neigh = 8 in
+  func ~name ~params:[ "n" ]
+    [
+      let_ "px" (alloc_elems (i parts));
+      let_ "nl" (alloc_elems (i (parts * neigh)));
+      let_ "f" (alloc_elems (i parts));
+      for_ "j" (i 0) (i parts)
+        [
+          set (v "px") (v "j") (v "j" *: i 19 &: i 1023);
+          set (v "f") (v "j") (i 0);
+        ];
+      for_ "j" (i 0) (i (parts * neigh))
+        [ set (v "nl") (v "j") (Bin (Rem, v "j" *: i 11 +: i 3, Int parts)) ];
+      for_ "t" (i 0) n
+        [
+          for_ "a" (i 0) (i parts)
+            [
+              for_ "k" (i 0) (i neigh)
+                [
+                  let_ "b" (idx (v "nl") (v "a" *: i neigh +: v "k"));
+                  let_ "d" (idx (v "px") (v "a") -: idx (v "px") (v "b"));
+                  let_ "d2" (v "d" *: v "d");
+                  if_ (v "d2" <: i 65536)
+                    [
+                      set (v "f") (v "a")
+                        (idx (v "f") (v "a") +: (v "d" *: i 100 /: (v "d2" +: i 1)));
+                    ]
+                    [];
+                ];
+            ];
+          for_ "a" (i 0) (i parts)
+            [
+              set (v "px") (v "a")
+                (idx (v "px") (v "a") +: (idx (v "f") (v "a") >>: 5) &: i 1023);
+            ];
+        ];
+      let_ "s" (i 0);
+      for_ "j" (i 0) (i parts) [ assign "s" (v "s" +: idx (v "px") (v "j")) ];
+      free_ (v "px"); free_ (v "nl"); free_ (v "f");
+      return_ (v "s");
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Kraken-specific kernels (Figure 8): one per sub-benchmark.          *)
+(* ------------------------------------------------------------------ *)
+
+(** AES-flavoured rounds: sbox lookups + column mixing over a 16-byte
+    state (crypto-aes). *)
+let aes_rounds name : func =
+  func ~name ~params:[ "n" ]
+    [
+      let_ "sbox" (alloc_elems (i 256));
+      let_ "st" (alloc_elems (i 16));
+      for_ "j" (i 0) (i 256)
+        [ set (v "sbox") (v "j") (v "j" *: i 197 +: i 99 &: i 255) ];
+      for_ "j" (i 0) (i 16) [ set (v "st") (v "j") (v "j" *: i 17) ];
+      for_ "t" (i 0) n
+        [
+          for_ "r" (i 0) (i 10)
+            [
+              (* SubBytes + AddRoundKey *)
+              for_ "j" (i 0) (i 16)
+                [
+                  set (v "st") (v "j")
+                    (idx (v "sbox") (idx (v "st") (v "j") &: i 255)
+                    ^: (v "r" *: i 13 +: v "j"));
+                ];
+              (* MixColumns-ish: each column folded *)
+              for_ "c" (i 0) (i 4)
+                [
+                  let_ "b" (v "c" <<: 2);
+                  let_ "m"
+                    (idx (v "st") (v "b")
+                    ^: idxk (v "st") (v "b") 1
+                    ^: idxk (v "st") (v "b") 2
+                    ^: idxk (v "st") (v "b") 3);
+                  msets (v "st") (v "b")
+                    [ (0, idx (v "st") (v "b") ^: v "m");
+                      (1, idxk (v "st") (v "b") 1 ^: v "m") ];
+                ];
+            ];
+        ];
+      let_ "s" (i 0);
+      for_ "j" (i 0) (i 16) [ assign "s" (v "s" +: idx (v "st") (v "j")) ];
+      free_ (v "sbox"); free_ (v "st");
+      return_ (v "s");
+    ]
+
+(** CCM mode: AES-ish block transform + CBC-MAC chaining (crypto-ccm). *)
+let ccm_mac name : func =
+  func ~name ~params:[ "n" ]
+    [
+      let_ "sbox" (alloc_elems (i 256));
+      let_ "msg" (alloc_elems (i 64));
+      for_ "j" (i 0) (i 256)
+        [ set (v "sbox") (v "j") (v "j" *: i 181 +: i 7 &: i 255) ];
+      for_ "j" (i 0) (i 64) [ set (v "msg") (v "j") (v "j" *: i 31 &: i 255) ];
+      let_ "mac" (i 0x55);
+      for_ "t" (i 0) n
+        [
+          for_ "j" (i 0) (i 64)
+            [
+              (* chain: mac = E(mac xor block) *)
+              assign "mac" (v "mac" ^: idx (v "msg") (v "j"));
+              for_ "r" (i 0) (i 4)
+                [ assign "mac" (idx (v "sbox") (v "mac" &: i 255) ^: (v "mac" >>: 3)) ];
+            ];
+        ];
+      free_ (v "sbox"); free_ (v "msg");
+      return_ (v "mac");
+    ]
+
+(** PBKDF2: iterated keyed mixing with xor-accumulation (crypto-pbkdf2). *)
+let pbkdf2 name : func =
+  func ~name ~params:[ "n" ]
+    [
+      let_ "u" (alloc_elems (i 8));
+      let_ "acc" (alloc_elems (i 8));
+      for_ "j" (i 0) (i 8)
+        [
+          set (v "u") (v "j") (v "j" *: i 0x9e3779b9);
+          set (v "acc") (v "j") (i 0);
+        ];
+      for_ "t" (i 0) n
+        [
+          for_ "iter" (i 0) (i 32)
+            [
+              (* U_{k+1} = PRF(U_k); acc ^= U *)
+              for_ "j" (i 0) (i 8)
+                [
+                  let_ "x" (idx (v "u") (v "j"));
+                  let_ "y" ((v "x" <<: 5) +: (v "x" >>: 7));
+                  let_ "z" ((v "y" ^: (v "y" >>: 11)) *: i 0x27d4eb2d);
+                  set (v "u") (v "j")
+                    (v "z" ^: (v "j" *: i 0x85eb) &: i 0xffffffff);
+                  set (v "acc") (v "j") (idx (v "acc") (v "j") ^: idx (v "u") (v "j"));
+                ];
+            ];
+        ];
+      let_ "s" (i 0);
+      for_ "j" (i 0) (i 8) [ assign "s" (v "s" +: idx (v "acc") (v "j")) ];
+      free_ (v "u"); free_ (v "acc");
+      return_ (v "s");
+    ]
+
+(** SHA-256-flavoured compression: message schedule + 64 mixing rounds
+    (crypto-sha256-iterative). *)
+let sha256_rounds name : func =
+  func ~name ~params:[ "n" ]
+    [
+      let_ "w" (alloc_elems (i 64));
+      let_ "h" (alloc_elems (i 8));
+      for_ "j" (i 0) (i 8) [ set (v "h") (v "j") (v "j" *: i 0x6a09 +: i 1) ];
+      for_ "t" (i 0) n
+        [
+          (* schedule *)
+          for_ "j" (i 0) (i 16) [ set (v "w") (v "j") (v "t" *: i 131 +: v "j") ];
+          for_ "j" (i 16) (i 64)
+            [
+              let_ "a" (idxk (v "w") (v "j") (-15));
+              let_ "b" (idxk (v "w") (v "j") (-2));
+              set (v "w") (v "j")
+                (idxk (v "w") (v "j") (-16)
+                +: ((v "a" >>: 7) ^: (v "a" <<: 14))
+                +: idxk (v "w") (v "j") (-7)
+                +: ((v "b" >>: 17) ^: (v "b" <<: 15))
+                &: i 0xffffffff);
+            ];
+          (* compression *)
+          for_ "j" (i 0) (i 64)
+            [
+              let_ "e" (idx (v "h") (i 4));
+              let_ "ch"
+                ((v "e" &: idx (v "h") (i 5))
+                ^: (Bin (Bxor, v "e", Int (-1)) &: idx (v "h") (i 6)));
+              let_ "tmp"
+                (idx (v "h") (i 7) +: v "ch" +: idx (v "w") (v "j")
+                &: i 0xffffffff);
+              for_ "k" (i 0) (i 7)
+                [ set (v "h") (i 7 -: v "k") (idx (v "h") (i 6 -: v "k")) ];
+              set (v "h") (i 0) (v "tmp");
+            ];
+        ];
+      let_ "s" (i 0);
+      for_ "j" (i 0) (i 8) [ assign "s" (v "s" +: idx (v "h") (v "j")) ];
+      free_ (v "w"); free_ (v "h");
+      return_ (v "s");
+    ]
+
+(** O(n^2) DFT with integer twiddle tables (audio-dft). *)
+let dft name : func =
+  let len = 48 in
+  func ~name ~params:[ "n" ]
+    [
+      let_ "sig_" (alloc_elems (i len));
+      let_ "cos_" (alloc_elems (i len));
+      let_ "sin_" (alloc_elems (i len));
+      let_ "out" (alloc_elems (i len));
+      for_ "j" (i 0) (i len)
+        [
+          set (v "sig_") (v "j") (v "j" *: i 37 &: i 255);
+          (* crude integer twiddles *)
+          set (v "cos_") (v "j") ((v "j" *: v "j") %: i 97 -: i 48);
+          set (v "sin_") (v "j") ((v "j" *: i 89) %: i 97 -: i 48);
+        ];
+      let_ "s" (i 0);
+      for_ "t" (i 0) n
+        [
+          for_ "k" (i 0) (i len)
+            [
+              let_ "re" (i 0);
+              let_ "im" (i 0);
+              for_ "j" (i 0) (i len)
+                [
+                  let_ "tw" ((v "k" *: v "j") %: i len);
+                  assign "re"
+                    (v "re" +: (idx (v "sig_") (v "j") *: idx (v "cos_") (v "tw")));
+                  assign "im"
+                    (v "im" +: (idx (v "sig_") (v "j") *: idx (v "sin_") (v "tw")));
+                ];
+              set (v "out") (v "k") ((v "re" *: v "re") +: (v "im" *: v "im") >>: 8);
+            ];
+          assign "s" (v "s" +: idx (v "out") (v "t" %: i len));
+        ];
+      free_ (v "sig_"); free_ (v "cos_"); free_ (v "sin_"); free_ (v "out");
+      return_ (v "s");
+    ]
+
+(** Radix-2 FFT-style butterflies with bit-reversal (audio-fft). *)
+let fft name : func =
+  let len = 64 in
+  func ~name ~params:[ "n" ]
+    [
+      let_ "re" (alloc_elems (i len));
+      let_ "im" (alloc_elems (i len));
+      let_ "s" (i 0);
+      for_ "t" (i 0) n
+        [
+          for_ "j" (i 0) (i len)
+            [
+              set (v "re") (v "j") (v "j" *: i 23 +: v "t" &: i 1023);
+              set (v "im") (v "j") (i 0);
+            ];
+          (* stages: stride halving butterflies *)
+          let_ "half" (i (len / 2));
+          while_ (v "half" >: i 0)
+            [
+              let_ "k" (i 0);
+              while_ (v "k" <: i len)
+                [
+                  for_ "j" (i 0) (v "half")
+                    [
+                      let_ "a" (idx (v "re") (v "k" +: v "j"));
+                      let_ "b" (idx (v "re") (v "k" +: v "j" +: v "half"));
+                      set (v "re") (v "k" +: v "j") (v "a" +: v "b");
+                      set (v "re") (v "k" +: v "j" +: v "half")
+                        ((v "a" -: v "b") *: (v "j" +: i 1) &: i 0xffff);
+                      set (v "im") (v "k" +: v "j")
+                        (idx (v "im") (v "k" +: v "j") ^: v "b");
+                    ];
+                  assign "k" (v "k" +: (v "half" <<: 1));
+                ];
+              assign "half" (v "half" >>: 1);
+            ];
+          assign "s" (v "s" +: idx (v "re") (v "t" &: i (len - 1)));
+        ];
+      free_ (v "re"); free_ (v "im");
+      return_ (v "s");
+    ]
+
+(** Autocorrelation energy peaks (audio-beat-detection). *)
+let beat_detect name : func =
+  let len = 128 in
+  func ~name ~params:[ "n" ]
+    [
+      let_ "sig_" (alloc_elems (i len));
+      for_ "j" (i 0) (i len)
+        [ set (v "sig_") (v "j") ((v "j" *: i 7 &: i 63) -: i 32) ];
+      let_ "best" (i 0);
+      for_ "t" (i 0) n
+        [
+          for_ "lag" (i 1) (i 32)
+            [
+              let_ "acc" (i 0);
+              for_ "j" (i 0) (i (len - 32))
+                [
+                  assign "acc"
+                    (v "acc"
+                    +: (idx (v "sig_") (v "j")
+                       *: idx (v "sig_") (v "j" +: v "lag")));
+                ];
+              if_ (v "acc" >: v "best") [ assign "best" (v "acc") ] [];
+            ];
+        ];
+      free_ (v "sig_");
+      return_ (v "best");
+    ]
+
+(** Wavetable oscillator bank (audio-oscillator). *)
+let oscillator name : func =
+  let table = 256 and voices = 8 in
+  func ~name ~params:[ "n" ]
+    [
+      let_ "wave" (alloc_elems (i table));
+      let_ "phase" (alloc_elems (i voices));
+      let_ "step" (alloc_elems (i voices));
+      for_ "j" (i 0) (i table)
+        [ set (v "wave") (v "j") ((v "j" *: v "j") %: i 255 -: i 127) ];
+      for_ "vv" (i 0) (i voices)
+        [
+          set (v "phase") (v "vv") (i 0);
+          set (v "step") (v "vv") (v "vv" *: i 3 +: i 1);
+        ];
+      let_ "s" (i 0);
+      for_ "t" (i 0) n
+        [
+          for_ "smp" (i 0) (i 64)
+            [
+              let_ "mix" (i 0);
+              for_ "vv" (i 0) (i voices)
+                [
+                  let_ "p" (idx (v "phase") (v "vv"));
+                  assign "mix" (v "mix" +: idx (v "wave") (v "p" &: i (table - 1)));
+                  set (v "phase") (v "vv") (v "p" +: idx (v "step") (v "vv"));
+                ];
+              assign "s" (v "s" +: (v "mix" >>: 3));
+            ];
+        ];
+      free_ (v "wave"); free_ (v "phase"); free_ (v "step");
+      return_ (v "s" &: i 0xffffffff);
+    ]
+
+(** Per-pixel levels/curves adjustment (imaging-darkroom). *)
+let darkroom name : func =
+  let px = 512 in
+  func ~name ~params:[ "n" ]
+    [
+      let_ "img" (alloc_bytes (i px));
+      let_ "lut" (alloc_elems (i 256));
+      for_ "j" (i 0) (i px) [ set1 (v "img") (v "j") (v "j" *: i 11 &: i 255) ];
+      for_ "j" (i 0) (i 256)
+        [ set (v "lut") (v "j") ((v "j" *: v "j") >>: 8) ];
+      let_ "s" (i 0);
+      for_ "t" (i 0) n
+        [
+          for_ "j" (i 0) (i px)
+            [
+              let_ "c" (idx1 (v "img") (v "j"));
+              (* exposure, then curve via LUT, then clamp *)
+              let_ "e" (v "c" *: i 5 >>: 2);
+              if_ (v "e" >: i 255) [ assign "e" (i 255) ] [];
+              (* contrast around mid-gray, then the curve LUT *)
+              let_ "d" (v "e" -: i 128);
+              let_ "ct" (i 128 +: ((v "d" *: i 3) /: i 2));
+              if_ (v "ct" >: i 255) [ assign "ct" (i 255) ] [];
+              if_ (v "ct" <: i 0) [ assign "ct" (i 0) ] [];
+              set1 (v "img") (v "j") (idx (v "lut") (v "ct"));
+            ];
+          assign "s" (v "s" +: idx1 (v "img") (v "t" &: i (px - 1)));
+        ];
+      free_ (v "img"); free_ (v "lut");
+      return_ (v "s");
+    ]
+
+(** RGB desaturation over packed byte triples (imaging-desaturate). *)
+let desaturate name : func =
+  let pixels = 170 in
+  func ~name ~params:[ "n" ]
+    [
+      let_ "img" (alloc_bytes (i (pixels * 3)));
+      for_ "j" (i 0) (i (pixels * 3))
+        [ set1 (v "img") (v "j") (v "j" *: i 29 &: i 255) ];
+      let_ "s" (i 0);
+      for_ "t" (i 0) n
+        [
+          for_ "p" (i 0) (i pixels)
+            [
+              let_ "b" (v "p" *: i 3);
+              (* ITU-R 601 integer luma: more compute per write *)
+              let_ "r_" (idx1 (v "img") (v "b"));
+              let_ "g_" (idx1 (v "img") (v "b" +: i 1));
+              let_ "b_" (idx1 (v "img") (v "b" +: i 2));
+              let_ "gray"
+                ((v "r_" *: i 77) +: (v "g_" *: i 150) +: (v "b_" *: i 29)
+                >>: 8);
+              (* one address computation, three mergeable byte stores *)
+              Multi_store
+                (E1, v "img", v "b",
+                 [ (0, v "gray"); (1, v "gray"); (2, v "gray") ]);
+            ];
+          assign "s" (v "s" +: idx1 (v "img") (v "t" %: i (pixels * 3)));
+        ];
+      free_ (v "img");
+      return_ (v "s");
+    ]
+
+(** Number / token scanner over a byte stream (json-parse-financial). *)
+let parse_financial name : func =
+  let len = 512 in
+  func ~name ~params:[ "n" ]
+    [
+      let_ "buf" (alloc_bytes (i len));
+      (* synthesize digits and separators *)
+      for_ "j" (i 0) (i len)
+        [
+          if_
+            (v "j" %: i 7 =: i 0)
+            [ set1 (v "buf") (v "j") (i 44) ] (* ',' *)
+            [ set1 (v "buf") (v "j") (i 48 +: (v "j" %: i 10)) ];
+        ];
+      let_ "total" (i 0);
+      for_ "t" (i 0) n
+        [
+          let_ "acc" (i 0);
+          for_ "j" (i 0) (i len)
+            [
+              let_ "c" (idx1 (v "buf") (v "j"));
+              if_
+                (Bin (Band, v "c" >=: i 48, v "c" <=: i 57))
+                [ assign "acc" (v "acc" *: i 10 +: v "c" -: i 48 &: i 0xffffff) ]
+                [
+                  assign "total" (v "total" +: v "acc" &: i 0xffffffff);
+                  assign "acc" (i 0);
+                ];
+            ];
+        ];
+      free_ (v "buf");
+      return_ (v "total");
+    ]
+
+(** Integer-to-decimal writer into a byte buffer
+    (json-stringify-tinderbox). *)
+let stringify name : func =
+  func ~name ~params:[ "n" ]
+    [
+      let_ "out" (alloc_bytes (i 1024));
+      let_ "pos" (i 0);
+      let_ "s" (i 0);
+      for_ "t" (i 0) n
+        [
+          let_ "x" (v "t" *: i 7919 &: i 0xfffff);
+          (* write digits (reversed; fine for a checksum) *)
+          let_ "go" (i 1);
+          while_ (v "go" =: i 1)
+            [
+              set1 (v "out") (v "pos" &: i 1023) (i 48 +: (v "x" %: i 10));
+              assign "pos" (v "pos" +: i 1);
+              assign "x" (v "x" /: i 10);
+              if_ (v "x" =: i 0) [ assign "go" (i 0) ] [];
+            ];
+          set1 (v "out") (v "pos" &: i 1023) (i 44);
+          assign "pos" (v "pos" +: i 1);
+          assign "s" (v "s" +: idx1 (v "out") (v "t" &: i 1023));
+        ];
+      free_ (v "out");
+      return_ (v "s");
+    ]

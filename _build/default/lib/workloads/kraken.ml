@@ -1,0 +1,49 @@
+(** The Kraken browser-benchmark suite (paper Figure 8).
+
+    Fourteen kernels named after the Kraken sub-benchmarks, run under
+    write-only hardening (the configuration used for Chrome in §7.3).
+    Each maps to the computational kernel closest to the real
+    sub-benchmark's hot loop. *)
+
+open Minic.Ast
+open Minic.Build
+
+type bench = { name : string; kernel : string -> func; n : int }
+
+let program (b : bench) : program =
+  Minic.Ast.program
+    [
+      func ~name:"main"
+        [
+          let_ "n" Input;
+          let_ "s" (call "kernel" [ v "n" ]);
+          print_ (v "s");
+          return_ (i 0);
+        ];
+      b.kernel "kernel";
+    ]
+
+let inputs (b : bench) = [ b.n ]
+let binary (b : bench) = Minic.Codegen.compile (program b)
+
+let mk name kernel n = { name; kernel; n }
+
+let all : bench list =
+  [
+    mk "ai-astar" Kernels.grid_path 60;
+    mk "audio-beat-detection" Kernels.beat_detect 2;
+    mk "audio-dft" Kernels.dft 1;
+    mk "audio-fft" Kernels.fft 8;
+    mk "audio-oscillator" Kernels.oscillator 8;
+    mk "imaging-gaussian-blur" Kernels.stencil2d 12;
+    mk "imaging-darkroom" Kernels.darkroom 9;
+    mk "imaging-desaturate" Kernels.desaturate 14;
+    mk "json-parse-financial" Kernels.parse_financial 8;
+    mk "json-stringify-tinderbox" Kernels.stringify 450;
+    mk "crypto-aes" Kernels.aes_rounds 15;
+    mk "crypto-ccm" Kernels.ccm_mac 25;
+    mk "crypto-pbkdf2" Kernels.pbkdf2 9;
+    mk "crypto-sha256-iterative" Kernels.sha256_rounds 8;
+  ]
+
+let find name = List.find (fun b -> b.name = name) all

@@ -1,0 +1,163 @@
+(** The SPEC CPU2006 stand-in suite (see DESIGN.md substitutions).
+
+    One synthetic kernel per benchmark, shaped after its dominant loop,
+    with three paper-fidelity knobs per benchmark:
+
+    - [coverage]: the fraction of dynamic heap accesses exercised by
+      the [train] workload (the rest run in a ref-only clone of the
+      kernel whose sites can never make the allow-list), reproducing
+      Table 1's coverage column;
+    - [fp_sites]: the number of distinct anti-idiom [(array-K)\[i+K\]]
+      access sites, reproducing the §7.1 false-positive census
+      (Fortran non-zero-based arrays etc.);
+    - [bugs]: the real out-of-bounds reads the paper found (calculix:
+      4x [array\[-1\]]; wrf: one read overflow). *)
+
+open Minic.Ast
+open Minic.Build
+
+type lang = C | Cpp | Fortran
+
+let lang_name = function C -> "C" | Cpp -> "C++" | Fortran -> "Fortran"
+
+type bug = Read_underflow | Read_overflow
+
+type bench = {
+  name : string;
+  lang : lang;
+  kernel : string -> func;
+  n_train : int;
+  n_ref : int;
+  coverage : float; (* paper's Table 1 coverage, as a fraction *)
+  fp_sites : int;   (* paper's §7.1 false-positive census *)
+  bugs : bug list;  (* paper's §7.1 detected real errors *)
+}
+
+(* Extra function holding the benchmark's anti-idiom sites and real
+   bugs.  Anti-idiom stores go through a base pointer displaced below
+   the object (>= 24 bytes, past the 16-byte metadata redzone, so the
+   displaced pointer falls outside its object's slot); the accessed
+   address itself stays in bounds. *)
+let fp_and_bug_func ~fp_sites ~bugs name : func =
+  let anti_idiom k =
+    (* (a - 8*(k+3))[j + (k+3)] = j  —  the displaced base pointer falls
+       at least 24 bytes below the object, i.e. outside its slot *)
+    let c = k + 3 in
+    Store (E8, v "a" -: i (8 * c), v "j" +: i c, v "j")
+  in
+  let bug_stmts =
+    List.concat
+      (List.mapi
+         (fun bi b ->
+           match b with
+           | Read_underflow ->
+             (* array[-1]: reads the redzone word; value never escapes *)
+             [ Let (Printf.sprintf "dead%d" bi, Load (E8, v "a", i (-1))) ]
+           | Read_overflow ->
+             (* one-past-the-end row read *)
+             [ Let (Printf.sprintf "dead%d" bi, Load (E8, v "a", i 64)) ])
+         bugs)
+  in
+  func ~name ~params:[]
+    ([
+       let_ "a" (alloc_elems (i 64));
+       for_ "j" (i 0) (i 64) [ set (v "a") (v "j") (v "j") ];
+       for_ "j" (i 0) (i 8) (List.init fp_sites anti_idiom);
+     ]
+    @ bug_stmts
+    @ [
+        let_ "s" (i 0);
+        for_ "j" (i 0) (i 64) [ assign "s" (v "s" +: idx (v "a") (v "j")) ];
+        free_ (v "a");
+        return_ (v "s");
+      ])
+
+(** Build the benchmark program.  Inputs: [mode] (0 = train, 1 = ref)
+    then [n] (scale).  Structure:
+    - the shared kernel runs in both modes (its sites are profiled);
+    - the ref-only clone runs only in ref mode, scaled so the paper's
+      coverage fraction of dynamic accesses comes from allow-listed
+      sites;
+    - the fp/bug function runs in both modes. *)
+let program (b : bench) : program =
+  let has_extra = b.coverage < 0.9995 in
+  let has_fp = b.fp_sites > 0 || b.bugs <> [] in
+  let num = int_of_float ((1.0 -. b.coverage) *. 1000.0) in
+  let den = max 1 (int_of_float (b.coverage *. 1000.0)) in
+  let main =
+    func ~name:"main"
+      ([
+         let_ "mode" Input;
+         let_ "n" Input;
+         let_ "s" (call "kernel" [ v "n" ]);
+       ]
+      @ (if has_fp then [ assign "s" (v "s" +: call "fpfun" []) ] else [])
+      @ (if has_extra then
+           [
+             if_
+               (v "mode" =: i 1)
+               [
+                 assign "s"
+                   (v "s"
+                   +: call "kernel_ref"
+                        [ Bin (Div, v "n" *: i num, Int den) ]);
+               ]
+               [];
+           ]
+         else [])
+      @ [ print_ (v "s"); return_ (i 0) ])
+  in
+  let funcs =
+    [ main; b.kernel "kernel" ]
+    @ (if has_extra then [ b.kernel "kernel_ref" ] else [])
+    @
+    if has_fp then [ fp_and_bug_func ~fp_sites:b.fp_sites ~bugs:b.bugs "fpfun" ]
+    else []
+  in
+  Minic.Ast.program funcs
+
+let train_inputs (b : bench) = [ 0; b.n_train ]
+let ref_inputs (b : bench) = [ 1; b.n_ref ]
+
+let binary (b : bench) : Binfmt.Relf.t = Minic.Codegen.compile (program b)
+
+(* --- the 29-benchmark table ----------------------------------------- *)
+
+let mk name lang kernel n_train n_ref coverage fp_sites bugs =
+  { name; lang; kernel; n_train; n_ref; coverage; fp_sites; bugs }
+
+let all : bench list =
+  [
+    mk "perlbench" C Kernels.hash_table 500 2100 0.889 1 [];
+    mk "bzip2" C Kernels.block_sort 2 6 0.970 0 [];
+    mk "gcc" C Kernels.graph_chase 600 2500 0.660 14 [];
+    mk "mcf" C Kernels.arc_relax 4 18 0.987 0 [];
+    mk "gobmk" C Kernels.board_scan 1 4 0.907 1 [];
+    mk "hmmer" C Kernels.dp_matrix 8 28 0.480 0 [];
+    mk "sjeng" C Kernels.move_search 10 45 0.986 0 [];
+    mk "libquantum" C Kernels.gate_array 2 6 1.000 0 [];
+    mk "h264ref" C Kernels.sad_match 1 2 0.200 0 [];
+    mk "omnetpp" Cpp Kernels.event_queue 400 1600 0.628 0 [];
+    mk "astar" Cpp Kernels.grid_path 18 75 0.997 0 [];
+    mk "xalancbmk" Cpp Kernels.tree_walk 3 11 0.789 0 [];
+    mk "milc" C Kernels.stencil2d 3 13 0.994 0 [];
+    mk "lbm" C Kernels.lattice3 4 15 0.988 0 [];
+    mk "sphinx3" C Kernels.gmm_eval 12 50 0.995 0 [];
+    mk "namd" Cpp Kernels.nbody 2 9 1.000 0 [];
+    mk "dealII" Cpp Kernels.sparse_mv 3 10 0.817 0 [];
+    mk "soplex" Cpp Kernels.lu_decomp 1 3 0.964 0 [];
+    mk "povray" Cpp Kernels.ray_trace 2 8 0.999 1 [];
+    mk "bwaves" Fortran Kernels.stencil3d 2 7 0.852 5 [];
+    mk "gamess" Fortran Kernels.integrals 1 3 0.430 0 [];
+    mk "zeusmp" Fortran Kernels.pde1d 1 3 0.232 0 [];
+    mk "gromacs" Fortran Kernels.cutoff_forces 2 9 0.833 3 [];
+    mk "cactusADM" Fortran Kernels.wave2d 3 10 0.999 0 [];
+    mk "leslie3d" Fortran Kernels.stencil2d 4 16 1.000 0 [];
+    mk "calculix" Fortran Kernels.fe_assemble 1 2 0.287 2
+      [ Read_underflow; Read_underflow; Read_underflow; Read_underflow ];
+    mk "GemsFDTD" Fortran Kernels.fdtd2d 2 5 0.987 32 [];
+    mk "tonto" Fortran Kernels.spectral 3 12 0.950 0 [];
+    mk "wrf" Fortran Kernels.wave2d 1 3 0.270 26 [ Read_overflow ];
+  ]
+
+let find name = List.find (fun b -> b.name = name) all

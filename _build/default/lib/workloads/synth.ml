@@ -1,0 +1,131 @@
+(** Random well-defined MiniC programs, for property-based testing.
+
+    Every generated program is memory-safe by construction (all array
+    indices are reduced modulo the array length, base pointers are
+    never displaced), so:
+
+    - rewriting at any optimization level must preserve its output;
+    - full (Redzone)+(LowFat) checking must report no errors
+      (no false positives on idiomatic code);
+    - the profiling workflow must allow-list every executed site. *)
+
+open Minic.Ast
+open Minic.Build
+
+type gen = { rng : Random.State.t; mutable fresh : int }
+
+let int g n = Random.State.int g.rng n
+
+let fresh g prefix =
+  g.fresh <- g.fresh + 1;
+  Printf.sprintf "%s%d" prefix g.fresh
+
+(* arrays available in scope: (name, length) *)
+let pick g xs = List.nth xs (int g (List.length xs))
+
+(* force an arbitrary integer expression into [0, len): Rem alone is
+   not enough because the VM's Rem keeps the dividend's sign *)
+let safe_idx e len =
+  Bin (Rem, Bin (Add, Bin (Rem, e, Int len), Int len), Int len)
+
+let rec gen_expr g ~depth ~locals ~arrays : expr =
+  if depth = 0 || int g 4 = 0 then
+    match int g 3 with
+    | 0 -> i (int g 1000)
+    | 1 when locals <> [] -> v (pick g locals)
+    | _ -> i (int g 100 + 1)
+  else
+    match int g 8 with
+    | 0 | 1 ->
+      Bin
+        ( pick g [ Add; Sub; Mul ],
+          gen_expr g ~depth:(depth - 1) ~locals ~arrays,
+          gen_expr g ~depth:(depth - 1) ~locals ~arrays )
+    | 2 ->
+      (* safe division: divisor >= 1 *)
+      Bin
+        ( pick g [ Div; Rem ],
+          gen_expr g ~depth:(depth - 1) ~locals ~arrays,
+          Bin (Add, Bin (Band, gen_expr g ~depth:0 ~locals ~arrays, i 255), i 1)
+        )
+    | 3 ->
+      Bin
+        ( pick g [ Band; Bor; Bxor ],
+          gen_expr g ~depth:(depth - 1) ~locals ~arrays,
+          gen_expr g ~depth:(depth - 1) ~locals ~arrays )
+    | 4 -> Bin (pick g [ Shl; Shr ], gen_expr g ~depth:(depth - 1) ~locals ~arrays, Int (int g 8))
+    | 5 when arrays <> [] ->
+      (* in-bounds load: a[e mod len] *)
+      let a, len = pick g arrays in
+      Load (E8, v a, safe_idx (gen_expr g ~depth:(depth - 1) ~locals ~arrays) len)
+    | 6 ->
+      Cmp
+        ( pick g [ X64.Isa.Eq; X64.Isa.Lt; X64.Isa.Gt ],
+          gen_expr g ~depth:(depth - 1) ~locals ~arrays,
+          gen_expr g ~depth:(depth - 1) ~locals ~arrays )
+    | _ -> i (int g 500)
+
+let rec gen_stmt g ~depth ~locals ~arrays : stmt =
+  match int g (if depth > 0 then 8 else 6) with
+  | 0 | 1 when arrays <> [] ->
+    let a, len = pick g arrays in
+    Store
+      ( E8, v a,
+        safe_idx (gen_expr g ~depth:2 ~locals ~arrays) len,
+        gen_expr g ~depth:2 ~locals ~arrays )
+  | 2 when locals <> [] ->
+    (* only the base accumulators are assignable: writing to a loop
+       counter could produce a non-terminating program *)
+    Set (pick g [ "x"; "y" ], gen_expr g ~depth:2 ~locals ~arrays)
+  | 3 when arrays <> [] ->
+    (* a mergeable unrolled store run *)
+    let a, len = pick g arrays in
+    let base = int g (max 1 (len - 4)) in
+    Multi_store
+      ( E8, v a, i base,
+        List.init (1 + int g 3) (fun k ->
+            (k, gen_expr g ~depth:1 ~locals ~arrays)) )
+  | 4 when locals <> [] ->
+    If
+      ( Cmp (X64.Isa.Lt, v (pick g locals), gen_expr g ~depth:1 ~locals ~arrays),
+        [ gen_stmt g ~depth:(depth - 1) ~locals ~arrays ],
+        [ gen_stmt g ~depth:(depth - 1) ~locals ~arrays ] )
+  | 6 | 7 ->
+    let x = fresh g "t" in
+    For
+      ( x, i 0, i (2 + int g 6),
+        [ gen_stmt g ~depth:(depth - 1) ~locals:(x :: locals) ~arrays ] )
+  | _ when locals <> [] ->
+    Set (pick g [ "x"; "y" ], gen_expr g ~depth:2 ~locals ~arrays)
+  | _ -> Expr (gen_expr g ~depth:1 ~locals ~arrays)
+
+(** Generate a program from [seed].  [size] scales the statement count. *)
+let program ?(size = 12) ~seed () : program =
+  let g = { rng = Random.State.make [| seed |]; fresh = 0 } in
+  let n_arrays = 1 + int g 3 in
+  let arrays = List.init n_arrays (fun k -> (Printf.sprintf "a%d" k, 4 + int g 28)) in
+  let alloc_stmts =
+    List.map (fun (a, len) -> let_ a (alloc_elems (i len))) arrays
+  in
+  let init_stmts =
+    List.map (fun (a, len) -> for_ "ii" (i 0) (i len) [ set (v a) (v "ii") (v "ii") ]) arrays
+  in
+  let locals = [ "x"; "y" ] in
+  let body =
+    List.init size (fun _ -> gen_stmt g ~depth:2 ~locals ~arrays)
+  in
+  let checksum =
+    List.concat_map
+      (fun (a, len) ->
+        [ for_ "ii" (i 0) (i len) [ assign "x" (v "x" +: idx (v a) (v "ii")) ] ])
+      arrays
+  in
+  let frees = List.map (fun (a, _) -> free_ (v a)) arrays in
+  Minic.Ast.program
+    [
+      func ~name:"main"
+        (alloc_stmts @ init_stmts
+        @ [ let_ "x" (i 0); let_ "y" (i 7) ]
+        @ body @ checksum @ frees
+        @ [ print_ (v "x" +: v "y"); return_ (i 0) ]);
+    ]

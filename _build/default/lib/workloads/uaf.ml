@@ -1,0 +1,130 @@
+(** A CWE-416 (use-after-free) extension suite.
+
+    The paper's Table 2 evaluates non-incremental spatial errors; this
+    suite extends the evaluation to the temporal errors RedFat also
+    protects against (the metadata word in the redzone is zeroed on
+    free, so any later access fails the merged state/bounds check).
+
+    8 patterns × 4 control-flow variants = 32 cases.  Each case takes
+    one input: 0 runs the safe ordering (use before free), 1 the buggy
+    one.  One extra case — [reuse_case] — documents the known
+    limitation the paper inherits from not quarantining: if the slot is
+    reallocated (same size class) between free and use, the access hits
+    a live object and is missed, while Memcheck's quarantine still
+    catches it. *)
+
+open Minic.Ast
+open Minic.Build
+
+type case = {
+  id : string;
+  pattern : int;
+  variant : int;
+  program : program;
+}
+
+let benign_inputs = [ 0 ]
+let attack_inputs = [ 1 ]
+
+(* Each pattern body runs with locals "a" (8 elems, freed when bad=1
+   before the use) and "bad".  The helper [maybe_free] frees "a" only
+   on the buggy path; the use follows unconditionally. *)
+let patterns : (string * stmt list) list =
+  let maybe_free = if_ (v "bad" =: i 1) [ free_ (v "a") ] [] in
+  let cleanup = if_ (v "bad" =: i 1) [] [ free_ (v "a") ] in
+  [
+    ( "write-after-free",
+      [ maybe_free; set (v "a") (i 2) (i 7); cleanup ] );
+    ( "read-after-free",
+      [ maybe_free; let_ "x" (idx (v "a") (i 2)); print_ (v "x" *: i 0);
+        cleanup ] );
+    ( "alias-use-after-free",
+      [ let_ "alias" (v "a"); maybe_free;
+        set (v "alias") (i 3) (i 9); cleanup ] );
+    ( "use-after-free-in-loop",
+      [ maybe_free;
+        for_ "j" (i 0) (i 4) [ set (v "a") (v "j") (v "j") ];
+        cleanup ] );
+    ( "dangling-in-array",
+      [ let_ "holder" (alloc_elems (i 2));
+        set (v "holder") (i 0) (v "a");
+        maybe_free;
+        set (v "holder") (i 1) (idx (v "holder") (i 0));
+        Store (E8, idx (v "holder") (i 1), i 1, i 5);
+        cleanup;
+        free_ (v "holder") ] );
+    ( "uaf-after-other-alloc",
+      (* an allocation of a DIFFERENT size class between free and use:
+         the slot is not reused, so detection must survive *)
+      [ maybe_free;
+        let_ "other" (alloc_elems (i 64));
+        set (v "a") (i 2) (i 1);
+        free_ (v "other");
+        cleanup ] );
+    ( "partial-struct-use",
+      [ maybe_free; setk (v "a") (i 0) 5 (i 3); cleanup ] );
+    ( "read-chain-after-free",
+      [ set (v "a") (i 0) (i 1);
+        maybe_free;
+        let_ "x" (idx (v "a") (idx (v "a") (i 0)));
+        print_ (v "x" *: i 0);
+        cleanup ] );
+  ]
+
+(* Control-flow variants, as in the Juliet suite. *)
+let wrap variant (body : stmt list) : func list =
+  let core =
+    [ let_ "a" (alloc_elems (i 8));
+      for_ "j" (i 0) (i 8) [ set (v "a") (v "j") (i 0) ] ]
+    @ body
+    @ [ print_ (i 1); return_ (i 0) ]
+  in
+  match variant with
+  | 0 -> [ func ~name:"main" ([ let_ "bad" Input ] @ core) ]
+  | 1 ->
+    [ func ~name:"main"
+        [ let_ "bad" Input;
+          if_ (i 1 >: i 0) core [];
+          return_ (i 0) ] ]
+  | 2 ->
+    [ func ~name:"main" [ return_ (call "h" [ Input ]) ];
+      func ~name:"h" ~params:[ "bad" ] core ]
+  | _ ->
+    [ func ~name:"main"
+        ([ let_ "bad" Input; let_ "once" (i 0) ]
+        @ [ while_ (v "once" =: i 0) (core @ [ assign "once" (i 1) ]) ]
+        @ [ return_ (i 0) ]) ]
+
+let all : case list =
+  List.concat
+    (List.mapi
+       (fun pi (pname, body) ->
+         List.init 4 (fun variant ->
+             {
+               id = Printf.sprintf "CWE416_%s_v%d" pname variant;
+               pattern = pi;
+               variant;
+               program = Minic.Ast.program (wrap variant body);
+             }))
+       patterns)
+
+let binary (c : case) = Minic.Codegen.compile c.program
+
+(** The known-limitation case: the freed slot is reallocated (same
+    class) before the use.  RedFat (no quarantine) misses it; the
+    Memcheck comparator (quarantine) catches it. *)
+let reuse_case : program =
+  Minic.Ast.program
+    [
+      func ~name:"main"
+        [
+          let_ "a" (alloc_elems (i 8));
+          free_ (v "a");
+          (* same class: the low-fat allocator hands the slot back *)
+          let_ "b" (alloc_elems (i 8));
+          set (v "a") (i 2) (i 7); (* dangling write into b's memory *)
+          print_ (idx (v "b") (i 2));
+          free_ (v "b");
+          return_ (i 0);
+        ];
+    ]

@@ -1,0 +1,1 @@
+lib/x64/asm.ml: Buffer Encode Hashtbl Isa List

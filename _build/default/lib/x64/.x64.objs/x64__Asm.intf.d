@@ -1,0 +1,1 @@
+lib/x64/asm.mli: Hashtbl Isa

@@ -1,0 +1,1 @@
+lib/x64/decode.ml: Char Encode Int64 Isa String

@@ -1,0 +1,1 @@
+lib/x64/disasm.ml: Buffer Char Decode Isa List Printf String

@@ -1,0 +1,1 @@
+lib/x64/disasm.mli: Isa

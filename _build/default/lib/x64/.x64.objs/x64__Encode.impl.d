@@ -1,0 +1,1 @@
+lib/x64/encode.ml: Buffer Char Isa List Printf

@@ -1,0 +1,1 @@
+lib/x64/encode.mli: Buffer Isa

@@ -1,0 +1,58 @@
+(** Two-pass assembler: resolves symbolic labels to rel32 targets.
+
+    Used by the MiniC code generator and by tests; the rewriter works
+    on raw bytes and never goes through here. *)
+
+type item =
+  | Label of string
+  | I of Isa.instr          (** any instruction with absolute targets *)
+  | Jmp_l of string
+  | Jcc_l of Isa.cc * string
+  | Call_l of string
+  | Mov_label of Isa.reg * string
+      (** materialize a label's address (function pointers) *)
+
+exception Undefined_label of string
+exception Duplicate_label of string
+
+let item_length = function
+  | Label _ -> 0
+  | I i -> Encode.length i
+  | Jmp_l _ | Call_l _ -> 5
+  | Jcc_l _ -> 6
+  (* code addresses fit in an i32 in every layout we generate *)
+  | Mov_label _ -> 6
+
+(** [assemble ~origin items] lays the program out starting at virtual
+    address [origin]; returns the code bytes and the label table. *)
+let assemble ~(origin : int) (items : item list) :
+    string * (string, int) Hashtbl.t =
+  let labels = Hashtbl.create 64 in
+  let pc = ref origin in
+  List.iter
+    (fun it ->
+      (match it with
+       | Label l ->
+         if Hashtbl.mem labels l then raise (Duplicate_label l);
+         Hashtbl.add labels l !pc
+       | _ -> ());
+      pc := !pc + item_length it)
+    items;
+  let resolve l =
+    match Hashtbl.find_opt labels l with
+    | Some a -> a
+    | None -> raise (Undefined_label l)
+  in
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun it ->
+      let addr = origin + Buffer.length b in
+      match it with
+      | Label _ -> ()
+      | I i -> Encode.encode_at b addr i
+      | Jmp_l l -> Encode.encode_at b addr (Isa.Jmp (resolve l))
+      | Jcc_l (cc, l) -> Encode.encode_at b addr (Isa.Jcc (cc, resolve l))
+      | Call_l l -> Encode.encode_at b addr (Isa.Call (resolve l))
+      | Mov_label (r, l) -> Encode.encode_at b addr (Isa.Mov_ri (r, resolve l)))
+    items;
+  (Buffer.contents b, labels)

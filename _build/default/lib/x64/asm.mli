@@ -1,0 +1,21 @@
+(** Two-pass assembler: resolves symbolic labels to rel32 targets.
+    Used by the MiniC code generator and tests; the rewriter works on
+    raw bytes. *)
+
+type item =
+  | Label of string
+  | I of Isa.instr
+  | Jmp_l of string
+  | Jcc_l of Isa.cc * string
+  | Call_l of string
+  | Mov_label of Isa.reg * string
+      (** materialize a label's address (function pointers) *)
+
+exception Undefined_label of string
+exception Duplicate_label of string
+
+val item_length : item -> int
+
+val assemble : origin:int -> item list -> string * (string, int) Hashtbl.t
+(** Lay the program out starting at [origin]; returns the code bytes
+    and the label table. *)

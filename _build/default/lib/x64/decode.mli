@@ -1,0 +1,8 @@
+(** Binary decoder for x64l; the exact inverse of {!Encode}. *)
+
+exception Decode_error of { addr : int; byte : int }
+
+val decode : addr:int -> string -> int -> Isa.instr * int
+(** [decode ~addr buf off] decodes one instruction whose first byte is
+    [buf.[off]] and whose virtual address is [addr]; returns the
+    instruction and its encoded length. *)

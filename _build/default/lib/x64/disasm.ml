@@ -1,0 +1,120 @@
+(** Pretty-printing (AT&T-flavoured) and linear-sweep disassembly. *)
+
+let mem_to_string (m : Isa.mem) =
+  let b = Buffer.create 16 in
+  if m.seg <> 0 then Buffer.add_string b (Printf.sprintf "seg%d:" m.seg);
+  if m.disp <> 0 then Buffer.add_string b (Printf.sprintf "%#x" m.disp);
+  (match (m.base, m.idx) with
+   | None, None -> if m.disp = 0 then Buffer.add_string b "0"
+   | base, idx ->
+     Buffer.add_char b '(';
+     (match base with
+      | Some r -> Buffer.add_string b ("%" ^ Isa.reg_name r)
+      | None -> ());
+     (match idx with
+      | Some r ->
+        Buffer.add_string b (",%" ^ Isa.reg_name r);
+        Buffer.add_string b (Printf.sprintf ",%d" m.scale)
+      | None -> ());
+     Buffer.add_char b ')');
+  Buffer.contents b
+
+let alu_name = function
+  | Isa.Add -> "add" | Isa.Sub -> "sub" | Isa.And -> "and"
+  | Isa.Or -> "or" | Isa.Xor -> "xor"
+
+let shift_name = function Isa.Shl -> "shl" | Isa.Shr -> "shr" | Isa.Sar -> "sar"
+
+let cc_name = function
+  | Isa.Eq -> "e" | Isa.Ne -> "ne" | Isa.Lt -> "l" | Isa.Le -> "le"
+  | Isa.Gt -> "g" | Isa.Ge -> "ge" | Isa.Ult -> "b" | Isa.Ule -> "be"
+  | Isa.Ugt -> "a" | Isa.Uge -> "ae"
+
+let rtfn_name = function
+  | Isa.Malloc -> "malloc" | Isa.Free -> "free" | Isa.Input -> "input"
+  | Isa.Print -> "print" | Isa.Exit -> "exit"
+
+let width_suffix = function
+  | Isa.W1 -> "b" | Isa.W2 -> "w" | Isa.W4 -> "l" | Isa.W8 -> "q"
+
+let r = Isa.reg_name
+
+let to_string (i : Isa.instr) : string =
+  match i with
+  | Mov_rr (d, s) -> Printf.sprintf "mov %%%s, %%%s" (r s) (r d)
+  | Mov_ri (d, v) -> Printf.sprintf "mov $%#x, %%%s" v (r d)
+  | Load (w, d, m) ->
+    Printf.sprintf "mov%s %s, %%%s" (width_suffix w) (mem_to_string m) (r d)
+  | Store (w, m, s) ->
+    Printf.sprintf "mov%s %%%s, %s" (width_suffix w) (r s) (mem_to_string m)
+  | Store_i (w, m, v) ->
+    Printf.sprintf "mov%s $%#x, %s" (width_suffix w) v (mem_to_string m)
+  | Lea (d, m) -> Printf.sprintf "lea %s, %%%s" (mem_to_string m) (r d)
+  | Alu_rr (op, d, s) ->
+    Printf.sprintf "%s %%%s, %%%s" (alu_name op) (r s) (r d)
+  | Alu_ri (op, d, v) -> Printf.sprintf "%s $%#x, %%%s" (alu_name op) v (r d)
+  | Mul_rr (d, s) -> Printf.sprintf "imul %%%s, %%%s" (r s) (r d)
+  | Div_rr (d, s) -> Printf.sprintf "div %%%s, %%%s" (r s) (r d)
+  | Rem_rr (d, s) -> Printf.sprintf "rem %%%s, %%%s" (r s) (r d)
+  | Neg x -> Printf.sprintf "neg %%%s" (r x)
+  | Not x -> Printf.sprintf "not %%%s" (r x)
+  | Shift_ri (s, x, n) -> Printf.sprintf "%s $%d, %%%s" (shift_name s) n (r x)
+  | Cmp_rr (a, b) -> Printf.sprintf "cmp %%%s, %%%s" (r b) (r a)
+  | Cmp_ri (a, v) -> Printf.sprintf "cmp $%#x, %%%s" v (r a)
+  | Test_rr (a, b) -> Printf.sprintf "test %%%s, %%%s" (r b) (r a)
+  | Setcc (cc, x) -> Printf.sprintf "set%s %%%s" (cc_name cc) (r x)
+  | Jmp t -> Printf.sprintf "jmpq %#x" t
+  | Jcc (cc, t) -> Printf.sprintf "j%s %#x" (cc_name cc) t
+  | Call t -> Printf.sprintf "callq %#x" t
+  | Call_ind x -> Printf.sprintf "callq *%%%s" (r x)
+  | Jmp_ind x -> Printf.sprintf "jmpq *%%%s" (r x)
+  | Ret -> "retq"
+  | Push x -> Printf.sprintf "push %%%s" (r x)
+  | Pop x -> Printf.sprintf "pop %%%s" (r x)
+  | Callrt f -> Printf.sprintf "callrt %s" (rtfn_name f)
+  | Nop n -> if n = 1 then "nop" else Printf.sprintf "nop%d" n
+  | Hlt -> "hlt"
+  | Trap -> "trap"
+  | Probe id -> Printf.sprintf "probe %d" id
+  | Check c ->
+    Printf.sprintf "check.%s%s %s lo=%d hi=%d site=%#x"
+      (match c.ck_variant with Isa.Full -> "full" | Isa.Redzone -> "rz")
+      (if c.ck_write then ".w" else ".r")
+      (mem_to_string c.ck_mem) c.ck_lo c.ck_hi c.ck_site
+
+(** Linear sweep over a code blob starting at virtual address [addr];
+    returns [(address, instruction, length)] triples. *)
+let sweep ~(addr : int) (code : string) : (int * Isa.instr * int) list =
+  let rec go off acc =
+    if off >= String.length code then List.rev acc
+    else begin
+      let a = addr + off in
+      let i, len = Decode.decode ~addr:a code off in
+      go (off + len) ((a, i, len) :: acc)
+    end
+  in
+  go 0 []
+
+(** Tolerant dump for human consumption: undecodable bytes (stale
+    bytes left behind by patch tactics, data in text, ...) print as
+    [.byte] lines and the sweep resynchronizes one byte later, like any
+    production disassembler. *)
+let dump ~addr code =
+  let b = Buffer.create 1024 in
+  let n = String.length code in
+  let rec go off =
+    if off < n then begin
+      match Decode.decode ~addr:(addr + off) code off with
+      | i, len ->
+        Buffer.add_string b
+          (Printf.sprintf "%8x: %s\n" (addr + off) (to_string i));
+        go (off + len)
+      | exception Decode.Decode_error _ ->
+        Buffer.add_string b
+          (Printf.sprintf "%8x: .byte %#04x\n" (addr + off)
+             (Char.code code.[off]));
+        go (off + 1)
+    end
+  in
+  go 0;
+  Buffer.contents b

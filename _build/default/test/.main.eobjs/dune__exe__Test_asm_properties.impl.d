@@ -1,0 +1,1 @@
+test/test_asm_properties.ml: Binfmt Encode Gen Isa List Lowfat Printf QCheck QCheck_alcotest Redfat Rewriter String X64

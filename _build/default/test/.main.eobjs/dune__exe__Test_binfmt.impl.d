@@ -1,0 +1,1 @@
+test/test_binfmt.ml: Alcotest Binfmt Char Filename List QCheck QCheck_alcotest String Sys Vm

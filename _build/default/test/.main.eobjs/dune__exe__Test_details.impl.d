@@ -1,0 +1,1 @@
+test/test_details.ml: Alcotest Array Asm Binfmt Buffer Decode Disasm Encode Isa List Minic Printf Redfat Redfat_rt Rewriter String Vm Workloads X64

@@ -1,0 +1,1 @@
+test/test_e9afl.ml: Alcotest Baselines Fuzz Hashtbl List Minic Printf Redfat Rewriter Vm Workloads

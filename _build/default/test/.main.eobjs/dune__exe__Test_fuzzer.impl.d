@@ -1,0 +1,1 @@
+test/test_fuzzer.ml: Alcotest Fuzz List Minic Printf Redfat String

@@ -1,0 +1,1 @@
+test/test_lowfat.ml: Alcotest Array Gen List Lowfat Option Printf QCheck QCheck_alcotest Vm

@@ -1,0 +1,1 @@
+test/test_memcheck.ml: Alcotest Baselines List Minic Redfat

@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Binfmt List Minic Printf Redfat Workloads X64

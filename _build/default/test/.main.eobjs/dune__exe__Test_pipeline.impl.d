@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Baselines List Minic Redfat Redfat_rt Rewriter

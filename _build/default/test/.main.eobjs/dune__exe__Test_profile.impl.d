@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Filename List Minic Profile Redfat Redfat_rt Sys

@@ -1,0 +1,1 @@
+test/test_properties.ml: Baselines List Minic QCheck QCheck_alcotest Redfat Redfat_rt Workloads

@@ -1,0 +1,1 @@
+test/test_rewriter.ml: Alcotest Array Asm Binfmt Disasm Hashtbl Isa List Lowfat Minic Redfat Rewriter Workloads X64

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Binfmt Char Decode Disasm Encode Gen List Minic QCheck QCheck_alcotest Redfat Redfat_rt String Test_x64 Workloads X64

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array List Lowfat Option QCheck QCheck_alcotest Redfat_rt Vm X64

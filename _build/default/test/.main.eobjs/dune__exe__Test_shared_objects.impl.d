@@ -1,0 +1,1 @@
+test/test_shared_objects.ml: Alcotest List Lowfat Minic Redfat

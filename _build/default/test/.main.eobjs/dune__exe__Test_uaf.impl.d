@@ -1,0 +1,1 @@
+test/test_uaf.ml: Alcotest Baselines List Minic Redfat Redfat_rt Workloads

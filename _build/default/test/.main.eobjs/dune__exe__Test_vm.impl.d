@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Asm Disasm Hashtbl Isa List Printf Vm X64

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Baselines Binfmt List Minic Redfat Redfat_rt Workloads

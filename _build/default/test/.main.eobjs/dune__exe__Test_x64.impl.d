@@ -1,0 +1,1 @@
+test/test_x64.ml: Alcotest Asm Buffer Decode Disasm Encode Gen Hashtbl Isa List QCheck QCheck_alcotest String X64

@@ -1,0 +1,25 @@
+let () =
+  Alcotest.run "redfat"
+    [
+      ("x64", Test_x64.tests);
+      ("vm", Test_vm.tests);
+      ("binfmt", Test_binfmt.tests);
+      ("lowfat", Test_lowfat.tests);
+      ("runtime", Test_runtime.tests);
+      ("minic", Test_minic.tests);
+      ("parser", Test_parser.tests);
+      ("rewriter", Test_rewriter.tests);
+      ("shared-objects", Test_shared_objects.tests);
+      ("profile", Test_profile.tests);
+      ("fuzzer", Test_fuzzer.tests);
+      ("e9afl", Test_e9afl.tests);
+      ("uaf", Test_uaf.tests);
+      ("cli", Test_cli.tests);
+      ("memcheck", Test_memcheck.tests);
+      ("workloads", Test_workloads.tests);
+      ("properties", Test_properties.tests);
+      ("robustness", Test_robustness.tests);
+      ("details", Test_details.tests);
+      ("asm-properties", Test_asm_properties.tests);
+      ("pipeline", Test_pipeline.tests);
+    ]

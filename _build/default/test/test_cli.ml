@@ -1,0 +1,130 @@
+(* CLI integration: drive the redfat executable end to end through
+   temp files, checking exit codes and key output lines. *)
+
+let cli = "../bin/redfat_cli.exe"
+
+let available = Sys.file_exists cli
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let run_cli args =
+  let out = tmp "redfat_cli_out.txt" in
+  let cmd = Printf.sprintf "%s %s > %s 2>&1" cli args out in
+  let code = Sys.command cmd in
+  let ic = open_in out in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  (code, contents)
+
+let contains hay needle =
+  let rec go i =
+    i + String.length needle <= String.length hay
+    && (String.sub hay i (String.length needle) = needle || go (i + 1))
+  in
+  go 0
+
+let skip_unless_available () =
+  if not available then
+    Alcotest.skip ()
+
+let test_full_workflow () =
+  skip_unless_available ();
+  let relf = tmp "cli_t.relf" in
+  let hard = tmp "cli_t.hard.relf" in
+  let allow = tmp "cli_t.allow.lst" in
+  (* workload -> profile -> harden -> run *)
+  let c, _ = run_cli (Printf.sprintf "workload spec:mcf -o %s" relf) in
+  Alcotest.(check int) "workload" 0 c;
+  let c, out = run_cli (Printf.sprintf "profile %s --inputs 0,4 -o %s" relf allow) in
+  Alcotest.(check int) "profile" 0 c;
+  Alcotest.(check bool) "allow-list written" true (contains out "allow-listed");
+  let c, _ =
+    run_cli (Printf.sprintf "harden %s --allowlist %s -o %s" relf allow hard)
+  in
+  Alcotest.(check int) "harden" 0 c;
+  let c, out = run_cli (Printf.sprintf "run %s --inputs 1,18 --env redfat" hard) in
+  Alcotest.(check int) "run" 0 c;
+  Alcotest.(check bool) "finished" true (contains out "finished (exit 0)");
+  Alcotest.(check bool) "coverage reported" true (contains out "coverage")
+
+let test_compile_and_detect () =
+  skip_unless_available ();
+  let src = tmp "cli_v.mc" in
+  let oc = open_out src in
+  output_string oc
+    "fn main() { var a = alloc(8); var b = alloc(8); b[0] = 7;\n\
+     a[input()] = 1; print(b[0]); free(a); free(b); return 0; }\n";
+  close_out oc;
+  let relf = tmp "cli_v.relf" and hard = tmp "cli_v.hard.relf" in
+  let c, _ = run_cli (Printf.sprintf "compile %s -o %s" src relf) in
+  Alcotest.(check int) "compile" 0 c;
+  let c, _ = run_cli (Printf.sprintf "harden %s -o %s" relf hard) in
+  Alcotest.(check int) "harden" 0 c;
+  let _, out = run_cli (Printf.sprintf "run %s --inputs 12 --env redfat" hard) in
+  Alcotest.(check bool) "detected" true (contains out "DETECTED");
+  Alcotest.(check bool) "explained" true (contains out "non-incremental")
+
+let test_compile_error_position () =
+  skip_unless_available ();
+  let src = tmp "cli_bad.mc" in
+  let oc = open_out src in
+  output_string oc "fn main() {\n  print(1)\n}\n";
+  close_out oc;
+  let c, out = run_cli (Printf.sprintf "compile %s -o /dev/null" src) in
+  Alcotest.(check bool) "nonzero exit" true (c <> 0);
+  Alcotest.(check bool) "line number" true (contains out ":3:")
+
+let test_double_harden_refused () =
+  skip_unless_available ();
+  let relf = tmp "cli_d.relf" and hard = tmp "cli_d.hard.relf" in
+  let c, _ = run_cli (Printf.sprintf "workload cve:wireshark -o %s" relf) in
+  Alcotest.(check int) "workload" 0 c;
+  let c, _ = run_cli (Printf.sprintf "harden %s -o %s" relf hard) in
+  Alcotest.(check int) "harden" 0 c;
+  let c, out = run_cli (Printf.sprintf "harden %s -o /dev/null" hard) in
+  Alcotest.(check bool) "refused" true (c <> 0);
+  Alcotest.(check bool) "message" true (contains out "twice")
+
+let test_disasm_and_trace () =
+  skip_unless_available ();
+  let relf = tmp "cli_t2.relf" in
+  let c, _ = run_cli (Printf.sprintf "workload kraken:crypto-aes -o %s" relf) in
+  Alcotest.(check int) "workload" 0 c;
+  let c, out = run_cli (Printf.sprintf "disasm %s" relf) in
+  Alcotest.(check int) "disasm" 0 c;
+  Alcotest.(check bool) "shows movs" true (contains out "mov");
+  let c, out = run_cli (Printf.sprintf "trace %s --inputs 2 --limit 10" relf) in
+  Alcotest.(check int) "trace" 0 c;
+  Alcotest.(check bool) "cycles shown" true (contains out "cycles=")
+
+let test_fuzz_modes () =
+  skip_unless_available ();
+  let relf = tmp "cli_f.relf" in
+  let allow = tmp "cli_f.allow.lst" in
+  let c, _ = run_cli (Printf.sprintf "workload cve:php-gd-gif -o %s" relf) in
+  Alcotest.(check int) "workload" 0 c;
+  let c, out =
+    run_cli
+      (Printf.sprintf "fuzz %s --seed-input 3 --budget 50 -o %s" relf allow)
+  in
+  Alcotest.(check int) "site fuzz" 0 c;
+  Alcotest.(check bool) "site coverage" true (contains out "sites covered");
+  let c, out =
+    run_cli
+      (Printf.sprintf "fuzz %s --edge --seed-input 3 --budget 50 -o %s" relf
+         allow)
+  in
+  Alcotest.(check int) "edge fuzz" 0 c;
+  Alcotest.(check bool) "edge coverage" true (contains out "edges")
+
+let tests =
+  [
+    Alcotest.test_case "full workflow" `Slow test_full_workflow;
+    Alcotest.test_case "compile and detect" `Quick test_compile_and_detect;
+    Alcotest.test_case "compile error position" `Quick
+      test_compile_error_position;
+    Alcotest.test_case "double harden refused" `Quick
+      test_double_harden_refused;
+    Alcotest.test_case "disasm and trace" `Quick test_disasm_and_trace;
+    Alcotest.test_case "fuzz modes" `Quick test_fuzz_modes;
+  ]

@@ -1,0 +1,89 @@
+(* The coverage-guided profiling fuzzer (paper §5's AFL reference). *)
+
+open Minic.Ast
+open Minic.Build
+
+(* a program whose heap accesses hide behind input-dependent branches:
+   a naive seed input covers only the always-taken path *)
+let gated_program =
+  Minic.Ast.program
+    [
+      func ~name:"main"
+        [
+          let_ "a" (alloc_elems (i 16));
+          let_ "x" Input;
+          (* always executed *)
+          set (v "a") (i 0) (v "x");
+          (* threshold-gated paths, AFL-discoverable by +-1 mutations *)
+          if_ (v "x" >: i 4) [ set (v "a") (i 1) (i 11) ] [];
+          if_ (v "x" >: i 60) [ set (v "a") (i 2) (i 22) ] [];
+          if_
+            (v "x" &: i 1 =: i 1)
+            [ set (v "a") (i 3) (i 33) ]
+            [];
+          (* a second input gates one more *)
+          let_ "y" Input;
+          if_ (v "y" >: i 2) [ set (v "a") (i 4) (i 44) ] [];
+          let_ "s" (i 0);
+          for_ "j" (i 0) (i 16) [ assign "s" (v "s" +: idx (v "a") (v "j")) ];
+          print_ (v "s");
+          free_ (v "a");
+          return_ (i 0);
+        ];
+    ]
+
+let binary = Minic.Codegen.compile gated_program
+
+let test_fuzzer_deterministic () =
+  let s1 = Fuzz.Fuzzer.fuzz ~seeds:[ [ 0 ] ] ~budget:100 ~seed:7 binary in
+  let s2 = Fuzz.Fuzzer.fuzz ~seeds:[ [ 0 ] ] ~budget:100 ~seed:7 binary in
+  Alcotest.(check int) "same coverage" s1.sites_covered s2.sites_covered;
+  Alcotest.(check bool) "same corpus" true (s1.corpus = s2.corpus)
+
+let test_fuzzer_beats_seed_coverage () =
+  let seed_only = Fuzz.Fuzzer.fuzz ~seeds:[ [ 0 ] ] ~budget:0 ~seed:7 binary in
+  let fuzzed = Fuzz.Fuzzer.fuzz ~seeds:[ [ 0 ] ] ~budget:300 ~seed:7 binary in
+  Alcotest.(check bool)
+    (Printf.sprintf "coverage grew (%d -> %d of %d)" seed_only.sites_covered
+       fuzzed.sites_covered fuzzed.total_sites)
+    true
+    (fuzzed.sites_covered > seed_only.sites_covered);
+  Alcotest.(check bool) "corpus grew" true
+    (List.length fuzzed.corpus > List.length seed_only.corpus)
+
+let test_fuzzed_allowlist_grows () =
+  (* the grown corpus yields a bigger allow-list than the naive seed *)
+  let naive = Redfat.profile ~test_suite:[ [ 0 ] ] binary in
+  let _, st = Fuzz.Fuzzer.fuzz_and_harden ~seeds:[ [ 0 ] ] ~budget:300 ~seed:7 binary in
+  let fuzzed =
+    Redfat.profile ~test_suite:(if st.corpus = [] then [ [] ] else st.corpus)
+      binary
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "allow-list grew (%d -> %d)" (List.length naive)
+       (List.length fuzzed))
+    true
+    (List.length fuzzed > List.length naive)
+
+let test_fuzzed_production_runs_clean () =
+  let hard, _ = Fuzz.Fuzzer.fuzz_and_harden ~seeds:[ [ 0 ] ] ~budget:200 ~seed:3 binary in
+  List.iter
+    (fun inputs ->
+      let hr = Redfat.run_hardened ~inputs hard.binary in
+      match hr.verdict with
+      | Redfat.Finished 0 -> ()
+      | v ->
+        Alcotest.failf "inputs %s: %s"
+          (String.concat "," (List.map string_of_int inputs))
+          (Redfat.verdict_to_string v))
+    [ [ 0; 0 ]; [ 5; 3 ]; [ 100; 9 ]; [ 61; 1 ] ]
+
+let tests =
+  [
+    Alcotest.test_case "deterministic" `Quick test_fuzzer_deterministic;
+    Alcotest.test_case "beats seed coverage" `Quick
+      test_fuzzer_beats_seed_coverage;
+    Alcotest.test_case "allow-list grows" `Quick test_fuzzed_allowlist_grows;
+    Alcotest.test_case "fuzzed production clean" `Quick
+      test_fuzzed_production_runs_clean;
+  ]

@@ -1,0 +1,235 @@
+(* Low-fat layout and allocator invariants. *)
+
+module L = Lowfat.Layout
+module A = Lowfat.Alloc
+
+(* --- layout ---------------------------------------------------------- *)
+
+let test_sizes_table () =
+  Alcotest.(check int) "first class" 16 L.sizes.(0);
+  Alcotest.(check int) "64th class" 1024 L.sizes.(63);
+  Alcotest.(check int) "largest class" (256 * 1024 * 1024)
+    L.sizes.(L.num_classes - 1);
+  Alcotest.(check int) "region 0 is non-fat" max_int L.sizes_table.(0);
+  Alcotest.(check int) "region 1 serves 16B" 16 L.sizes_table.(1)
+
+let test_class_of_size () =
+  let check n (cls, sz) =
+    Alcotest.(check (pair int int))
+      (Printf.sprintf "class of %d" n)
+      (cls, sz)
+      (Option.get (L.class_of_size n))
+  in
+  check 1 (1, 16);
+  check 16 (1, 16);
+  check 17 (2, 32);
+  check 1024 (64, 1024);
+  check 1025 (65, 2048);
+  check 2048 (65, 2048);
+  check 2049 (66, 4096);
+  Alcotest.(check bool) "huge allocations are legacy" true
+    (L.class_of_size (1 lsl 30) = None)
+
+let test_base_size_examples () =
+  (* pointer into region 3 (48-byte objects) *)
+  let slot = (L.region_start 3 + 47) / 48 * 48 in
+  let ptr = slot + 20 in
+  Alcotest.(check int) "size" 48 (L.size ptr);
+  Alcotest.(check int) "base" slot (L.base ptr);
+  (* non-fat pointers *)
+  Alcotest.(check int) "code is non-fat" 0 (L.base L.code_base);
+  Alcotest.(check int) "stack is non-fat" 0 (L.base L.stack_top);
+  Alcotest.(check int) "non-fat size is max" max_int (L.size L.code_base)
+
+let test_elimination_rule () =
+  Alcotest.(check bool) "globals clear of heap" true
+    (L.addr_range_clear_of_heap ~lo:L.data_base ~hi:(L.data_base + 8));
+  Alcotest.(check bool) "paper's 0x601000 example" true
+    (L.addr_range_clear_of_heap ~lo:0x601000 ~hi:0x601008);
+  Alcotest.(check bool) "heap pointer not clear" false
+    (L.addr_range_clear_of_heap ~lo:L.heap_lo ~hi:(L.heap_lo + 8));
+  Alcotest.(check bool) "within 2GB below heap not clear" false
+    (L.addr_range_clear_of_heap ~lo:(L.heap_lo - 1024) ~hi:(L.heap_lo - 1016));
+  Alcotest.(check bool) "stack clear of heap" true
+    (L.addr_range_clear_of_heap ~lo:L.stack_lo ~hi:L.stack_top)
+
+let prop_base_size =
+  QCheck.Test.make ~count:5000 ~name:"base/size invariants for fat pointers"
+    QCheck.(int_range L.heap_lo (L.heap_hi - 1))
+    (fun ptr ->
+      if not (L.is_fat ptr) then true
+      else begin
+        let b = L.base ptr and s = L.size ptr in
+        b <= ptr && ptr < b + s && b mod s = 0 && L.base b = b
+      end)
+
+let prop_class_of_size =
+  QCheck.Test.make ~count:2000 ~name:"class_of_size covers the request"
+    QCheck.(int_range 1 (1 lsl 26))
+    (fun n ->
+      match L.class_of_size n with
+      | None -> n > L.sizes.(L.num_classes - 1)
+      | Some (cls, sz) -> sz >= n && L.sizes.(cls - 1) = sz)
+
+(* --- allocator ------------------------------------------------------- *)
+
+let mk () = A.create (Vm.Mem.create ())
+
+let test_alloc_alignment () =
+  let a = mk () in
+  List.iter
+    (fun n ->
+      let p = A.malloc a n in
+      let sz = L.size p in
+      Alcotest.(check bool)
+        (Printf.sprintf "malloc %d size-aligned" n)
+        true (p mod sz = 0 && sz >= n))
+    [ 1; 8; 16; 17; 100; 1024; 4000; 100000 ]
+
+let test_alloc_distinct () =
+  let a = mk () in
+  let ps = List.init 100 (fun _ -> A.malloc a 24) in
+  let sorted = List.sort_uniq compare ps in
+  Alcotest.(check int) "all distinct" 100 (List.length sorted)
+
+let test_free_reuse () =
+  let a = mk () in
+  let p = A.malloc a 40 in
+  A.free a p;
+  let q = A.malloc a 40 in
+  Alcotest.(check int) "LIFO reuse" p q
+
+let test_no_cross_class_reuse () =
+  let a = mk () in
+  let p = A.malloc a 40 in
+  A.free a p;
+  let q = A.malloc a 400 in
+  Alcotest.(check bool) "different class, different region" true
+    (L.region_of_addr p <> L.region_of_addr q)
+
+let test_double_free () =
+  let a = mk () in
+  let p = A.malloc a 40 in
+  A.free a p;
+  Alcotest.check_raises "double free" (A.Double_free p) (fun () -> A.free a p)
+
+let test_invalid_free () =
+  let a = mk () in
+  let p = A.malloc a 40 in
+  Alcotest.check_raises "interior free" (A.Invalid_free (p + 8)) (fun () ->
+      A.free a (p + 8))
+
+let test_legacy_fallback () =
+  let a = mk () in
+  let p = A.malloc a (1 lsl 29) in
+  Alcotest.(check bool) "legacy pointer is non-fat" false (L.is_fat p);
+  Alcotest.(check (option int)) "reserved size" (Some (1 lsl 29))
+    (A.reserved_size a p);
+  A.free a p;
+  Alcotest.(check bool) "not live" false (A.is_live a p)
+
+let test_live_tracking () =
+  let a = mk () in
+  let ps = List.init 10 (fun k -> A.malloc a (16 * (k + 1))) in
+  Alcotest.(check int) "live count" 10 (A.live_count a);
+  List.iter (A.free a) ps;
+  Alcotest.(check int) "all freed" 0 (A.live_count a)
+
+let test_memory_mapped () =
+  let mem = Vm.Mem.create () in
+  let a = A.create mem in
+  let p = A.malloc a 100 in
+  (* the whole slot must be mapped (checks read metadata at base) *)
+  Vm.Mem.write mem ~addr:p ~len:8 42;
+  Alcotest.(check int) "usable" 42 (Vm.Mem.read mem ~addr:p ~len:8);
+  Alcotest.(check bool) "slot base mapped" true (Vm.Mem.is_mapped mem (L.base p))
+
+let prop_allocator_alignment =
+  QCheck.Test.make ~count:500 ~name:"allocator returns size-aligned slots"
+    QCheck.(list_of_size Gen.(int_range 1 40) (int_range 1 5000))
+    (fun sizes ->
+      let a = mk () in
+      List.for_all
+        (fun n ->
+          let p = A.malloc a n in
+          let sz = L.size p in
+          p mod sz = 0 && sz >= n)
+        sizes)
+
+let prop_alloc_free_no_overlap =
+  QCheck.Test.make ~count:200 ~name:"live allocations never overlap"
+    QCheck.(list_of_size Gen.(int_range 2 30) (int_range 1 2000))
+    (fun sizes ->
+      let a = mk () in
+      let live =
+        List.map (fun n -> (A.malloc a n, n)) sizes
+      in
+      (* intervals [p, p+n) must be pairwise disjoint *)
+      let sorted = List.sort compare live in
+      let rec disjoint = function
+        | (p1, n1) :: ((p2, _) :: _ as rest) ->
+          p1 + n1 <= p2 && disjoint rest
+        | _ -> true
+      in
+      disjoint sorted)
+
+(* --- heap randomization (paper §8) ----------------------------------- *)
+
+let test_randomized_invariants () =
+  let a = A.create ~random:1234 (Vm.Mem.create ()) in
+  List.iter
+    (fun n ->
+      let p = A.malloc a n in
+      let sz = L.size p in
+      Alcotest.(check bool) "still size-aligned" true
+        (p mod sz = 0 && sz >= n && L.base p = p))
+    [ 5; 40; 100; 1024; 5000 ]
+
+let test_randomized_differs_by_seed () =
+  let a1 = A.create ~random:1 (Vm.Mem.create ()) in
+  let a2 = A.create ~random:2 (Vm.Mem.create ()) in
+  let a3 = A.create ~random:1 (Vm.Mem.create ()) in
+  let p1 = A.malloc a1 64 and p2 = A.malloc a2 64 and p3 = A.malloc a3 64 in
+  Alcotest.(check bool) "different seeds place differently" true (p1 <> p2);
+  Alcotest.(check int) "same seed is deterministic" p1 p3;
+  let d = A.create (Vm.Mem.create ()) in
+  let pd = A.malloc d 64 in
+  Alcotest.(check bool) "randomized differs from deterministic" true
+    (p1 <> pd)
+
+let test_randomized_freelist_reuse () =
+  let a = A.create ~random:7 (Vm.Mem.create ()) in
+  let ps = List.init 16 (fun _ -> A.malloc a 64) in
+  List.iter (A.free a) ps;
+  let q = A.malloc a 64 in
+  (* the reused slot is one of the freed ones, and the allocator state
+     remains consistent *)
+  Alcotest.(check bool) "reuses a freed slot" true (List.mem q ps);
+  Alcotest.(check int) "live count" 1 (A.live_count a)
+
+let tests =
+  [
+    Alcotest.test_case "sizes table" `Quick test_sizes_table;
+    Alcotest.test_case "class_of_size" `Quick test_class_of_size;
+    Alcotest.test_case "base/size examples" `Quick test_base_size_examples;
+    Alcotest.test_case "elimination distance rule" `Quick test_elimination_rule;
+    QCheck_alcotest.to_alcotest prop_base_size;
+    QCheck_alcotest.to_alcotest prop_class_of_size;
+    Alcotest.test_case "allocation alignment" `Quick test_alloc_alignment;
+    Alcotest.test_case "allocations distinct" `Quick test_alloc_distinct;
+    Alcotest.test_case "free reuse" `Quick test_free_reuse;
+    Alcotest.test_case "no cross-class reuse" `Quick test_no_cross_class_reuse;
+    Alcotest.test_case "double free" `Quick test_double_free;
+    Alcotest.test_case "invalid free" `Quick test_invalid_free;
+    Alcotest.test_case "legacy fallback" `Quick test_legacy_fallback;
+    Alcotest.test_case "live tracking" `Quick test_live_tracking;
+    Alcotest.test_case "slots are mapped" `Quick test_memory_mapped;
+    QCheck_alcotest.to_alcotest prop_allocator_alignment;
+    QCheck_alcotest.to_alcotest prop_alloc_free_no_overlap;
+    Alcotest.test_case "randomized invariants" `Quick
+      test_randomized_invariants;
+    Alcotest.test_case "randomization by seed" `Quick
+      test_randomized_differs_by_seed;
+    Alcotest.test_case "randomized freelist reuse" `Quick
+      test_randomized_freelist_reuse;
+  ]

@@ -1,0 +1,160 @@
+(* The Memcheck-style DBI comparator. *)
+
+open Minic.Ast
+open Minic.Build
+module Mc = Baselines.Memcheck
+
+let run prog inputs =
+  let bin = Minic.Codegen.compile prog in
+  Redfat.run_memcheck ~inputs bin
+
+let simple body = Minic.Ast.program [ Minic.Ast.func ~name:"main" body ]
+
+let test_clean_program_no_errors () =
+  let _, v, mc =
+    run
+      (simple
+         [
+           let_ "a" (alloc_elems (i 8));
+           for_ "j" (i 0) (i 8) [ set (v "a") (v "j") (v "j") ];
+           let_ "s" (i 0);
+           for_ "j" (i 0) (i 8) [ assign "s" (v "s" +: idx (v "a") (v "j")) ];
+           print_ (v "s");
+           free_ (v "a");
+           return_ (i 0);
+         ])
+      []
+  in
+  (match v with
+   | Redfat.Finished 0 -> ()
+   | v -> Alcotest.failf "run: %s" (Redfat.verdict_to_string v));
+  Alcotest.(check int) "no errors" 0 (List.length (Mc.errors mc))
+
+let test_detects_overflow_into_redzone () =
+  let _, _, mc =
+    run
+      (simple
+         [
+           let_ "a" (alloc_elems (i 8));
+           set (v "a") (i 8) (i 1); (* one past the end: in the redzone *)
+           return_ (i 0);
+         ])
+      []
+  in
+  Alcotest.(check int) "one error" 1 (List.length (Mc.errors mc));
+  let e = List.hd (Mc.errors mc) in
+  Alcotest.(check bool) "write error" true e.write
+
+let test_detects_underflow () =
+  let _, _, mc =
+    run
+      (simple
+         [
+           let_ "a" (alloc_elems (i 8));
+           let_ "x" (idx (v "a") (i (-1))); (* leading redzone *)
+           print_ (v "x" *: i 0);
+           return_ (i 0);
+         ])
+      []
+  in
+  Alcotest.(check int) "one error" 1 (List.length (Mc.errors mc));
+  Alcotest.(check bool) "read error" true (not (List.hd (Mc.errors mc)).write)
+
+let test_detects_use_after_free () =
+  let _, _, mc =
+    run
+      (simple
+         [
+           let_ "a" (alloc_elems (i 8));
+           free_ (v "a");
+           set (v "a") (i 0) (i 1);
+           return_ (i 0);
+         ])
+      []
+  in
+  Alcotest.(check int) "UaF detected" 1 (List.length (Mc.errors mc))
+
+let test_quarantine_no_reuse () =
+  (* freed memory stays poisoned even after further allocations of the
+     same size (the quarantine property redzone tools rely on) *)
+  let _, _, mc =
+    run
+      (simple
+         [
+           let_ "a" (alloc_elems (i 8));
+           free_ (v "a");
+           let_ "b" (alloc_elems (i 8));
+           set (v "b") (i 0) (i 1); (* fine *)
+           set (v "a") (i 0) (i 2); (* still UaF *)
+           free_ (v "b");
+           return_ (i 0);
+         ])
+      []
+  in
+  Alcotest.(check int) "still detected after realloc" 1
+    (List.length (Mc.errors mc))
+
+let test_misses_redzone_skip () =
+  (* the paper's core claim: a skip over the redzone into the next
+     block is invisible to redzone-only tools *)
+  let _, _, mc =
+    run
+      (simple
+         [
+           let_ "a" (alloc_elems (i 8));
+           let_ "b" (alloc_elems (i 8));
+           set (v "b") (i 0) (i 9);
+           let_ "k" Input;
+           set (v "a") (v "k") (i 1);
+           print_ (idx (v "b") (i 0));
+           return_ (i 0);
+         ])
+      [ 12 ]
+  in
+  Alcotest.(check int) "skip missed" 0 (List.length (Mc.errors mc))
+
+let test_error_dedup_by_site () =
+  let _, _, mc =
+    run
+      (simple
+         [
+           let_ "a" (alloc_elems (i 8));
+           (* same faulting instruction executed 5 times *)
+           for_ "j" (i 0) (i 5) [ set (v "a") (i 8) (v "j") ];
+           return_ (i 0);
+         ])
+      []
+  in
+  Alcotest.(check int) "one report per site" 1 (List.length (Mc.errors mc))
+
+let test_dispatch_overhead_charged () =
+  let prog =
+    simple
+      [
+        let_ "s" (i 0);
+        for_ "j" (i 0) (i 100) [ assign "s" (v "s" +: v "j") ];
+        print_ (v "s");
+        return_ (i 0);
+      ]
+  in
+  let bin = Minic.Codegen.compile prog in
+  let base, _ = Redfat.run_baseline bin in
+  let mc_run, _, _ = Redfat.run_memcheck bin in
+  Alcotest.(check (list int)) "same output" base.outputs mc_run.outputs;
+  Alcotest.(check bool) "DBI is much slower" true
+    (mc_run.cycles > base.cycles * 4)
+
+let tests =
+  [
+    Alcotest.test_case "clean program" `Quick test_clean_program_no_errors;
+    Alcotest.test_case "overflow into redzone" `Quick
+      test_detects_overflow_into_redzone;
+    Alcotest.test_case "underflow" `Quick test_detects_underflow;
+    Alcotest.test_case "use-after-free" `Quick test_detects_use_after_free;
+    Alcotest.test_case "quarantine prevents reuse" `Quick
+      test_quarantine_no_reuse;
+    Alcotest.test_case "misses redzone skip" `Quick test_misses_redzone_skip;
+    Alcotest.test_case "error dedup" `Quick test_error_dedup_by_site;
+    Alcotest.test_case "dispatch overhead" `Quick
+      test_dispatch_overhead_charged;
+  ]

@@ -1,0 +1,392 @@
+(* The RedFat runtime: redzone allocator wrapper and the Figure 4 check. *)
+
+module Rt = Redfat_rt.Runtime
+module L = Lowfat.Layout
+
+let mk ?options ?profiling () =
+  let mem = Vm.Mem.create () in
+  let rt = Rt.create ?options ?profiling mem in
+  let cpu = Vm.Cpu.create () in
+  (* cpu shares no memory with rt.mem here; tests drive check() directly *)
+  (rt, cpu)
+
+let payload ?(variant = X64.Isa.Full) ?(write = true) ?(lo = 0) ?(hi = 8)
+    ?(site = 0x401000) ?idx ?(scale = 1) base_reg =
+  {
+    X64.Isa.ck_variant = variant;
+    ck_mem = X64.Isa.mem ?idx ~scale ~base:base_reg ();
+    ck_lo = lo;
+    ck_hi = hi;
+    ck_write = write;
+    ck_site = site;
+    ck_nsaves = 0;
+    ck_save_flags = false;
+  }
+
+(* --- allocator wrapper ----------------------------------------------- *)
+
+let test_malloc_metadata () =
+  let rt, _ = mk () in
+  let p = Rt.malloc rt 100 in
+  let base = L.base p in
+  Alcotest.(check int) "object starts after the redzone" (base + 16) p;
+  Alcotest.(check int) "metadata = malloc size" 100
+    (Vm.Mem.read rt.mem ~addr:base ~len:8)
+
+let test_free_marks_metadata () =
+  let rt, _ = mk () in
+  let p = Rt.malloc rt 100 in
+  Rt.free rt p;
+  Alcotest.(check int) "size zeroed on free" 0
+    (Vm.Mem.read rt.mem ~addr:(L.base p) ~len:8)
+
+let test_free_null () =
+  let rt, _ = mk () in
+  Rt.free rt 0 (* must not raise *)
+
+let test_double_free_detected () =
+  let rt, _ = mk () in
+  let p = Rt.malloc rt 32 in
+  Rt.free rt p;
+  Alcotest.check_raises "double free" (Rt.Bad_free p) (fun () -> Rt.free rt p)
+
+let test_malloc_zero () =
+  let rt, _ = mk () in
+  let p = Rt.malloc rt 0 in
+  Alcotest.(check bool) "usable pointer" true (L.is_fat p)
+
+let test_reuse_updates_metadata () =
+  let rt, _ = mk () in
+  let p = Rt.malloc rt 32 in
+  Rt.free rt p;
+  let q = Rt.malloc rt 24 in
+  Alcotest.(check int) "slot reused" p q;
+  Alcotest.(check int) "metadata updated" 24
+    (Vm.Mem.read rt.mem ~addr:(L.base q) ~len:8)
+
+(* --- the check ------------------------------------------------------- *)
+
+let run_check rt cpu ck =
+  match Rt.check rt cpu ck with
+  | (_ : int) -> None
+  | exception Rt.Memory_error e -> Some e.kind
+
+let test_check_in_bounds () =
+  let rt, cpu = mk () in
+  let p = Rt.malloc rt 64 in
+  cpu.regs.(X64.Isa.rbx) <- p;
+  (* whole object readable/writable *)
+  Alcotest.(check (option string)) "first byte" None
+    (Option.map Rt.kind_name (run_check rt cpu (payload ~lo:0 ~hi:1 X64.Isa.rbx)));
+  Alcotest.(check (option string)) "last byte" None
+    (Option.map Rt.kind_name
+       (run_check rt cpu (payload ~lo:63 ~hi:64 X64.Isa.rbx)))
+
+let test_check_upper_oob () =
+  let rt, cpu = mk () in
+  let p = Rt.malloc rt 64 in
+  cpu.regs.(X64.Isa.rbx) <- p;
+  Alcotest.(check (option string)) "one past end" (Some "out-of-bounds (upper)")
+    (Option.map Rt.kind_name
+       (run_check rt cpu (payload ~lo:64 ~hi:65 X64.Isa.rbx)))
+
+let test_check_detects_padding_overflow () =
+  (* paper §4.2: the upper bound is the malloc SIZE, so overflow into
+     the allocator's rounding padding is also caught *)
+  let rt, cpu = mk () in
+  let p = Rt.malloc rt 50 (* slot 80: 14 bytes of padding *) in
+  cpu.regs.(X64.Isa.rbx) <- p;
+  Alcotest.(check (option string)) "into padding" (Some "out-of-bounds (upper)")
+    (Option.map Rt.kind_name
+       (run_check rt cpu (payload ~lo:50 ~hi:51 X64.Isa.rbx)))
+
+let test_check_lower_oob () =
+  let rt, cpu = mk () in
+  let p = Rt.malloc rt 64 in
+  cpu.regs.(X64.Isa.rbx) <- p;
+  Alcotest.(check bool) "below object (redzone)" true
+    (run_check rt cpu (payload ~lo:(-8) ~hi:0 X64.Isa.rbx) <> None)
+
+let test_check_use_after_free () =
+  let rt, cpu = mk () in
+  let p = Rt.malloc rt 64 in
+  Rt.free rt p;
+  cpu.regs.(X64.Isa.rbx) <- p;
+  Alcotest.(check (option string)) "UaF" (Some "use-after-free")
+    (Option.map Rt.kind_name (run_check rt cpu (payload ~lo:0 ~hi:8 X64.Isa.rbx)))
+
+let test_check_skip_detected_by_lowfat () =
+  (* the headline property: an access that skips past the redzone into
+     the NEXT allocated object fails the Full check but not Redzone *)
+  let rt, cpu = mk () in
+  let a = Rt.malloc rt 64 in
+  let b = Rt.malloc rt 64 in
+  Alcotest.(check int) "adjacent slots" (L.size a) (b - a);
+  cpu.regs.(X64.Isa.rbx) <- a;
+  let skip = b - a in
+  Alcotest.(check (option string)) "full check catches the skip"
+    (Some "out-of-bounds (upper)")
+    (Option.map Rt.kind_name
+       (run_check rt cpu (payload ~lo:skip ~hi:(skip + 8) X64.Isa.rbx)));
+  Alcotest.(check (option string)) "redzone-only misses it" None
+    (Option.map Rt.kind_name
+       (run_check rt cpu
+          (payload ~variant:X64.Isa.Redzone ~lo:skip ~hi:(skip + 8)
+             X64.Isa.rbx)))
+
+let test_check_nonfat_passes () =
+  let rt, cpu = mk () in
+  cpu.regs.(X64.Isa.rbx) <- L.data_base;
+  Alcotest.(check (option string)) "non-fat pointer" None
+    (Option.map Rt.kind_name (run_check rt cpu (payload ~lo:0 ~hi:8 X64.Isa.rbx)))
+
+let test_check_fallback_redzone () =
+  (* a non-fat base register whose access lands in the heap: the
+     fallback derives the base from the accessed address (Figure 4
+     lines 13-14) *)
+  let rt, cpu = mk () in
+  let p = Rt.malloc rt 64 in
+  Rt.free rt p;
+  cpu.regs.(X64.Isa.rbx) <- 0 (* NULL base *);
+  Alcotest.(check bool) "fallback catches freed heap access" true
+    (run_check rt cpu (payload ~lo:p ~hi:(p + 8) X64.Isa.rbx) <> None)
+
+let test_size_hardening () =
+  (* uninstrumented code corrupts the metadata; the size-hardening
+     comparison against the immutable low-fat size flags it *)
+  let rt, cpu = mk () in
+  let p = Rt.malloc rt 64 in
+  Vm.Mem.write rt.mem ~addr:(L.base p) ~len:8 100000;
+  cpu.regs.(X64.Isa.rbx) <- p;
+  Alcotest.(check (option string)) "corrupt metadata" (Some "corrupted metadata")
+    (Option.map Rt.kind_name (run_check rt cpu (payload ~lo:0 ~hi:8 X64.Isa.rbx)));
+  (* with -size, the corrupted size is trusted (bounded risk: padding) *)
+  let rt2 = Rt.create ~options:{ Rt.default_options with size_harden = false }
+      rt.mem
+  in
+  Alcotest.(check (option string)) "-size trusts metadata" None
+    (Option.map Rt.kind_name (run_check rt2 cpu (payload ~lo:0 ~hi:8 X64.Isa.rbx)))
+
+let test_lowfat_off_is_redzone_only () =
+  let rt, cpu =
+    let mem = Vm.Mem.create () in
+    (Rt.create ~options:{ Rt.default_options with lowfat = false } mem,
+     Vm.Cpu.create ())
+  in
+  let a = Rt.malloc rt 64 in
+  let _b = Rt.malloc rt 64 in
+  cpu.regs.(X64.Isa.rbx) <- a;
+  let skip = L.size a in
+  Alcotest.(check (option string)) "lowfat disabled: skip missed" None
+    (Option.map Rt.kind_name
+       (run_check rt cpu (payload ~lo:skip ~hi:(skip + 8) X64.Isa.rbx)))
+
+let test_log_mode_dedup () =
+  let rt, cpu =
+    let mem = Vm.Mem.create () in
+    (Rt.create ~options:{ Rt.default_options with mode = Rt.Log } mem,
+     Vm.Cpu.create ())
+  in
+  let p = Rt.malloc rt 8 in
+  cpu.regs.(X64.Isa.rbx) <- p;
+  for _ = 1 to 5 do
+    ignore (Rt.check rt cpu (payload ~lo:100 ~hi:108 ~site:0x42 X64.Isa.rbx))
+  done;
+  ignore (Rt.check rt cpu (payload ~lo:100 ~hi:108 ~site:0x43 X64.Isa.rbx));
+  Alcotest.(check int) "unique (site,kind) pairs" 2
+    (List.length (Rt.errors rt))
+
+let test_coverage_counters () =
+  let rt, cpu = mk () in
+  let p = Rt.malloc rt 64 in
+  cpu.regs.(X64.Isa.rbx) <- p;
+  ignore (Rt.check rt cpu (payload ~lo:0 ~hi:8 X64.Isa.rbx));
+  ignore (Rt.check rt cpu (payload ~variant:X64.Isa.Redzone ~lo:0 ~hi:8 X64.Isa.rbx));
+  ignore (Rt.check rt cpu (payload ~lo:0 ~hi:8 X64.Isa.rbx));
+  Alcotest.(check bool) "coverage 2/3" true
+    (abs_float (Rt.coverage_percent rt -. 66.6667) < 0.1)
+
+let test_profiling_allowlist () =
+  let mem = Vm.Mem.create () in
+  let rt = Rt.create ~options:{ Rt.default_options with mode = Rt.Log }
+      ~profiling:true mem
+  in
+  let cpu = Vm.Cpu.create () in
+  let p = Rt.malloc rt 64 in
+  (* site 0x10: idiomatic; site 0x20: anti-idiom (base below object) *)
+  cpu.regs.(X64.Isa.rbx) <- p;
+  ignore (Rt.check rt cpu (payload ~lo:0 ~hi:8 ~site:0x10 X64.Isa.rbx));
+  cpu.regs.(X64.Isa.rbx) <- p - 24;
+  ignore (Rt.check rt cpu (payload ~lo:24 ~hi:32 ~site:0x20 X64.Isa.rbx));
+  Alcotest.(check (list int)) "allowlist" [ 0x10 ] (Rt.allowlist rt);
+  Alcotest.(check (list int)) "failing sites" [ 0x20 ]
+    (Rt.lowfat_failing_sites rt)
+
+let test_check_cost_ordering () =
+  (* full checks cost more than redzone-only; saves add cost *)
+  let rt, cpu = mk () in
+  let p = Rt.malloc rt 64 in
+  cpu.regs.(X64.Isa.rbx) <- p;
+  let cost ck = Rt.check rt cpu ck in
+  let full = cost (payload ~lo:0 ~hi:8 X64.Isa.rbx) in
+  let rz = cost (payload ~variant:X64.Isa.Redzone ~lo:0 ~hi:8 X64.Isa.rbx) in
+  let with_saves =
+    cost { (payload ~lo:0 ~hi:8 X64.Isa.rbx) with ck_nsaves = 3; ck_save_flags = true }
+  in
+  Alcotest.(check bool) "redzone <= full" true (rz <= full);
+  Alcotest.(check int) "saves add 2/reg + 3 flags" (full + 9) with_saves
+
+(* merged-UB trick equivalence (paper §4.2), property-tested over
+   random object/access geometry *)
+let prop_merged_ub_equivalent =
+  let gen =
+    QCheck.Gen.(
+      let* size = int_range 1 200 in
+      let* lo_off = int_range (-64) 300 in
+      let* span = int_range 1 16 in
+      let* freed = bool in
+      return (size, lo_off, span, freed))
+  in
+  QCheck.Test.make ~count:2000 ~name:"merged-UB underflow trick = branchy form"
+    (QCheck.make gen)
+    (fun (size, lo_off, span, freed) ->
+      let mem = Vm.Mem.create () in
+      let mk_rt merged =
+        Rt.create
+          ~options:{ Rt.default_options with merged_ub = merged; mode = Rt.Log }
+          mem
+      in
+      let rt1 = mk_rt true in
+      let p = Rt.malloc rt1 size in
+      if freed then Rt.free rt1 p;
+      let rt2 = mk_rt false in
+      let cpu = Vm.Cpu.create () in
+      cpu.regs.(X64.Isa.rbx) <- p;
+      let verdict rt =
+        let ck = payload ~lo:lo_off ~hi:(lo_off + span) X64.Isa.rbx in
+        match Rt.check rt cpu ck with
+        | (_ : int) -> Rt.errors rt <> []
+        | exception Rt.Memory_error _ -> true
+      in
+      verdict rt1 = verdict rt2)
+
+(* --- the ASAN-shadow ablation backend (paper §4.1) ------------------- *)
+
+module Sh = Redfat_rt.Shadow
+
+let shadow_opts = { Rt.default_options with state_impl = Rt.Asan_shadow }
+
+let test_shadow_marking () =
+  let sh = Sh.create () in
+  Sh.mark_allocated sh ~addr:0x1000 ~len:20; (* 2 full granules + 4 bytes *)
+  Alcotest.(check bool) "first byte" true (Sh.state sh 0x1000 = Sh.Allocated);
+  Alcotest.(check bool) "byte 19" true (Sh.state sh (0x1000 + 19) = Sh.Allocated);
+  Alcotest.(check bool) "byte 20 partial granule" true
+    (Sh.state sh (0x1000 + 20) = Sh.Redzone);
+  Alcotest.(check bool) "beyond" true (Sh.state sh (0x1000 + 24) = Sh.Redzone);
+  Sh.mark_freed sh ~addr:0x1000 ~len:20;
+  Alcotest.(check bool) "freed" true (Sh.state sh 0x1000 = Sh.Free)
+
+let test_shadow_check_range () =
+  let sh = Sh.create () in
+  Sh.mark_allocated sh ~addr:0x2000 ~len:32;
+  let ok, _ = Sh.check_range sh ~lb:0x2000 ~ub:0x2020 in
+  Alcotest.(check bool) "full object ok" true (ok = None);
+  let bad, _ = Sh.check_range sh ~lb:0x2018 ~ub:0x2028 in
+  Alcotest.(check bool) "runs past the end" true (bad = Some Sh.Redzone);
+  (* cost grows with the number of granules scanned *)
+  let _, c1 = Sh.check_range sh ~lb:0x2000 ~ub:0x2008 in
+  let _, c4 = Sh.check_range sh ~lb:0x2000 ~ub:0x2020 in
+  Alcotest.(check bool) "per-granule cost" true (c4 > c1)
+
+let test_shadow_backend_detects_redzone_and_uaf () =
+  let mem = Vm.Mem.create () in
+  let rt = Rt.create ~options:shadow_opts mem in
+  let cpu = Vm.Cpu.create () in
+  let p = Rt.malloc rt 64 in
+  cpu.regs.(X64.Isa.rbx) <- p;
+  Alcotest.(check (option string)) "in bounds ok" None
+    (Option.map Rt.kind_name (run_check rt cpu (payload ~lo:0 ~hi:8 X64.Isa.rbx)));
+  Alcotest.(check bool) "below object" true
+    (run_check rt cpu (payload ~lo:(-8) ~hi:0 X64.Isa.rbx) <> None);
+  Rt.free rt p;
+  Alcotest.(check (option string)) "UaF via shadow" (Some "use-after-free")
+    (Option.map Rt.kind_name (run_check rt cpu (payload ~lo:0 ~hi:8 X64.Isa.rbx)))
+
+let test_shadow_backend_agreement_and_cost () =
+  (* both backends agree on detections; the shadow backend's check
+     cost grows with the access span (one lookup per 8-byte granule)
+     while the metadata-in-redzone backend is constant — the §4.1
+     argument for sharing base(ptr) instead of a shadow map *)
+  let mem = Vm.Mem.create () in
+  let rt = Rt.create ~options:shadow_opts mem in
+  let cpu = Vm.Cpu.create () in
+  let p = Rt.malloc rt 50 in (* slot 80: data 50, padding 14 *)
+  cpu.regs.(X64.Isa.rbx) <- p;
+  Alcotest.(check (option string)) "padding overflow caught"
+    (Some "out-of-bounds (upper)")
+    (Option.map Rt.kind_name (run_check rt cpu (payload ~lo:50 ~hi:51 X64.Isa.rbx)));
+  let cost_narrow = Rt.check rt cpu (payload ~lo:0 ~hi:8 X64.Isa.rbx) in
+  let cost_wide = Rt.check rt cpu (payload ~lo:0 ~hi:48 X64.Isa.rbx) in
+  Alcotest.(check bool) "shadow cost grows with span" true
+    (cost_wide > cost_narrow);
+  let rt2 = Rt.create mem in
+  let q = Rt.malloc rt2 64 in
+  cpu.regs.(X64.Isa.rbx) <- q;
+  let c8 = Rt.check rt2 cpu (payload ~lo:0 ~hi:8 X64.Isa.rbx) in
+  let c48 = Rt.check rt2 cpu (payload ~lo:0 ~hi:48 X64.Isa.rbx) in
+  Alcotest.(check int) "lowfat-meta cost is span-independent" c8 c48
+
+let test_shadow_backend_memory_overhead () =
+  let mem = Vm.Mem.create () in
+  let rt = Rt.create ~options:shadow_opts mem in
+  for _ = 1 to 50 do
+    ignore (Rt.malloc rt 64)
+  done;
+  Alcotest.(check bool) "shadow map grows with allocations" true
+    (rt.shadow.shadow_bytes > 0);
+  let rt2 = Rt.create mem in
+  for _ = 1 to 50 do
+    ignore (Rt.malloc rt2 64)
+  done;
+  Alcotest.(check int) "default backend needs no shadow" 0
+    rt2.shadow.shadow_bytes
+
+let tests =
+  [
+    Alcotest.test_case "malloc metadata" `Quick test_malloc_metadata;
+    Alcotest.test_case "free marks metadata" `Quick test_free_marks_metadata;
+    Alcotest.test_case "free(NULL)" `Quick test_free_null;
+    Alcotest.test_case "double free" `Quick test_double_free_detected;
+    Alcotest.test_case "malloc(0)" `Quick test_malloc_zero;
+    Alcotest.test_case "reuse updates metadata" `Quick
+      test_reuse_updates_metadata;
+    Alcotest.test_case "check: in bounds" `Quick test_check_in_bounds;
+    Alcotest.test_case "check: upper OOB" `Quick test_check_upper_oob;
+    Alcotest.test_case "check: padding overflow" `Quick
+      test_check_detects_padding_overflow;
+    Alcotest.test_case "check: lower OOB" `Quick test_check_lower_oob;
+    Alcotest.test_case "check: use-after-free" `Quick
+      test_check_use_after_free;
+    Alcotest.test_case "check: redzone skip caught by lowfat" `Quick
+      test_check_skip_detected_by_lowfat;
+    Alcotest.test_case "check: non-fat passes" `Quick test_check_nonfat_passes;
+    Alcotest.test_case "check: redzone fallback" `Quick
+      test_check_fallback_redzone;
+    Alcotest.test_case "size hardening" `Quick test_size_hardening;
+    Alcotest.test_case "lowfat off = redzone only" `Quick
+      test_lowfat_off_is_redzone_only;
+    Alcotest.test_case "log mode dedup" `Quick test_log_mode_dedup;
+    Alcotest.test_case "coverage counters" `Quick test_coverage_counters;
+    Alcotest.test_case "profiling allowlist" `Quick test_profiling_allowlist;
+    Alcotest.test_case "check cost ordering" `Quick test_check_cost_ordering;
+    QCheck_alcotest.to_alcotest prop_merged_ub_equivalent;
+    Alcotest.test_case "shadow marking" `Quick test_shadow_marking;
+    Alcotest.test_case "shadow check_range" `Quick test_shadow_check_range;
+    Alcotest.test_case "shadow backend detects" `Quick
+      test_shadow_backend_detects_redzone_and_uaf;
+    Alcotest.test_case "shadow backend agreement and cost" `Quick
+      test_shadow_backend_agreement_and_cost;
+    Alcotest.test_case "shadow memory overhead" `Quick
+      test_shadow_backend_memory_overhead;
+  ]

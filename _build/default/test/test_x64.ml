@@ -1,0 +1,229 @@
+(* Encoder/decoder round-trip and assembler tests. *)
+
+open X64
+
+let check_roundtrip ?(addr = 0x400000) (i : Isa.instr) =
+  let b = Buffer.create 32 in
+  Encode.encode_at b addr i;
+  let s = Buffer.contents b in
+  let i', len = Decode.decode ~addr s 0 in
+  Alcotest.(check int) "length" (String.length s) len;
+  if i' <> i then
+    Alcotest.failf "round-trip: %s became %s" (Disasm.to_string i)
+      (Disasm.to_string i')
+
+let sample_mems =
+  [
+    Isa.mem ();
+    Isa.mem ~disp:8 ~base:Isa.rax ();
+    Isa.mem ~disp:(-8) ~base:Isa.rsp ();
+    Isa.mem ~disp:0x1234 ~base:Isa.rbx ~idx:Isa.rcx ~scale:8 ();
+    Isa.mem ~disp:(-0x10000) ~idx:Isa.r15 ~scale:4 ();
+    Isa.mem ~seg:1 ~disp:127 ~base:Isa.r8 ();
+    Isa.mem ~disp:0x601000 ();
+  ]
+
+let test_roundtrip_samples () =
+  let open Isa in
+  let instrs =
+    [
+      Mov_rr (rax, rbx);
+      Mov_ri (rcx, 42);
+      Mov_ri (rcx, -1);
+      Mov_ri (rdx, 0x12_3456_7890);
+      Lea (rsi, mem ~disp:16 ~base:rsp ());
+      Alu_rr (Add, rax, r9);
+      Alu_ri (Sub, rsp, 64);
+      Mul_rr (rax, rbx);
+      Div_rr (rax, rcx);
+      Rem_rr (r10, r11);
+      Neg r9;
+      Not r12;
+      Shift_ri (Shl, rax, 3);
+      Shift_ri (Sar, rbx, 63);
+      Cmp_rr (rax, rbx);
+      Cmp_ri (rax, -5);
+      Test_rr (r8, r8);
+      Setcc (Ult, rax);
+      Jmp 0x400100;
+      Jcc (Ne, 0x3fff00);
+      Call 0x400050;
+      Call_ind rax;
+      Jmp_ind r11;
+      Ret;
+      Push rbp;
+      Pop r15;
+      Callrt Malloc;
+      Callrt Exit;
+      Nop 1;
+      Hlt;
+      Trap;
+    ]
+    @ List.concat_map
+        (fun m ->
+          [
+            Load (W8, rax, m); Load (W1, r9, m); Store (W8, m, rbx);
+            Store (W4, m, r14); Store_i (W8, m, 1234); Store_i (W1, m, -1);
+          ])
+        sample_mems
+  in
+  List.iter check_roundtrip instrs
+
+let test_check_roundtrip () =
+  let ck =
+    {
+      Isa.ck_variant = Isa.Full;
+      ck_mem = Isa.mem ~base:Isa.rbx ~idx:Isa.rcx ~scale:8 ();
+      ck_lo = -16;
+      ck_hi = 24;
+      ck_write = true;
+      ck_site = 0x401234;
+      ck_nsaves = 3;
+      ck_save_flags = true;
+    }
+  in
+  check_roundtrip (Isa.Check ck);
+  check_roundtrip
+    (Isa.Check
+       { ck with ck_variant = Isa.Redzone; ck_write = false;
+         ck_nsaves = 0; ck_save_flags = false })
+
+let test_jmp_is_5_bytes () =
+  (* the whole patching problem rests on this *)
+  Alcotest.(check int) "jmp rel32" 5 (Encode.length (Isa.Jmp 0));
+  Alcotest.(check int) "call rel32" 5 (Encode.length (Isa.Call 0));
+  Alcotest.(check int) "jcc rel32" 6 (Encode.length (Isa.Jcc (Isa.Eq, 0)));
+  Alcotest.(check int) "push" 1 (Encode.length (Isa.Push Isa.rax));
+  Alcotest.(check int) "trap" 1 (Encode.length Isa.Trap)
+
+let test_mem_instr_lengths () =
+  (* the smallest instrumentable instruction is 4 bytes: shorter than a
+     jmp, which is what forces the eviction/trap tactics *)
+  let small = Isa.Store (Isa.W8, Isa.mem ~base:Isa.r8 ~idx:Isa.r9 ~scale:8 (), Isa.r10) in
+  Alcotest.(check int) "indexed store" 4 (Encode.length small);
+  let len =
+    Encode.length
+      (Isa.Store (Isa.W8, Isa.mem ~disp:0x1000 ~base:Isa.r8 ~idx:Isa.r9 ~scale:8 (), Isa.r10))
+  in
+  Alcotest.(check int) "disp32 store" 8 len
+
+let test_assembler_labels () =
+  let items =
+    [
+      Asm.Label "start";
+      Asm.I (Isa.Mov_ri (Isa.rax, 0));
+      Asm.Label "loop";
+      Asm.I (Isa.Alu_ri (Isa.Add, Isa.rax, 1));
+      Asm.I (Isa.Cmp_ri (Isa.rax, 10));
+      Asm.Jcc_l (Isa.Lt, "loop");
+      Asm.Jmp_l "end";
+      Asm.I Isa.Hlt;
+      Asm.Label "end";
+      Asm.I Isa.Ret;
+    ]
+  in
+  let code, labels = Asm.assemble ~origin:0x400000 items in
+  Alcotest.(check bool) "start at origin" true
+    (Hashtbl.find labels "start" = 0x400000);
+  (* decode the whole stream back *)
+  let instrs = Disasm.sweep ~addr:0x400000 code in
+  Alcotest.(check int) "instruction count" 7 (List.length instrs);
+  (* the backward branch must target the loop label *)
+  let _, jcc, _ = List.nth instrs 3 in
+  (match jcc with
+   | Isa.Jcc (Isa.Lt, t) ->
+     Alcotest.(check int) "jcc target" (Hashtbl.find labels "loop") t
+   | i -> Alcotest.failf "expected jcc, got %s" (Disasm.to_string i))
+
+let test_duplicate_label () =
+  Alcotest.check_raises "duplicate" (Asm.Duplicate_label "x") (fun () ->
+      ignore (Asm.assemble ~origin:0 [ Asm.Label "x"; Asm.Label "x" ]))
+
+let test_undefined_label () =
+  Alcotest.check_raises "undefined" (Asm.Undefined_label "nope") (fun () ->
+      ignore (Asm.assemble ~origin:0 [ Asm.Jmp_l "nope" ]))
+
+(* --- qcheck property: arbitrary instructions survive the round trip *)
+
+let gen_reg = QCheck.Gen.int_range 0 15
+
+let gen_mem =
+  let open QCheck.Gen in
+  let* disp = oneof [ return 0; int_range (-128) 127; int_range (-100000) 100000 ] in
+  let* base = opt gen_reg in
+  let* idx = opt gen_reg in
+  let* scale = oneofl [ 1; 2; 4; 8 ] in
+  let* seg = oneofl [ 0; 0; 0; 1; 2 ] in
+  return (Isa.mem ~seg ~disp ?base ?idx ~scale ())
+
+let gen_width = QCheck.Gen.oneofl [ Isa.W1; Isa.W2; Isa.W4; Isa.W8 ]
+
+let gen_instr =
+  let open QCheck.Gen in
+  let open Isa in
+  oneof
+    [
+      (let* d = gen_reg and* s = gen_reg in
+       return (Mov_rr (d, s)));
+      (let* d = gen_reg and* v = oneof [ int_range (-1000) 1000; int_bound (1 lsl 40) ] in
+       return (Mov_ri (d, v)));
+      (let* w = gen_width and* d = gen_reg and* m = gen_mem in
+       return (Load (w, d, m)));
+      (let* w = gen_width and* m = gen_mem and* s = gen_reg in
+       return (Store (w, m, s)));
+      (let* w = gen_width and* m = gen_mem and* v = int_range (-1000) 1000 in
+       return (Store_i (w, m, v)));
+      (let* d = gen_reg and* m = gen_mem in
+       return (Lea (d, m)));
+      (let* op = oneofl [ Add; Sub; And; Or; Xor ]
+       and* d = gen_reg
+       and* s = gen_reg in
+       return (Alu_rr (op, d, s)));
+      (let* op = oneofl [ Add; Sub; And; Or; Xor ]
+       and* d = gen_reg
+       and* v = int_range (-100000) 100000 in
+       return (Alu_ri (op, d, v)));
+      (let* s = oneofl [ Shl; Shr; Sar ] and* r = gen_reg and* n = int_range 0 63 in
+       return (Shift_ri (s, r, n)));
+      (let* r = gen_reg in
+       return (Push r));
+      (let* r = gen_reg in
+       return (Pop r));
+      (let* t = int_range 0x300000 0x500000 in
+       return (Jmp t));
+      (let* cc = oneofl [ Eq; Ne; Lt; Le; Gt; Ge; Ult; Ule; Ugt; Uge ]
+       and* t = int_range 0x300000 0x500000 in
+       return (Jcc (cc, t)));
+    ]
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:2000 ~name:"encode/decode round-trip"
+    (QCheck.make gen_instr ~print:Disasm.to_string)
+    (fun i ->
+      let b = Buffer.create 32 in
+      Encode.encode_at b 0x400000 i;
+      let s = Buffer.contents b in
+      let i', len = Decode.decode ~addr:0x400000 s 0 in
+      i = i' && len = String.length s)
+
+let prop_seq_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"instruction stream linear sweep"
+    QCheck.(make Gen.(list_size (int_range 1 40) gen_instr))
+    (fun is ->
+      let code = Encode.encode_seq ~addr:0x400000 is in
+      let swept = Disasm.sweep ~addr:0x400000 code in
+      List.length swept = List.length is
+      && List.for_all2 (fun (_, i', _) i -> i = i') swept is)
+
+let tests =
+  [
+    Alcotest.test_case "round-trip samples" `Quick test_roundtrip_samples;
+    Alcotest.test_case "check payload round-trip" `Quick test_check_roundtrip;
+    Alcotest.test_case "control-transfer lengths" `Quick test_jmp_is_5_bytes;
+    Alcotest.test_case "memory instruction lengths" `Quick test_mem_instr_lengths;
+    Alcotest.test_case "assembler labels" `Quick test_assembler_labels;
+    Alcotest.test_case "duplicate label" `Quick test_duplicate_label;
+    Alcotest.test_case "undefined label" `Quick test_undefined_label;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_seq_roundtrip;
+  ]

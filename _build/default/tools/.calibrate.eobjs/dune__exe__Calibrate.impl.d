@@ -1,0 +1,1 @@
+tools/calibrate.ml: List Printf Redfat String Workloads

@@ -1,0 +1,1 @@
+tools/validate.ml: Baselines List Printf Redfat Workloads

@@ -1,0 +1,14 @@
+(* Dev tool: per-benchmark step counts and VM throughput. *)
+let () =
+  let total = ref 0 in
+  List.iter
+    (fun (b : Workloads.Spec.bench) ->
+      let bin = Workloads.Spec.binary b in
+      let run, verdict = Redfat.run_baseline ~inputs:(Workloads.Spec.ref_inputs b) bin in
+      total := !total + run.steps;
+      Printf.printf "%-12s steps=%9d cycles=%9d out=%s %s\n%!" b.name run.steps
+        run.cycles
+        (String.concat "," (List.map string_of_int run.outputs))
+        (match verdict with Redfat.Finished _ -> "" | v -> Redfat.verdict_to_string v))
+    Workloads.Spec.all;
+  Printf.printf "total steps: %d\n" !total

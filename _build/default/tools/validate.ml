@@ -1,0 +1,41 @@
+(* Dev tool: validate Table 2 detection semantics before wiring benches. *)
+
+let check_cve (c : Workloads.Cve.case) =
+  let bin = Workloads.Cve.binary c in
+  let hard = Redfat.harden bin in
+  let benign = Redfat.run_hardened hard.binary ~inputs:c.benign_inputs in
+  let attack = Redfat.run_hardened hard.binary ~inputs:c.attack_inputs in
+  let _, _, mc = Redfat.run_memcheck bin ~inputs:c.attack_inputs in
+  Printf.printf "%-14s benign=%s attack=%s memcheck_errors=%d\n%!" c.name
+    (Redfat.verdict_to_string benign.verdict)
+    (Redfat.verdict_to_string attack.verdict)
+    (List.length (Baselines.Memcheck.errors mc))
+
+let () =
+  print_endline "== CVEs ==";
+  List.iter check_cve Workloads.Cve.all;
+  print_endline "== Juliet ==";
+  let detected = ref 0 and mc_missed = ref 0 and benign_bad = ref 0 and n = ref 0 in
+  List.iter
+    (fun (c : Workloads.Juliet.case) ->
+      incr n;
+      let bin = Workloads.Juliet.binary c in
+      let hard = Redfat.harden bin in
+      let b = Redfat.run_hardened hard.binary ~inputs:c.benign_inputs in
+      (match b.verdict with
+       | Redfat.Finished _ -> ()
+       | v ->
+         incr benign_bad;
+         if !benign_bad < 6 then
+           Printf.printf "  benign fail %s: %s\n%!" c.id (Redfat.verdict_to_string v));
+      let a = Redfat.run_hardened hard.binary ~inputs:c.attack_inputs in
+      (match a.verdict with
+       | Redfat.Detected _ -> incr detected
+       | v ->
+         if !n - !detected < 6 then
+           Printf.printf "  attack missed %s: %s\n%!" c.id (Redfat.verdict_to_string v));
+      let _, _, mc = Redfat.run_memcheck bin ~inputs:c.attack_inputs in
+      if Baselines.Memcheck.errors mc = [] then incr mc_missed)
+    Workloads.Juliet.all;
+  Printf.printf "juliet: %d cases, redfat detected %d, memcheck missed %d, benign failures %d\n"
+    !n !detected !mc_missed !benign_bad
