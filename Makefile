@@ -1,0 +1,33 @@
+# Convenience entry points; dune does the real work.
+
+BENCH := _build/default/bench/main.exe
+
+.PHONY: all build test check bench bench-json clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# the tier-1 gate plus a parallel-engine smoke run
+check:
+	dune build
+	dune runtest
+	dune build bench/main.exe
+	$(BENCH) fig4 --jobs 2
+
+bench: build
+	$(BENCH)
+
+# one structured-report example: Table 1 fanned over 4 domains,
+# artifacts cached in _redfat_cache/ so repeated runs start warm
+bench-json: build
+	$(BENCH) table1 --jobs 4 --out BENCH_table1.json
+	@echo "wrote BENCH_table1.json"
+
+clean:
+	dune clean
+	rm -rf _redfat_cache BENCH_*.json

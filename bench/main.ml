@@ -5,14 +5,80 @@
      table1 table2 fig1 fig2 fig3 fig4 fig5 fig67 fig8
      fps detected uaf stats sec74 ablation bechamel
 
+   Flags (anywhere on the command line):
+
+     --jobs N      fan independent workloads out over N domains
+     --no-cache    disable the artifact cache (compiles/rewrites/
+                   allow-lists; persisted in _redfat_cache/)
+     --out F.json  write a structured report (per-target cycles and
+                   overheads, per-stage wall time, cache hit/miss,
+                   jobs) to F.json
+
+   Output is byte-identical for any --jobs value (modulo fig8's
+   measured wall-clock rewrite-time line): workers never print;
+   results are collected in deterministic order, then rendered.
    See EXPERIMENTS.md for paper-vs-measured. *)
 
 module Rt = Redfat_rt.Runtime
 module Rw = Redfat.Rewrite
+module Pl = Engine.Pipeline
 
 let log_opts = { Rt.default_options with mode = Rt.Log }
 
 let pf fmt = Printf.printf fmt
+
+(* --- command line + the engine -------------------------------------- *)
+
+let experiment, opt_jobs, opt_cache, opt_out =
+  let exp = ref None
+  and jobs = ref 1
+  and cache = ref true
+  and out = ref None in
+  let usage () =
+    prerr_endline
+      "usage: main.exe [experiment] [--jobs N] [--no-cache] [--out FILE]";
+    exit 1
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n >= 1 -> jobs := n
+      | _ -> usage ());
+      parse rest
+    | "--no-cache" :: rest ->
+      cache := false;
+      parse rest
+    | "--out" :: f :: rest ->
+      out := Some f;
+      parse rest
+    | x :: _ when String.length x > 0 && x.[0] = '-' -> usage ()
+    | x :: rest when !exp = None ->
+      exp := Some x;
+      parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  (* fail on an unwritable --out path now, not after the whole run *)
+  (match !out with
+  | Some f -> (
+    try Out_channel.with_open_text f (fun _ -> ())
+    with Sys_error e ->
+      prerr_endline ("--out: " ^ e);
+      exit 1)
+  | None -> ());
+  (Option.value !exp ~default:"all", !jobs, !cache, !out)
+
+let eng =
+  Pl.create ~jobs:opt_jobs ~cache:opt_cache
+    ?cache_dir:(if opt_cache then Some "_redfat_cache" else None) ()
+
+let wall () = Unix.gettimeofday ()
+
+(* record one measured workload into the --out report *)
+let target name ?cycles ?overheads t0 =
+  Engine.Report.add_target (Pl.report eng) ~name ?cycles ?overheads
+    ~wall:(wall () -. t0) ()
 
 let geomean xs =
   match xs with
@@ -41,21 +107,22 @@ type t1row = {
 }
 
 let table1_row (b : Workloads.Spec.bench) : t1row =
-  let bin = Workloads.Spec.binary b in
+  let t0 = wall () in
+  let bin = Pl.compile eng (Workloads.Spec.program b) in
   let refs = Workloads.Spec.ref_inputs b in
-  let base, bv = Redfat.run_baseline ~inputs:refs bin in
+  let base, bv = Pl.run_baseline eng ~inputs:refs bin in
   (match bv with
    | Redfat.Finished _ -> ()
    | v -> failwith (b.name ^ ": baseline " ^ Redfat.verdict_to_string v));
   (* allow-list from the train workload (paper §5 / §7.1 methodology) *)
   let allow =
-    Redfat.profile ~test_suite:[ Workloads.Spec.train_inputs b ] bin
+    Pl.profile eng ~test_suite:[ Workloads.Spec.train_inputs b ] bin
   in
   let run ?(rt = log_opts) opts =
     let hard =
-      Redfat.harden ~opts:{ opts with Rw.allowlist = Some allow } bin
+      Pl.harden eng ~opts:{ opts with Rw.allowlist = Some allow } bin
     in
-    let hr = Redfat.run_hardened ~options:rt ~inputs:refs hard.binary in
+    let hr = Pl.run_hardened eng ~options:rt ~inputs:refs hard.binary in
     (match hr.verdict with
      | Redfat.Finished _ -> ()
      | v -> failwith (b.name ^ ": " ^ Redfat.verdict_to_string v));
@@ -71,30 +138,40 @@ let table1_row (b : Workloads.Spec.bench) : t1row =
       ~rt:{ log_opts with size_harden = false; check_reads = false }
       { Rw.optimized with instrument_reads = false }
   in
-  let mc, _, _ = Redfat.run_memcheck ~inputs:refs bin in
+  let mc, _, _ = Pl.run_memcheck eng ~inputs:refs bin in
   let ov (hrun : Redfat.hardened_run) =
     float_of_int hrun.run.cycles /. float_of_int base.cycles
   in
-  {
-    r_name = b.name;
-    r_lang = b.lang;
-    r_cov = Rt.coverage_percent nosize.rt;
-    r_base = base.cycles;
-    r_unopt = ov unopt;
-    r_elim = ov elim;
-    r_batch = ov batch;
-    r_merge = ov merge;
-    r_nosize = ov nosize;
-    r_noreads = ov noreads;
-    r_memcheck = float_of_int mc.cycles /. float_of_int base.cycles;
-  }
+  let row =
+    {
+      r_name = b.name;
+      r_lang = b.lang;
+      r_cov = Rt.coverage_percent nosize.rt;
+      r_base = base.cycles;
+      r_unopt = ov unopt;
+      r_elim = ov elim;
+      r_batch = ov batch;
+      r_merge = ov merge;
+      r_nosize = ov nosize;
+      r_noreads = ov noreads;
+      r_memcheck = float_of_int mc.cycles /. float_of_int base.cycles;
+    }
+  in
+  target ("spec:" ^ b.name) ~cycles:base.cycles
+    ~overheads:
+      [ ("unopt", row.r_unopt); ("elim", row.r_elim);
+        ("batch", row.r_batch); ("merge", row.r_merge);
+        ("nosize", row.r_nosize); ("noreads", row.r_noreads);
+        ("memcheck", row.r_memcheck) ]
+    t0;
+  row
 
 let table1 () =
   hr "Table 1: SPEC CPU2006 performance (slow-down factors vs baseline)";
   pf "%-11s %-7s %8s %9s %7s %7s %7s %7s %7s %7s %9s\n" "Binary" "lang"
     "coverage" "Baseline" "unopt" "+elim" "+batch" "+merge" "-size" "-reads"
     "Memcheck";
-  let rows = List.map table1_row Workloads.Spec.all in
+  let rows = Pl.map eng table1_row Workloads.Spec.all in
   List.iter
     (fun r ->
       pf
@@ -127,33 +204,56 @@ let table1 () =
 let table2 () =
   hr "Table 2: CVEs/CWEs for non-incremental bounds errors";
   pf "%-34s %-14s %-14s\n" "entry" "Memcheck" "RedFat";
+  let cve_rows =
+    Pl.map eng
+      (fun (c : Workloads.Cve.case) ->
+        let t0 = wall () in
+        let bin = Pl.compile eng c.program in
+        let hard = Pl.harden eng bin in
+        let benign =
+          Pl.run_hardened eng hard.binary ~inputs:c.benign_inputs
+        in
+        (match benign.verdict with
+         | Redfat.Finished _ -> ()
+         | v -> failwith (c.name ^ " benign: " ^ Redfat.verdict_to_string v));
+        let attack =
+          Pl.run_hardened eng hard.binary ~inputs:c.attack_inputs
+        in
+        let rf = match attack.verdict with Redfat.Detected _ -> 1 | _ -> 0 in
+        let _, _, mc = Pl.run_memcheck eng bin ~inputs:c.attack_inputs in
+        let mcd = if Baselines.Memcheck.errors mc <> [] then 1 else 0 in
+        target ("cve:" ^ c.name) t0;
+        (c, mcd, rf))
+      Workloads.Cve.all
+  in
   List.iter
-    (fun (c : Workloads.Cve.case) ->
-      let bin = Workloads.Cve.binary c in
-      let hard = Redfat.harden bin in
-      let benign = Redfat.run_hardened hard.binary ~inputs:c.benign_inputs in
-      (match benign.verdict with
-       | Redfat.Finished _ -> ()
-       | v -> failwith (c.name ^ " benign: " ^ Redfat.verdict_to_string v));
-      let attack = Redfat.run_hardened hard.binary ~inputs:c.attack_inputs in
-      let rf = match attack.verdict with Redfat.Detected _ -> 1 | _ -> 0 in
-      let _, _, mc = Redfat.run_memcheck bin ~inputs:c.attack_inputs in
-      let mcd = if Baselines.Memcheck.errors mc <> [] then 1 else 0 in
+    (fun ((c : Workloads.Cve.case), mcd, rf) ->
       pf "%-34s %d/1 (%3d%%)     %d/1 (%3d%%)\n%!"
         (Printf.sprintf "%s (%s)" c.cve c.name)
         mcd (mcd * 100) rf (rf * 100))
-    Workloads.Cve.all;
+    cve_rows;
   let total = List.length Workloads.Juliet.all in
+  let juliet =
+    Pl.map eng
+      (fun (c : Workloads.Juliet.case) ->
+        let bin = Pl.compile eng c.program in
+        let hard = Pl.harden eng bin in
+        let attack =
+          Pl.run_hardened eng hard.binary ~inputs:c.attack_inputs
+        in
+        let rf =
+          match attack.verdict with Redfat.Detected _ -> true | _ -> false
+        in
+        let _, _, mc = Pl.run_memcheck eng bin ~inputs:c.attack_inputs in
+        (rf, Baselines.Memcheck.errors mc <> []))
+      Workloads.Juliet.all
+  in
   let rf_det = ref 0 and mc_det = ref 0 in
   List.iter
-    (fun (c : Workloads.Juliet.case) ->
-      let bin = Workloads.Juliet.binary c in
-      let hard = Redfat.harden bin in
-      let attack = Redfat.run_hardened hard.binary ~inputs:c.attack_inputs in
-      (match attack.verdict with Redfat.Detected _ -> incr rf_det | _ -> ());
-      let _, _, mc = Redfat.run_memcheck bin ~inputs:c.attack_inputs in
-      if Baselines.Memcheck.errors mc <> [] then incr mc_det)
-    Workloads.Juliet.all;
+    (fun (rf, mc) ->
+      if rf then incr rf_det;
+      if mc then incr mc_det)
+    juliet;
   pf "%-34s %d/%d (%3.0f%%)   %d/%d (%3.0f%%)\n"
     "CWE-122-Heap-Buffer (Juliet)" !mc_det total
     (100. *. float_of_int !mc_det /. float_of_int total)
@@ -168,18 +268,18 @@ let table2 () =
 let fig1 () =
   hr "Figure 1: CVE-2012-4295 (wireshark) walkthrough";
   let c = Workloads.Cve.wireshark in
-  let bin = Workloads.Cve.binary c in
+  let bin = Pl.compile eng c.program in
   pf "model: %s\n" c.description;
-  let base, _ = Redfat.run_baseline ~inputs:c.benign_inputs bin in
+  let base, _ = Pl.run_baseline eng ~inputs:c.benign_inputs bin in
   pf "benign run (speed=%d): outputs %s\n"
     (List.nth c.benign_inputs 1)
     (String.concat "," (List.map string_of_int base.outputs));
-  let hard = Redfat.harden bin in
-  let attack = Redfat.run_hardened hard.binary ~inputs:c.attack_inputs in
+  let hard = Pl.harden eng bin in
+  let attack = Pl.run_hardened eng hard.binary ~inputs:c.attack_inputs in
   pf "attack run (speed=%d) under RedFat: %s\n"
     (List.nth c.attack_inputs 1)
     (Redfat.verdict_to_string attack.verdict);
-  let _, _, mc = Redfat.run_memcheck bin ~inputs:c.attack_inputs in
+  let _, _, mc = Pl.run_memcheck eng bin ~inputs:c.attack_inputs in
   pf "attack run under Memcheck: %d errors reported (redzone skipped)\n"
     (List.length (Baselines.Memcheck.errors mc))
 
@@ -283,11 +383,11 @@ let fig5 () =
           ];
       ]
   in
-  let bin = Minic.Codegen.compile prog in
+  let bin = Pl.compile eng prog in
   pf "step (1) profiling phase: instrument prog.orig, run the test suite\n";
-  let prof = Rw.rewrite Rw.profiling_build bin in
+  let prof = Pl.harden eng ~opts:Rw.profiling_build bin in
   let hrun =
-    Redfat.run_hardened ~options:log_opts ~profiling:true prof.binary
+    Pl.run_hardened eng ~options:log_opts ~profiling:true prof.binary
   in
   let allow = Rt.allowlist hrun.rt in
   let failing = Rt.lowfat_failing_sites hrun.rt in
@@ -295,10 +395,10 @@ let fig5 () =
     (List.length allow) (List.length failing)
     (String.concat ", " (List.map (Printf.sprintf "%#x") failing));
   pf "step (2) production phase: rewrite with the allow-list\n";
-  let hard = Rw.rewrite (Rw.production ~allowlist:allow) bin in
+  let hard = Pl.harden eng ~opts:(Rw.production ~allowlist:allow) bin in
   pf "  %d sites get (Redzone)+(LowFat), %d get (Redzone)-only\n"
     hard.stats.full_sites hard.stats.redzone_sites;
-  let prod = Redfat.run_hardened hard.binary in
+  let prod = Pl.run_hardened eng hard.binary in
   pf "  production run: %s (no false positive)\n"
     (Redfat.verdict_to_string prod.verdict)
 
@@ -345,13 +445,13 @@ let fig67 () =
   hr "Figures 6-7: check batching and merging (paper Example 2)";
   let bin = example2_binary () in
   let show name opts =
-    let r = Rw.rewrite opts bin in
+    let r = Pl.harden eng ~opts bin in
     pf
       "%-12s trampolines=%d checks=%d jump-patches=%d (total jumps %d) traps=%d\n%!"
       name r.stats.trampolines r.stats.checks_emitted r.stats.jump_patches
       (r.stats.jump_patches * 2)
       r.stats.trap_patches;
-    let hrun = Redfat.run_hardened r.binary in
+    let hrun = Pl.run_hardened eng r.binary in
     (match hrun.verdict with
      | Redfat.Finished _ -> ()
      | v -> pf "  unexpected: %s\n" (Redfat.verdict_to_string v))
@@ -372,42 +472,53 @@ let chrome_rt = { log_opts with size_harden = false; check_reads = false }
 let fig8 () =
   hr "Figure 8: Kraken benchmarks under write-only hardening";
   pf "%-26s %9s %9s %9s\n" "benchmark" "baseline" "hardened" "overhead";
-  let ovs =
-    List.map
+  let rows =
+    Pl.map eng
       (fun (b : Workloads.Kraken.bench) ->
-        let bin = Workloads.Kraken.binary b in
+        let t0 = wall () in
+        let bin = Pl.compile eng (Workloads.Kraken.program b) in
         let inputs = Workloads.Kraken.inputs b in
-        let base, _ = Redfat.run_baseline ~inputs bin in
-        let hard = Redfat.harden ~opts:chrome_opts bin in
-        let hrun = Redfat.run_hardened ~options:chrome_rt ~inputs hard.binary in
+        let base, _ = Pl.run_baseline eng ~inputs bin in
+        let hard = Pl.harden eng ~opts:chrome_opts bin in
+        let hrun =
+          Pl.run_hardened eng ~options:chrome_rt ~inputs hard.binary
+        in
         (match hrun.verdict with
          | Redfat.Finished _ -> ()
          | v -> failwith (b.name ^ ": " ^ Redfat.verdict_to_string v));
         let ov = float_of_int hrun.run.cycles /. float_of_int base.cycles in
-        pf "%-26s %9d %9d %8.0f%%\n%!" b.name base.cycles hrun.run.cycles
-          (100. *. ov);
-        ov)
+        target ("kraken:" ^ b.name) ~cycles:base.cycles
+          ~overheads:[ ("write-only", ov) ] t0;
+        (b.name, base.cycles, hrun.run.cycles, ov))
       Workloads.Kraken.all
   in
+  List.iter
+    (fun (name, base, hardc, ov) ->
+      pf "%-26s %9d %9d %8.0f%%\n%!" name base hardc (100. *. ov))
+    rows;
+  let ovs = List.map (fun (_, _, _, ov) -> ov) rows in
   pf "%-26s %9s %9s %8.0f%%\n" "geometric mean" "" "" (100. *. geomean ovs);
   pf "(paper geometric mean: 128%%)\n";
   hr "Section 7.3 scalability: the Chrome-scale binary";
-  let bin = Workloads.Chrome.binary () in
+  let bin = Pl.compile eng (Workloads.Chrome.program ()) in
   pf "input binary: %d bytes of code, %d instructions\n"
     (Binfmt.Relf.code_size bin)
     (List.length
        (X64.Disasm.sweep
           ~addr:(Binfmt.Relf.text_exn bin).addr
           (Binfmt.Relf.text_exn bin).bytes));
-  let t0 = Sys.time () in
-  let hard = Redfat.harden ~opts:chrome_opts bin in
-  let dt = Sys.time () -. t0 in
-  pf "rewrite time: %.2fs\n" dt;
+  let t0 = wall () in
+  let hard = Pl.harden eng ~opts:chrome_opts bin in
+  let dt = wall () -. t0 in
+  pf "rewrite time: %.2fs%s\n" dt
+    (if Pl.cache_enabled eng then " (artifact-cached on warm runs)" else "");
   Format.printf "%a@." Rw.pp_stats hard.stats;
   List.iter
     (fun (name, inputs) ->
-      let base, _ = Redfat.run_baseline ~inputs bin in
-      let hrun = Redfat.run_hardened ~options:chrome_rt ~inputs hard.binary in
+      let base, _ = Pl.run_baseline eng ~inputs bin in
+      let hrun =
+        Pl.run_hardened eng ~options:chrome_rt ~inputs hard.binary
+      in
       pf "workload %-8s: %s, overhead %.2fx\n" name
         (Redfat.verdict_to_string hrun.verdict)
         (float_of_int hrun.run.cycles /. float_of_int base.cycles))
@@ -422,17 +533,17 @@ let paper_fps =
     ("gromacs", 3); ("GemsFDTD", 32); ("wrf", 26); ("calculix", 2) ]
 
 let fp_and_bug_sites (b : Workloads.Spec.bench) =
-  let bin = Workloads.Spec.binary b in
+  let bin = Pl.compile eng (Workloads.Spec.program b) in
   let refs = Workloads.Spec.ref_inputs b in
-  let prof = Rw.rewrite Rw.profiling_build bin in
+  let prof = Pl.harden eng ~opts:Rw.profiling_build bin in
   let fpr =
-    Redfat.run_hardened ~options:log_opts ~profiling:true ~inputs:refs
+    Pl.run_hardened eng ~options:log_opts ~profiling:true ~inputs:refs
       prof.binary
   in
   let lf_fail = Rt.lowfat_failing_sites fpr.rt in
   (* sites that also fail redzone-only checking are real bugs, not FPs *)
   let rz =
-    Redfat.run_hardened
+    Pl.run_hardened eng
       ~options:{ log_opts with lowfat = false }
       ~inputs:refs prof.binary
   in
@@ -446,27 +557,39 @@ let fp_and_bug_sites (b : Workloads.Spec.bench) =
 let fps () =
   hr "Sec 7.1 false positives with full checking (no allow-list)";
   pf "%-12s %12s %12s\n" "benchmark" "measured FPs" "paper FPs";
+  let rows =
+    Pl.map eng
+      (fun (b : Workloads.Spec.bench) ->
+        let fp_sites, _, _ = fp_and_bug_sites b in
+        (b.name, List.length fp_sites))
+      Workloads.Spec.all
+  in
   List.iter
-    (fun (b : Workloads.Spec.bench) ->
-      let fp_sites, _, _ = fp_and_bug_sites b in
-      let paper = Option.value ~default:0 (List.assoc_opt b.name paper_fps) in
-      if fp_sites <> [] || paper > 0 then
-        pf "%-12s %12d %12d\n%!" b.name (List.length fp_sites) paper)
-    Workloads.Spec.all
+    (fun (name, measured) ->
+      let paper = Option.value ~default:0 (List.assoc_opt name paper_fps) in
+      if measured > 0 || paper > 0 then
+        pf "%-12s %12d %12d\n%!" name measured paper)
+    rows
 
 let detected () =
   hr "Sec 7.1 detected (real) errors in the SPEC stand-ins";
+  let rows =
+    Pl.map eng
+      (fun name ->
+        let b = Workloads.Spec.find name in
+        let _, bugs, errors = fp_and_bug_sites b in
+        (b.name, bugs, errors))
+      [ "calculix"; "wrf" ]
+  in
   List.iter
-    (fun name ->
-      let b = Workloads.Spec.find name in
-      let _, bugs, errors = fp_and_bug_sites b in
-      pf "%s: %d real out-of-bounds read error(s)\n" b.name (List.length bugs);
+    (fun (name, bugs, errors) ->
+      pf "%s: %d real out-of-bounds read error(s)\n" name (List.length bugs);
       List.iter
         (fun (e : Rt.access_error) ->
           if List.mem e.site bugs then
             pf "  site %#x: %s at %#x\n" e.site (Rt.kind_name e.kind) e.addr)
         errors)
-    [ "calculix"; "wrf" ];
+    rows;
   pf "(paper: calculix has 4 array[-1] read underflows, wrf 1 read overflow;\n";
   pf " both are detected by RedFat and Memcheck)\n"
 
@@ -479,11 +602,16 @@ let stats () =
   pf "%-11s %7s %7s %7s %7s %6s %6s %6s %9s\n" "binary" "instrs" "memops"
     "elim" "sites" "tramps" "evict" "traps" "size-ovh";
   let tot = ref (0, 0, 0, 0) in
+  let rows =
+    Pl.map eng
+      (fun (b : Workloads.Spec.bench) ->
+        let bin = Pl.compile eng (Workloads.Spec.program b) in
+        let r = Pl.harden eng bin in
+        (b.name, r.stats))
+      Workloads.Spec.all
+  in
   List.iter
-    (fun (b : Workloads.Spec.bench) ->
-      let bin = Workloads.Spec.binary b in
-      let r = Redfat.harden bin in
-      let s = r.stats in
+    (fun (name, (s : Rw.stats)) ->
       let ovh =
         float_of_int (s.text_bytes + s.tramp_bytes)
         /. float_of_int s.text_bytes
@@ -491,10 +619,10 @@ let stats () =
       let a, bb, c, d = !tot in
       tot := (a + s.instrumented, bb + s.jump_patches, c + s.trap_patches,
               d + s.evictions);
-      pf "%-11s %7d %7d %7d %7d %6d %6d %6d %8.2fx\n" b.name s.instrs_total
+      pf "%-11s %7d %7d %7d %7d %6d %6d %6d %8.2fx\n" name s.instrs_total
         s.mem_ops s.eliminated s.instrumented s.trampolines s.evictions
         s.trap_patches ovh)
-    Workloads.Spec.all;
+    rows;
   let sites, jumps, traps, evict = !tot in
   pf "totals: %d sites instrumented; %d jump patches (%d via eviction), %d\n"
     sites jumps evict traps;
@@ -508,31 +636,43 @@ let stats () =
 let uaf () =
   hr "Extension: CWE-416 use-after-free (beyond the paper's Table 2)";
   let total = List.length Workloads.Uaf.all in
+  let results =
+    Pl.map eng
+      (fun (c : Workloads.Uaf.case) ->
+        let bin = Pl.compile eng c.program in
+        let hard = Pl.harden eng bin in
+        let b =
+          Pl.run_hardened eng ~inputs:Workloads.Uaf.benign_inputs hard.binary
+        in
+        let benign_ok =
+          match b.verdict with Redfat.Finished 0 -> true | _ -> false
+        in
+        let a =
+          Pl.run_hardened eng ~inputs:Workloads.Uaf.attack_inputs hard.binary
+        in
+        let rf =
+          match a.verdict with Redfat.Detected _ -> true | _ -> false
+        in
+        let _, _, m =
+          Pl.run_memcheck eng ~inputs:Workloads.Uaf.attack_inputs bin
+        in
+        (benign_ok, rf, Baselines.Memcheck.errors m <> []))
+      Workloads.Uaf.all
+  in
   let rf = ref 0 and mc = ref 0 and benign_bad = ref 0 in
   List.iter
-    (fun (c : Workloads.Uaf.case) ->
-      let bin = Workloads.Uaf.binary c in
-      let hard = Redfat.harden bin in
-      let b =
-        Redfat.run_hardened ~inputs:Workloads.Uaf.benign_inputs hard.binary
-      in
-      (match b.verdict with Redfat.Finished 0 -> () | _ -> incr benign_bad);
-      let a =
-        Redfat.run_hardened ~inputs:Workloads.Uaf.attack_inputs hard.binary
-      in
-      (match a.verdict with Redfat.Detected _ -> incr rf | _ -> ());
-      let _, _, m =
-        Redfat.run_memcheck ~inputs:Workloads.Uaf.attack_inputs bin
-      in
-      if Baselines.Memcheck.errors m <> [] then incr mc)
-    Workloads.Uaf.all;
+    (fun (benign_ok, rfd, mcd) ->
+      if not benign_ok then incr benign_bad;
+      if rfd then incr rf;
+      if mcd then incr mc)
+    results;
   pf "%-34s %d/%d detected (Memcheck: %d/%d); %d benign failures\n"
     "CWE-416-Use-After-Free" !rf total !mc total !benign_bad;
   (* the quarantine-difference case *)
-  let bin = Minic.Codegen.compile Workloads.Uaf.reuse_case in
-  let hard = Redfat.harden bin in
-  let r = Redfat.run_hardened hard.binary in
-  let _, _, m = Redfat.run_memcheck bin in
+  let bin = Pl.compile eng Workloads.Uaf.reuse_case in
+  let hard = Pl.harden eng bin in
+  let r = Pl.run_hardened eng hard.binary in
+  let _, _, m = Pl.run_memcheck eng bin in
   pf "slot-reuse case (no quarantine):   RedFat %s; Memcheck %s\n"
     (match r.verdict with
      | Redfat.Detected _ -> "detected"
@@ -578,9 +718,9 @@ let sec74 () =
     let hrun = Redfat.run_hardened ~libs:[ lib ] ~inputs:attack main in
     pf "%-44s %s\n" name (Redfat.verdict_to_string hrun.verdict)
   in
-  let hard_main = (Redfat.harden main_bin).binary in
+  let hard_main = (Pl.harden eng main_bin).binary in
   let hard_lib =
-    (Rw.rewrite ~tramp_base:lib_tramp Rw.optimized lib_bin).binary
+    (Pl.harden eng ~tramp_base:lib_tramp ~opts:Rw.optimized lib_bin).binary
   in
   pf "attack input writes buf[12] inside libdecoder.so's decode():\n";
   show "neither module instrumented" main_bin lib_bin;
@@ -602,12 +742,12 @@ let ablation () =
   List.iter
     (fun name ->
       let b = Workloads.Spec.find name in
-      let bin = Workloads.Spec.binary b in
+      let bin = Pl.compile eng (Workloads.Spec.program b) in
       let refs = Workloads.Spec.ref_inputs b in
-      let base, _ = Redfat.run_baseline ~inputs:refs bin in
-      let hard = Redfat.harden bin in
+      let base, _ = Pl.run_baseline eng ~inputs:refs bin in
+      let hard = Pl.harden eng bin in
       let cyc ?random rt =
-        let hrun = Redfat.run_hardened ~options:rt ?random ~inputs:refs hard.binary in
+        let hrun = Pl.run_hardened eng ~options:rt ?random ~inputs:refs hard.binary in
         (match hrun.verdict with
          | Redfat.Finished _ -> ()
          | v -> failwith (Redfat.verdict_to_string v));
@@ -639,14 +779,14 @@ let bechamel () =
   let open Bechamel in
   let open Toolkit in
   let spec_bench = Workloads.Spec.find "mcf" in
-  let spec_bin = Workloads.Spec.binary spec_bench in
-  let spec_hard = Redfat.harden spec_bin in
+  let spec_bin = Pl.compile eng (Workloads.Spec.program spec_bench) in
+  let spec_hard = Pl.harden eng spec_bin in
   let juliet_case = List.hd Workloads.Juliet.all in
-  let juliet_bin = Workloads.Juliet.binary juliet_case in
-  let juliet_hard = Redfat.harden juliet_bin in
+  let juliet_bin = Pl.compile eng juliet_case.program in
+  let juliet_hard = Pl.harden eng juliet_bin in
   let kraken_bench = Workloads.Kraken.find "crypto-aes" in
-  let kraken_bin = Workloads.Kraken.binary kraken_bench in
-  let kraken_hard = Redfat.harden ~opts:chrome_opts kraken_bin in
+  let kraken_bin = Pl.compile eng (Workloads.Kraken.program kraken_bench) in
+  let kraken_hard = Pl.harden eng ~opts:chrome_opts kraken_bin in
   let small = [ 0; 2 ] in
   let t_table1 =
     Test.make ~name:"table1-harden-run-mcf"
@@ -721,7 +861,7 @@ let all () =
   bechamel ()
 
 let () =
-  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
+  (match experiment with
   | "table1" -> table1 ()
   | "table2" -> table2 ()
   | "fig1" -> fig1 ()
@@ -741,4 +881,14 @@ let () =
   | "all" -> all ()
   | other ->
     prerr_endline ("unknown experiment: " ^ other);
-    exit 1
+    exit 1);
+  (match opt_out with
+  | Some file ->
+    let json =
+      Pl.emit_json eng ~extra:[ ("experiment", experiment) ] ()
+    in
+    Out_channel.with_open_text file (fun oc ->
+        Out_channel.output_string oc json);
+    pf "wrote %s\n" file
+  | None -> ());
+  Pl.close eng

@@ -6,7 +6,11 @@
      redfat fuzz victim.relf -o allow.lst     # or grow the suite by fuzzing
      redfat harden victim.relf --allowlist allow.lst -o victim.hard.relf
      redfat run victim.hard.relf --inputs 12 --env redfat
-     redfat run victim.relf --inputs 12 --env memcheck *)
+     redfat run victim.relf --inputs 12 --env memcheck
+
+   or let the staged engine drive the whole workflow at once:
+
+     redfat pipeline spec:mcf --jobs 4 --cache-dir _redfat_cache *)
 
 open Cmdliner
 
@@ -223,6 +227,12 @@ let harden_cmd =
   Cmd.v (Cmd.info "harden" ~doc)
     Term.(const run $ input_file $ output $ level_arg $ no_reads $ allowlist_arg)
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Worker domains for independent work items (1 = sequential).")
+
 let profile_cmd =
   let doc =
     "Profiling phase (paper Fig. 5): run the instrumented binary on a test \
@@ -236,15 +246,95 @@ let profile_cmd =
           ~doc:"Input script (comma-separated ints); repeatable, one per \
                 test-suite run.")
   in
-  let run file suites out =
+  let run file suites jobs out =
     let bin = Binfmt.Relf.load_file file in
     let test_suite = List.map parse_inputs suites in
     let test_suite = if test_suite = [] then [ [] ] else test_suite in
-    let allow = Redfat.profile ~test_suite bin in
+    let eng = Engine.Pipeline.create ~jobs ~cache:false () in
+    let allow = Engine.Pipeline.profile eng ~test_suite bin in
+    Engine.Pipeline.close eng;
     Profile.Allowlist.save out allow;
     Printf.printf "wrote %s (%d allow-listed sites)\n" out (List.length allow)
   in
-  Cmd.v (Cmd.info "profile" ~doc) Term.(const run $ input_file $ suites $ output)
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(const run $ input_file $ suites $ jobs_arg $ output)
+
+let pipeline_cmd =
+  let doc =
+    "Run the full staged hardening workflow (Compile >>> Profile >>> Harden \
+     >>> Run >>> Report) on a built-in workload, with per-stage timings and \
+     artifact-cache statistics."
+  in
+  let wname =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME" ~doc:"Workload name, e.g. spec:mcf.")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"Disable the content-addressed artifact cache.")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:"Persist artifacts on disk so repeated invocations start warm.")
+  in
+  let find name : Minic.Ast.program * int list list * int list =
+    match String.split_on_char ':' name with
+    | [ "spec"; n ] ->
+      let b = Workloads.Spec.find n in
+      ( Workloads.Spec.program b,
+        [ Workloads.Spec.train_inputs b ],
+        Workloads.Spec.ref_inputs b )
+    | [ "cve"; n ] ->
+      let c = List.find (fun (c : Workloads.Cve.case) -> c.name = n)
+          Workloads.Cve.all
+      in
+      (c.program, [ c.benign_inputs ], c.benign_inputs)
+    | [ "kraken"; n ] ->
+      let b = Workloads.Kraken.find n in
+      let inputs = Workloads.Kraken.inputs b in
+      (Workloads.Kraken.program b, [ inputs ], inputs)
+    | [ "chrome" ] -> (Workloads.Chrome.program (), [ [ 0; 50 ] ], [ 0; 50 ])
+    | [ "synth"; seed ] ->
+      (Workloads.Synth.program ~seed:(int_of_string seed) (), [ [] ], [])
+    | _ -> failwith ("unknown workload " ^ name ^ " (try: redfat list)")
+  in
+  let run name jobs no_cache cache_dir =
+    let prog, train, inputs =
+      try find name
+      with Not_found | Failure _ ->
+        Printf.eprintf "unknown workload %s (try: redfat list)\n" name;
+        exit 1
+    in
+    let eng =
+      Engine.Pipeline.create ~jobs ~cache:(not no_cache) ?cache_dir ()
+    in
+    let module Pl = Engine.Pipeline in
+    let chain =
+      Engine.Stage.(
+        Pl.stage_compile eng
+        >>> Pl.stage_profile eng ~train
+        >>> Pl.stage_harden eng ()
+        >>> Pl.stage_run eng ~inputs
+        >>> Pl.stage_report eng)
+    in
+    Printf.printf "workload: %s\n%s\n\n" name (Engine.Stage.describe chain);
+    let summary = Engine.Stage.run ~report:(Pl.report eng) chain prog in
+    print_endline summary;
+    Format.printf "\n%a@." Engine.Report.pp (Pl.report eng);
+    let st = Pl.cache_stats eng in
+    Printf.printf "cache: %s, %d hits / %d misses / %d stores\n"
+      (if Pl.cache_enabled eng then "enabled" else "disabled")
+      st.Engine.Cache.hits st.Engine.Cache.misses st.Engine.Cache.stores;
+    Pl.close eng
+  in
+  Cmd.v (Cmd.info "pipeline" ~doc)
+    Term.(const run $ wname $ jobs_arg $ no_cache $ cache_dir)
 
 let env_arg =
   Arg.(
@@ -361,6 +451,6 @@ let main_cmd =
   let info = Cmd.info "redfat" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ list_cmd; workload_cmd; compile_cmd; disasm_cmd; harden_cmd;
-      profile_cmd; fuzz_cmd; run_cmd; trace_cmd ]
+      profile_cmd; pipeline_cmd; fuzz_cmd; run_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

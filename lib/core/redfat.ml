@@ -131,24 +131,24 @@ let run_memcheck ?(inputs = []) ?max_steps (binary : Binfmt.Relf.t) :
 let harden ?(opts = Rewrite.optimized) (binary : Binfmt.Relf.t) : Rewrite.t =
   Rewrite.rewrite opts binary
 
-(** Profiling phase of Figure 5: instrument with the profiling variant,
-    run the test suite, extract the allow-list. *)
-let profile ?max_steps ~(test_suite : int list list) (binary : Binfmt.Relf.t)
-    : Allowlist.t =
-  let prof = Rewrite.rewrite Rewrite.profiling_build binary in
-  let runs =
-    List.map
-      (fun inputs ->
-        let hr =
-          run_hardened ?max_steps
-            ~options:{ Runtime.default_options with mode = Runtime.Log }
-            ~profiling:true ~inputs prof.binary
-        in
-        (Runtime.allowlist hr.rt, Runtime.lowfat_failing_sites hr.rt))
-      test_suite
+(** One profiling-phase run: execute the (already profiling-
+    instrumented) binary on one input script; return the sites that
+    passed and the sites that failed the (LowFat) component.  Pure
+    per-run — [merge_profiles] combines any number of them, so a suite
+    can be run sequentially or fanned out across domains. *)
+let profile_run ?max_steps (prof_binary : Binfmt.Relf.t) (inputs : int list) :
+    Allowlist.t * int list =
+  let hr =
+    run_hardened ?max_steps
+      ~options:{ Runtime.default_options with mode = Runtime.Log }
+      ~profiling:true ~inputs prof_binary
   in
-  (* a site makes the allow-list when it executed in some run and never
-     failed the (LowFat) component in any run *)
+  (Runtime.allowlist hr.rt, Runtime.lowfat_failing_sites hr.rt)
+
+(** Combine per-run profiles: a site makes the allow-list when it
+    executed in some run and never failed the (LowFat) component in
+    any run. *)
+let merge_profiles (runs : (Allowlist.t * int list) list) : Allowlist.t =
   let failed = Hashtbl.create 64 in
   List.iter
     (fun (_, fs) -> List.iter (fun s -> Hashtbl.replace failed s ()) fs)
@@ -156,6 +156,13 @@ let profile ?max_steps ~(test_suite : int list list) (binary : Binfmt.Relf.t)
   List.concat_map fst runs
   |> List.sort_uniq compare
   |> List.filter (fun s -> not (Hashtbl.mem failed s))
+
+(** Profiling phase of Figure 5: instrument with the profiling variant,
+    run the test suite, extract the allow-list. *)
+let profile ?max_steps ~(test_suite : int list list) (binary : Binfmt.Relf.t)
+    : Allowlist.t =
+  let prof = Rewrite.rewrite Rewrite.profiling_build binary in
+  merge_profiles (List.map (profile_run ?max_steps prof.binary) test_suite)
 
 (** The full two-phase workflow of Figure 5. *)
 let profile_and_harden ?max_steps ~(test_suite : int list list)

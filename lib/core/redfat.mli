@@ -75,11 +75,24 @@ val run_memcheck :
 val harden : ?opts:Rewrite.options -> Binfmt.Relf.t -> Rewrite.t
 (** One-phase hardening: every site gets the full check. *)
 
+val profile_run :
+  ?max_steps:int -> Binfmt.Relf.t -> int list -> Allowlist.t * int list
+(** [profile_run prof_binary inputs]: one profiling-phase run of an
+    already profiling-instrumented binary; returns (passing sites,
+    (LowFat)-failing sites).  Pure per-run, so a test suite can be run
+    sequentially or fanned out across domains and combined with
+    [merge_profiles]. *)
+
+val merge_profiles : (Allowlist.t * int list) list -> Allowlist.t
+(** Combine per-run profiles: a site makes the allow-list when it
+    executed in some run and never failed the (LowFat) component in
+    any run. *)
+
 val profile :
   ?max_steps:int -> test_suite:int list list -> Binfmt.Relf.t -> Allowlist.t
 (** Profiling phase of Figure 5: run the instrumented binary against
-    the test suite; a site makes the allow-list when it executed in
-    some run and never failed the (LowFat) component in any run. *)
+    the test suite; [merge_profiles] of one [profile_run] per suite
+    entry. *)
 
 val profile_and_harden :
   ?max_steps:int ->

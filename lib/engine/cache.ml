@@ -1,0 +1,100 @@
+type stats = { mutable hits : int; mutable misses : int; mutable stores : int }
+
+type t = {
+  lock : Mutex.t;
+  mem : (string, string) Hashtbl.t; (* key -> marshal blob *)
+  dir : string option;
+  on : bool;
+  st : stats;
+}
+
+(* versioned header so a stale or foreign file is rejected, never
+   unmarshalled *)
+let magic = "REDFAT-ART1\n"
+
+let create ?(enabled = true) ?dir () =
+  {
+    lock = Mutex.create ();
+    mem = Hashtbl.create 64;
+    dir = (if enabled then dir else None);
+    on = enabled;
+    st = { hits = 0; misses = 0; stores = 0 };
+  }
+
+let enabled t = t.on
+let stats t = t.st
+
+let key ~kind parts =
+  kind ^ "-" ^ Digest.to_hex (Digest.string (String.concat "\x00" (kind :: parts)))
+
+let path dir key = Filename.concat dir (key ^ ".art")
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+
+let disk_load dir k : string option =
+  let file = path dir k in
+  match In_channel.with_open_bin file In_channel.input_all with
+  | exception Sys_error _ -> None
+  | s ->
+    let m = String.length magic in
+    if String.length s > m && String.sub s 0 m = magic then
+      Some (String.sub s m (String.length s - m))
+    else None
+
+let disk_store dir k blob =
+  ensure_dir dir;
+  let file = path dir k in
+  let tmp =
+    Printf.sprintf "%s.%d.%d.tmp" file (Unix.getpid ())
+      (Domain.self () :> int)
+  in
+  match
+    Out_channel.with_open_bin tmp (fun oc ->
+        Out_channel.output_string oc magic;
+        Out_channel.output_string oc blob)
+  with
+  | () -> ( try Sys.rename tmp file with Sys_error _ -> ())
+  | exception Sys_error _ -> ()
+
+let memo (type a) t ~key (compute : unit -> a) : a =
+  if not t.on then compute ()
+  else begin
+    let cached =
+      Mutex.lock t.lock;
+      let hit = Hashtbl.find_opt t.mem key in
+      Mutex.unlock t.lock;
+      match hit with
+      | Some blob -> Some blob
+      | None -> (
+        match t.dir with
+        | None -> None
+        | Some dir -> (
+          match disk_load dir key with
+          | Some blob ->
+            Mutex.lock t.lock;
+            Hashtbl.replace t.mem key blob;
+            Mutex.unlock t.lock;
+            Some blob
+          | None -> None))
+    in
+    match cached with
+    | Some blob ->
+      Mutex.lock t.lock;
+      t.st.hits <- t.st.hits + 1;
+      Mutex.unlock t.lock;
+      (Marshal.from_string blob 0 : a)
+    | None ->
+      let v = compute () in
+      let blob = Marshal.to_string v [] in
+      Mutex.lock t.lock;
+      t.st.misses <- t.st.misses + 1;
+      Hashtbl.replace t.mem key blob;
+      (match t.dir with
+      | Some _ -> t.st.stores <- t.st.stores + 1
+      | None -> ());
+      Mutex.unlock t.lock;
+      (match t.dir with Some dir -> disk_store dir key blob | None -> ());
+      v
+  end

@@ -1,0 +1,41 @@
+(** Content-hash-keyed artifact cache for pipeline stages.
+
+    Artifacts (compiled MiniC binaries, hardened rewrites, allow-lists)
+    are keyed by a [Digest] over their full input content — RELF bytes
+    plus rewriter options, marshalled program ASTs, input scripts — so
+    a key collision implies identical inputs and therefore an identical
+    (deterministic) artifact.
+
+    Two tiers: a mutex-guarded in-memory table, and an optional on-disk
+    directory so repeated bench/CLI invocations start warm.  Values are
+    stored as [Marshal] blobs (closure-free by construction) and every
+    hit unmarshals a fresh copy, so cached artifacts are never shared
+    mutable state between worker domains. *)
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable stores : int;  (** artifacts written to the disk tier *)
+}
+
+type t
+
+val create : ?enabled:bool -> ?dir:string -> unit -> t
+(** [dir]: enable the disk tier in that directory (created on
+    demand).  [enabled = false] turns the cache into a pass-through
+    that counts every lookup as a miss. *)
+
+val enabled : t -> bool
+val stats : t -> stats
+
+val key : kind:string -> string list -> string
+(** [key ~kind parts] — a stable cache key: [kind] plus the hex digest
+    of all [parts].  The kind is part of the key, so artifacts of
+    different types can never alias. *)
+
+val memo : t -> key:string -> (unit -> 'a) -> 'a
+(** [memo t ~key compute]: return the cached artifact for [key], or
+    run [compute], store the result in both tiers, and return it.
+    Thread-safe; [compute] runs outside the lock (two workers racing
+    on the same key may both compute — harmless, as artifacts are
+    deterministic functions of the key). *)

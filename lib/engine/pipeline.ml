@@ -1,0 +1,140 @@
+module Rw = Redfat.Rewrite
+
+type t = {
+  pool : Pool.t;
+  cache : Cache.t;
+  rep : Report.t;
+  mutable closed : bool;
+}
+
+let create ?(jobs = 1) ?(cache = true) ?cache_dir () =
+  let t =
+    {
+      pool = Pool.create ~jobs ();
+      cache = Cache.create ~enabled:cache ?dir:cache_dir ();
+      rep = Report.create ();
+      closed = false;
+    }
+  in
+  Report.set_jobs t.rep (max 1 jobs);
+  at_exit (fun () -> if not t.closed then Pool.close t.pool);
+  t
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Pool.close t.pool
+  end
+
+let jobs t = Pool.jobs t.pool
+let report t = t.rep
+let cache_stats t = Cache.stats t.cache
+let cache_enabled t = Cache.enabled t.cache
+let map t f xs = Pool.map_list t.pool f xs
+
+(* --- cached, timed stage primitives --------------------------------- *)
+
+let compile t (prog : Minic.Ast.program) =
+  Report.timed t.rep "compile" @@ fun () ->
+  let key = Cache.key ~kind:"compile" [ Marshal.to_string prog [] ] in
+  Cache.memo t.cache ~key (fun () -> Minic.Codegen.compile prog)
+
+let harden t ?tramp_base ?(opts = Rw.optimized) bin =
+  Report.timed t.rep "harden" @@ fun () ->
+  let key =
+    Cache.key ~kind:"harden"
+      [
+        Binfmt.Relf.serialize bin;
+        Rw.options_key opts;
+        string_of_int (Option.value tramp_base ~default:(-1));
+      ]
+  in
+  Cache.memo t.cache ~key (fun () -> Rw.rewrite ?tramp_base opts bin)
+
+let profile t ?max_steps ~test_suite bin =
+  let prof = harden t ~opts:Rw.profiling_build bin in
+  Report.timed t.rep "profile" @@ fun () ->
+  let key =
+    Cache.key ~kind:"profile"
+      (Binfmt.Relf.serialize bin
+      :: (string_of_int (Option.value max_steps ~default:(-1))
+         :: List.map
+              (fun inputs ->
+                String.concat "," (List.map string_of_int inputs))
+              test_suite))
+  in
+  Cache.memo t.cache ~key (fun () ->
+      map t (Redfat.profile_run ?max_steps prof.Rw.binary) test_suite
+      |> Redfat.merge_profiles)
+
+let run_baseline t ?inputs ?max_steps ?libs bin =
+  Report.timed t.rep "run" @@ fun () ->
+  Redfat.run_baseline ?inputs ?max_steps ?libs bin
+
+let run_hardened t ?options ?profiling ?random ?inputs ?max_steps ?libs bin =
+  Report.timed t.rep "run" @@ fun () ->
+  Redfat.run_hardened ?options ?profiling ?random ?inputs ?max_steps ?libs
+    bin
+
+let run_memcheck t ?inputs ?max_steps bin =
+  Report.timed t.rep "run" @@ fun () ->
+  Redfat.run_memcheck ?inputs ?max_steps bin
+
+let emit_json t ?extra () =
+  Report.to_json ~cache:(cache_stats t) ~cache_enabled:(cache_enabled t)
+    ?extra t.rep
+
+(* --- the canonical typed stage chain -------------------------------- *)
+
+type outcome = {
+  hard : Redfat.Rewrite.t;
+  base : Redfat.run_result;
+  hrun : Redfat.hardened_run;
+}
+
+let stage_compile t =
+  Stage.v ~name:"Compile" ~input:"minic-program" ~output:"relf-binary"
+    (fun prog -> compile t prog)
+
+let stage_profile t ~train =
+  Stage.v ~name:"Profile" ~input:"relf-binary"
+    ~output:"relf-binary * allow-list" (fun bin ->
+      (bin, profile t ~test_suite:train bin))
+
+let stage_harden t ?(opts = Rw.optimized) () =
+  Stage.v ~name:"Harden" ~input:"relf-binary * allow-list"
+    ~output:"relf-binary * hardened-rewrite" (fun (bin, allow) ->
+      (bin, harden t ~opts:{ opts with Rw.allowlist = Some allow } bin))
+
+let stage_run t ~inputs =
+  Stage.v ~name:"Run" ~input:"relf-binary * hardened-rewrite"
+    ~output:"outcome" (fun (bin, hard) ->
+      let base, bv = run_baseline t ~inputs bin in
+      (match bv with
+      | Redfat.Finished _ -> ()
+      | v -> failwith ("baseline: " ^ Redfat.verdict_to_string v));
+      let hrun =
+        run_hardened t
+          ~options:{ Redfat.Runtime.default_options with mode = Log }
+          ~inputs hard.Rw.binary
+      in
+      { hard; base; hrun })
+
+let stage_report t =
+  Stage.v ~name:"Report" ~input:"outcome" ~output:"summary"
+    (fun { hard; base; hrun } ->
+      ignore t;
+      let b = Buffer.create 256 in
+      Printf.bprintf b "verdict:  %s\n"
+        (Redfat.verdict_to_string hrun.Redfat.verdict);
+      Printf.bprintf b "baseline: %d cycles\n" base.Redfat.cycles;
+      Printf.bprintf b "hardened: %d cycles (overhead %.2fx)\n"
+        hrun.Redfat.run.Redfat.cycles
+        (float_of_int hrun.Redfat.run.Redfat.cycles
+        /. float_of_int base.Redfat.cycles);
+      Printf.bprintf b "coverage: %.1f%% of heap accesses full-checked\n"
+        (Redfat.Runtime.coverage_percent hrun.Redfat.rt);
+      Printf.bprintf b "sites:    %d full, %d redzone-only; %d trampolines"
+        hard.Rw.stats.Rw.full_sites hard.Rw.stats.Rw.redzone_sites
+        hard.Rw.stats.Rw.trampolines;
+      Buffer.contents b)

@@ -1,0 +1,92 @@
+(** The staged hardening engine: the paper's Figure-5 workflow
+    (Compile -> Harden -> Profile -> Run -> Report) as an explicit
+    pipeline with a shared artifact cache, a work-stealing domain
+    pool, and per-stage observability.
+
+    One [t] per process/invocation.  All primitives are safe to call
+    from inside [map] workers (nested fan-out degrades to sequential
+    in that worker; the cache and report are mutex-guarded). *)
+
+type t
+
+val create : ?jobs:int -> ?cache:bool -> ?cache_dir:string -> unit -> t
+(** [jobs]: worker domains for [map] (default 1 = sequential).
+    [cache]: artifact caching on/off.  [cache_dir]: also persist
+    artifacts on disk so repeated invocations start warm. *)
+
+val close : t -> unit
+(** Join the worker domains.  Also registered [at_exit]; idempotent. *)
+
+val jobs : t -> int
+val report : t -> Report.t
+val cache_stats : t -> Cache.stats
+val cache_enabled : t -> bool
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Deterministic-order parallel map over independent work items. *)
+
+(** {2 Cached, timed stage primitives} *)
+
+val compile : t -> Minic.Ast.program -> Binfmt.Relf.t
+(** Compile a MiniC program; cached on a digest of the marshalled
+    AST. *)
+
+val harden :
+  t -> ?tramp_base:int -> ?opts:Redfat.Rewrite.options -> Binfmt.Relf.t ->
+  Redfat.Rewrite.t
+(** Statically rewrite; cached on Digest(RELF bytes) + options key +
+    trampoline base. *)
+
+val profile :
+  t -> ?max_steps:int -> test_suite:int list list -> Binfmt.Relf.t ->
+  Redfat.Allowlist.t
+(** Figure-5 profiling phase: the suite's runs are fanned out over the
+    pool and merged; the resulting allow-list is cached on
+    Digest(RELF bytes) + the suite. *)
+
+val run_baseline :
+  t -> ?inputs:int list -> ?max_steps:int -> ?libs:Binfmt.Relf.t list ->
+  Binfmt.Relf.t -> Redfat.run_result * Redfat.verdict
+
+val run_hardened :
+  t -> ?options:Redfat.Runtime.options -> ?profiling:bool -> ?random:int ->
+  ?inputs:int list -> ?max_steps:int -> ?libs:Binfmt.Relf.t list ->
+  Binfmt.Relf.t -> Redfat.hardened_run
+
+val run_memcheck :
+  t -> ?inputs:int list -> ?max_steps:int -> Binfmt.Relf.t ->
+  Redfat.run_result * Redfat.verdict * Baselines.Memcheck.t
+(** Timed (never cached): runs are the measurements themselves. *)
+
+val emit_json : t -> ?extra:(string * string) list -> unit -> string
+(** The run's report (stages, targets, cache counters, jobs, wall)
+    as JSON. *)
+
+(** {2 The canonical typed stage chain}
+
+    First-class stage values for composing the full workflow; see
+    [Stage.( >>> )].  The original binary rides along so the Run stage
+    can measure overhead against the uninstrumented baseline. *)
+
+type outcome = {
+  hard : Redfat.Rewrite.t;
+  base : Redfat.run_result;        (** baseline run of the original *)
+  hrun : Redfat.hardened_run;      (** same inputs, hardened binary *)
+}
+
+val stage_compile : t -> (Minic.Ast.program, Binfmt.Relf.t) Stage.t
+
+val stage_profile :
+  t -> train:int list list ->
+  (Binfmt.Relf.t, Binfmt.Relf.t * Redfat.Allowlist.t) Stage.t
+
+val stage_harden :
+  t -> ?opts:Redfat.Rewrite.options -> unit ->
+  (Binfmt.Relf.t * Redfat.Allowlist.t, Binfmt.Relf.t * Redfat.Rewrite.t)
+  Stage.t
+
+val stage_run :
+  t -> inputs:int list ->
+  (Binfmt.Relf.t * Redfat.Rewrite.t, outcome) Stage.t
+
+val stage_report : t -> (outcome, string) Stage.t

@@ -1,0 +1,147 @@
+type stage_stat = { mutable calls : int; mutable seconds : float }
+
+type target = {
+  tg_name : string;
+  tg_cycles : int;
+  tg_overheads : (string * float) list;
+  tg_wall : float;
+}
+
+type t = {
+  lock : Mutex.t;
+  stages : (string, stage_stat) Hashtbl.t;
+  mutable tgs : target list;
+  mutable njobs : int;
+  t0 : float;
+}
+
+let now () = Unix.gettimeofday ()
+
+let create () =
+  {
+    lock = Mutex.create ();
+    stages = Hashtbl.create 8;
+    tgs = [];
+    njobs = 1;
+    t0 = now ();
+  }
+
+let set_jobs t n = t.njobs <- n
+let jobs t = t.njobs
+
+let record t name dt =
+  Mutex.lock t.lock;
+  let s =
+    match Hashtbl.find_opt t.stages name with
+    | Some s -> s
+    | None ->
+      let s = { calls = 0; seconds = 0.0 } in
+      Hashtbl.replace t.stages name s;
+      s
+  in
+  s.calls <- s.calls + 1;
+  s.seconds <- s.seconds +. dt;
+  Mutex.unlock t.lock
+
+let timed t name f =
+  let t0 = now () in
+  Fun.protect ~finally:(fun () -> record t name (now () -. t0)) f
+
+let add_target t ~name ?(cycles = 0) ?(overheads = []) ~wall () =
+  Mutex.lock t.lock;
+  t.tgs <-
+    { tg_name = name; tg_cycles = cycles; tg_overheads = overheads;
+      tg_wall = wall }
+    :: t.tgs;
+  Mutex.unlock t.lock
+
+let targets t =
+  Mutex.lock t.lock;
+  let tgs = t.tgs in
+  Mutex.unlock t.lock;
+  List.sort (fun a b -> compare a.tg_name b.tg_name) tgs
+
+let stage_summary t =
+  Mutex.lock t.lock;
+  let rows =
+    Hashtbl.fold (fun name s acc -> (name, s.calls, s.seconds) :: acc)
+      t.stages []
+  in
+  Mutex.unlock t.lock;
+  List.sort compare rows
+
+let wall t = now () -. t.t0
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>stage        calls   seconds@,";
+  List.iter
+    (fun (name, calls, secs) ->
+      Format.fprintf fmt "%-12s %5d %9.3f@," name calls secs)
+    (stage_summary t);
+  Format.fprintf fmt "total wall %16.3f@]" (wall t)
+
+(* --- JSON ----------------------------------------------------------- *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.6g" x
+
+let to_json ?cache ?(cache_enabled = true) ?(extra = []) t =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n";
+  List.iter (fun (k, v) -> add "  %S: %S,\n" k v) extra;
+  add "  \"jobs\": %d,\n" t.njobs;
+  add "  \"wall_seconds\": %s,\n" (json_float (wall t));
+  (match cache with
+  | Some (c : Cache.stats) ->
+    add
+      "  \"cache\": { \"enabled\": %b, \"hits\": %d, \"misses\": %d, \
+       \"stores\": %d },\n"
+      cache_enabled c.hits c.misses c.stores
+  | None -> ());
+  add "  \"stages\": {\n";
+  let stages = stage_summary t in
+  List.iteri
+    (fun i (name, calls, secs) ->
+      add "    %S: { \"calls\": %d, \"seconds\": %s }%s\n" (escape name)
+        calls (json_float secs)
+        (if i = List.length stages - 1 then "" else ","))
+    stages;
+  add "  },\n";
+  add "  \"targets\": [\n";
+  let tgs = targets t in
+  List.iteri
+    (fun i tg ->
+      add "    { \"name\": %S, \"baseline_cycles\": %d, \"wall_seconds\": %s"
+        (escape tg.tg_name) tg.tg_cycles (json_float tg.tg_wall);
+      if tg.tg_overheads <> [] then begin
+        add ", \"overheads\": { ";
+        add "%s"
+          (String.concat ", "
+             (List.map
+                (fun (k, v) -> Printf.sprintf "%S: %s" (escape k) (json_float v))
+                tg.tg_overheads));
+        add " }"
+      end;
+      add " }%s\n" (if i = List.length tgs - 1 then "" else ","))
+    tgs;
+  add "  ]\n";
+  add "}\n";
+  Buffer.contents b

@@ -1,0 +1,46 @@
+(** Per-stage observability for engine runs: call counts and summed
+    wall time per stage (across all worker domains), per-target
+    measurement records, and a structured JSON rendering for
+    [BENCH_*.json] trajectory files.  All recording entry points are
+    thread-safe. *)
+
+type t
+
+val create : unit -> t
+
+val set_jobs : t -> int -> unit
+val jobs : t -> int
+
+val timed : t -> string -> (unit -> 'a) -> 'a
+(** Run the thunk, adding its wall time and one call to the named
+    stage's counters.  Exceptions still record the elapsed time. *)
+
+type target = {
+  tg_name : string;
+  tg_cycles : int;  (** baseline cycles, 0 when not applicable *)
+  tg_overheads : (string * float) list;  (** column -> slowdown ratio *)
+  tg_wall : float;  (** seconds spent producing this target *)
+}
+
+val add_target :
+  t -> name:string -> ?cycles:int -> ?overheads:(string * float) list ->
+  wall:float -> unit -> unit
+
+val targets : t -> target list
+(** Sorted by name (parallel recording order is nondeterministic). *)
+
+val stage_summary : t -> (string * int * float) list
+(** [(stage, calls, seconds)], sorted by stage name. *)
+
+val wall : t -> float
+(** Seconds since [create]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable stage table. *)
+
+val to_json :
+  ?cache:Cache.stats -> ?cache_enabled:bool ->
+  ?extra:(string * string) list -> t -> string
+(** The full report as a JSON object: experiment metadata ([extra],
+    emitted as string fields), jobs, wall seconds, cache hit/miss
+    counters, per-stage timings, per-target records. *)

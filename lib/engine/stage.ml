@@ -1,0 +1,34 @@
+type ('a, 'b) t = {
+  name : string;
+  input : string;
+  output : string;
+  apply : Report.t option -> 'a -> 'b;
+}
+
+let v ~name ~input ~output f =
+  {
+    name;
+    input;
+    output;
+    apply =
+      (fun report x ->
+        match report with
+        | None -> f x
+        | Some r -> Report.timed r name (fun () -> f x));
+  }
+
+let name t = t.name
+let input t = t.input
+let output t = t.output
+
+let describe t = Printf.sprintf "%s : %s -> %s" t.name t.input t.output
+
+let ( >>> ) a b =
+  {
+    name = a.name ^ " >>> " ^ b.name;
+    input = a.input;
+    output = b.output;
+    apply = (fun report x -> b.apply report (a.apply report x));
+  }
+
+let run ?report t x = t.apply report x

@@ -1,0 +1,23 @@
+(** Typed pipeline stages as first-class values.
+
+    A stage declares its input and output artifact kinds (for
+    display/docs) and carries the transformation; [>>>] composes
+    stages left to right with the types checked by OCaml, so an
+    ill-ordered pipeline (e.g. Run before Harden) does not compile. *)
+
+type ('a, 'b) t
+
+val v : name:string -> input:string -> output:string -> ('a -> 'b) -> ('a, 'b) t
+
+val name : ('a, 'b) t -> string
+val input : ('a, 'b) t -> string
+val output : ('a, 'b) t -> string
+
+val describe : ('a, 'b) t -> string
+(** ["Name : input -> output"], composites show the full chain. *)
+
+val ( >>> ) : ('a, 'b) t -> ('b, 'c) t -> ('a, 'c) t
+
+val run : ?report:Report.t -> ('a, 'b) t -> 'a -> 'b
+(** Apply the stage; with [report], each primitive stage in the chain
+    records its own wall time under its name. *)

@@ -46,6 +46,21 @@ let production ~allowlist = { optimized with allowlist = Some allowlist }
 let profiling_build =
   { optimized with merge = false; profiling = true; allowlist = None }
 
+(* canonical rendering of every options field, for content-hash cache
+   keys: equal keys must imply identical rewrites *)
+let options_key (o : options) =
+  Printf.sprintf "e%db%dm%ds%dr%dw%dp%d|%s"
+    (Bool.to_int o.elim) (Bool.to_int o.batch) (Bool.to_int o.merge)
+    (Bool.to_int o.scratch_opt)
+    (Bool.to_int o.instrument_reads)
+    (Bool.to_int o.instrument_writes)
+    (Bool.to_int o.profiling)
+    (match o.allowlist with
+    | None -> "-"
+    | Some sites ->
+      String.concat ","
+        (List.map string_of_int (List.sort_uniq compare sites)))
+
 type stats = {
   instrs_total : int;
   mem_ops : int;            (** instructions with an explicit operand *)

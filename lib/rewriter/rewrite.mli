@@ -29,6 +29,10 @@ val optimized : options
 val production : allowlist:int list -> options
 val profiling_build : options
 
+val options_key : options -> string
+(** Canonical rendering of every field, for content-hash cache keys:
+    equal keys imply identical rewrites of the same input binary. *)
+
 type stats = {
   instrs_total : int;
   mem_ops : int;

@@ -22,4 +22,5 @@ let () =
       ("details", Test_details.tests);
       ("asm-properties", Test_asm_properties.tests);
       ("pipeline", Test_pipeline.tests);
+      ("engine", Test_engine.tests);
     ]

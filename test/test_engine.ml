@@ -1,0 +1,286 @@
+(* The staged hardening engine: pool determinism, artifact-cache
+   correctness, and parallel == sequential for the paper's headline
+   experiments (Table 1 / Juliet subsets).
+
+   This is also the regression guard for the domain-safety audit: every
+   stage primitive here runs under 4 worker domains and must produce
+   byte-identical artifacts and measurements to a sequential run. *)
+
+module Pl = Engine.Pipeline
+module Rw = Redfat.Rewrite
+module Rt = Redfat_rt.Runtime
+
+let log_opts = { Rt.default_options with mode = Rt.Log }
+
+let with_engine ?(jobs = 1) ?(cache = true) ?cache_dir f =
+  let eng = Pl.create ~jobs ~cache ?cache_dir () in
+  Fun.protect ~finally:(fun () -> Pl.close eng) (fun () -> f eng)
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "redfat-engine-test-%d" (Unix.getpid ()))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+(* --- pool ----------------------------------------------------------- *)
+
+let prop_pool_matches_list_map =
+  QCheck.Test.make ~count:30 ~name:"Pool.map == List.map for any jobs"
+    QCheck.(pair (list small_int) (int_range 1 6))
+    (fun (xs, jobs) ->
+      let f x = (x * x) - (3 * x) + 1 in
+      let pool = Engine.Pool.create ~jobs () in
+      let ys = Engine.Pool.map_list pool f xs in
+      Engine.Pool.close pool;
+      ys = List.map f xs)
+
+let test_pool_exception_propagates () =
+  let pool = Engine.Pool.create ~jobs:4 () in
+  let r =
+    try
+      ignore
+        (Engine.Pool.map_list pool
+           (fun x -> if x >= 7 then failwith (string_of_int x) else x)
+           (List.init 20 Fun.id));
+      "no exception"
+    with Failure m -> m
+  in
+  Engine.Pool.close pool;
+  (* lowest failing index wins, regardless of scheduling *)
+  Alcotest.(check string) "lowest-index failure" "7" r;
+  (* the pool survives a failed batch *)
+  let pool = Engine.Pool.create ~jobs:4 () in
+  let ys = Engine.Pool.map_list pool (fun x -> x + 1) [ 1; 2; 3 ] in
+  Engine.Pool.close pool;
+  Alcotest.(check (list int)) "pool reusable after failure" [ 2; 3; 4 ] ys
+
+let test_pool_nested_map () =
+  let pool = Engine.Pool.create ~jobs:3 () in
+  (* a worker task fanning out again must not deadlock: nested maps
+     degrade to sequential inside that worker *)
+  let ys =
+    Engine.Pool.map_list pool
+      (fun x -> List.fold_left ( + ) 0 (Engine.Pool.map_list pool Fun.id
+                                          (List.init x Fun.id)))
+      [ 5; 10; 15 ]
+  in
+  Engine.Pool.close pool;
+  Alcotest.(check (list int)) "nested" [ 10; 45; 105 ] ys
+
+(* --- cache ---------------------------------------------------------- *)
+
+let test_cache_hit_returns_equal_fresh_copy () =
+  let c = Engine.Cache.create ~enabled:true () in
+  let key = Engine.Cache.key ~kind:"t" [ "a"; "b" ] in
+  let v1 = Engine.Cache.memo c ~key (fun () -> [ "x"; "y" ]) in
+  let v2 = Engine.Cache.memo c ~key (fun () -> failwith "must not recompute") in
+  Alcotest.(check (list string)) "hit equals cold" v1 v2;
+  Alcotest.(check bool) "hit is a fresh copy (no sharing across domains)"
+    false (v1 == v2);
+  let st = Engine.Cache.stats c in
+  Alcotest.(check int) "hits" 1 st.Engine.Cache.hits;
+  Alcotest.(check int) "misses" 1 st.Engine.Cache.misses
+
+let test_cache_distinct_keys () =
+  Alcotest.(check bool) "kind separates keys" false
+    (Engine.Cache.key ~kind:"compile" [ "p" ]
+    = Engine.Cache.key ~kind:"harden" [ "p" ]);
+  (* concatenation ambiguity must not collide: ["ab";""] vs ["a";"b"] *)
+  Alcotest.(check bool) "part boundaries hash differently" false
+    (Engine.Cache.key ~kind:"k" [ "ab"; "" ]
+    = Engine.Cache.key ~kind:"k" [ "a"; "b" ])
+
+let test_disk_cache_warm_start () =
+  with_temp_dir @@ fun dir ->
+  let spec = Workloads.Spec.find "mcf" in
+  let cold =
+    with_engine ~cache_dir:dir @@ fun eng ->
+    let bin = Pl.compile eng (Workloads.Spec.program spec) in
+    let hard = Pl.harden eng bin in
+    let st = Pl.cache_stats eng in
+    Alcotest.(check int) "cold run stores artifacts" 2 st.Engine.Cache.stores;
+    Binfmt.Relf.serialize hard.Rw.binary
+  in
+  (* a brand-new engine on the same dir starts warm *)
+  let warm =
+    with_engine ~cache_dir:dir @@ fun eng ->
+    let bin = Pl.compile eng (Workloads.Spec.program spec) in
+    let hard = Pl.harden eng bin in
+    let st = Pl.cache_stats eng in
+    Alcotest.(check int) "warm run misses nothing" 0 st.Engine.Cache.misses;
+    Alcotest.(check int) "warm run hits both artifacts" 2 st.Engine.Cache.hits;
+    Binfmt.Relf.serialize hard.Rw.binary
+  in
+  Alcotest.(check bool) "warm artifact byte-identical to cold" true
+    (cold = warm)
+
+let test_no_cache_engine () =
+  with_engine ~cache:false @@ fun eng ->
+  let spec = Workloads.Spec.find "mcf" in
+  let b1 = Pl.compile eng (Workloads.Spec.program spec) in
+  let b2 = Pl.compile eng (Workloads.Spec.program spec) in
+  Alcotest.(check bool) "recompilation is deterministic" true
+    (Binfmt.Relf.serialize b1 = Binfmt.Relf.serialize b2);
+  let st = Pl.cache_stats eng in
+  Alcotest.(check int) "disabled cache never hits" 0 st.Engine.Cache.hits;
+  Alcotest.(check int) "disabled cache never stores" 0 st.Engine.Cache.stores
+
+(* --- parallel == sequential on the paper's experiments --------------- *)
+
+let spec_subset = [ "mcf"; "bzip2"; "libquantum" ]
+
+(* a condensed table1_row: every stage primitive, canonicalised *)
+let table1_fragment eng name =
+  let b = Workloads.Spec.find name in
+  let bin = Pl.compile eng (Workloads.Spec.program b) in
+  let refs = Workloads.Spec.ref_inputs b in
+  let base, _ = Pl.run_baseline eng ~inputs:refs bin in
+  let allow =
+    Pl.profile eng ~test_suite:[ Workloads.Spec.train_inputs b ] bin
+  in
+  let hard =
+    Pl.harden eng ~opts:{ Rw.optimized with allowlist = Some allow } bin
+  in
+  let hr = Pl.run_hardened eng ~options:log_opts ~inputs:refs hard.Rw.binary in
+  Printf.sprintf "%s base=%d hard=%d allow=[%s] sites=%d/%d out=[%s]" name
+    base.Redfat.cycles hr.Redfat.run.Redfat.cycles
+    (String.concat ";" (List.map string_of_int allow))
+    hard.Rw.stats.Rw.full_sites hard.Rw.stats.Rw.redzone_sites
+    (String.concat ";" (List.map string_of_int hr.Redfat.run.Redfat.outputs))
+
+let test_table1_parallel_eq_sequential () =
+  let rows jobs =
+    with_engine ~jobs ~cache:false @@ fun eng ->
+    Pl.map eng (table1_fragment eng) spec_subset
+  in
+  Alcotest.(check (list string)) "jobs=4 == jobs=1" (rows 1) (rows 4)
+
+let test_juliet_parallel_eq_sequential () =
+  let subset =
+    List.filteri (fun i _ -> i mod 24 = 0) Workloads.Juliet.all
+  in
+  let verdicts jobs =
+    with_engine ~jobs ~cache:false @@ fun eng ->
+    Pl.map eng
+      (fun (c : Workloads.Juliet.case) ->
+        let bin = Pl.compile eng c.program in
+        let hard = Pl.harden eng bin in
+        let attack =
+          Pl.run_hardened eng ~inputs:c.attack_inputs hard.Rw.binary
+        in
+        ( c.id,
+          match attack.Redfat.verdict with
+          | Redfat.Detected _ -> true
+          | _ -> false ))
+      subset
+  in
+  Alcotest.(check bool) "subset is non-trivial" true (List.length subset > 5);
+  Alcotest.(check (list (pair string bool))) "jobs=4 == jobs=1" (verdicts 1)
+    (verdicts 4)
+
+let test_compile_deterministic_across_domains () =
+  with_engine ~jobs:4 ~cache:false @@ fun eng ->
+  let progs = List.init 8 (fun seed -> Workloads.Synth.program ~seed ()) in
+  let once () =
+    Pl.map eng (fun p -> Binfmt.Relf.serialize (Pl.compile eng p)) progs
+  in
+  Alcotest.(check (list string)) "two parallel sweeps agree" (once ()) (once ())
+
+(* --- typed stages ---------------------------------------------------- *)
+
+let test_stage_chain () =
+  with_engine @@ fun eng ->
+  let b = Workloads.Spec.find "mcf" in
+  let chain =
+    Engine.Stage.(
+      Pl.stage_compile eng
+      >>> Pl.stage_profile eng ~train:[ Workloads.Spec.train_inputs b ]
+      >>> Pl.stage_harden eng ()
+      >>> Pl.stage_run eng ~inputs:(Workloads.Spec.ref_inputs b)
+      >>> Pl.stage_report eng)
+  in
+  Alcotest.(check string) "declared shape"
+    "Compile >>> Profile >>> Harden >>> Run >>> Report : minic-program -> \
+     summary"
+    (Engine.Stage.describe chain);
+  let summary =
+    Engine.Stage.run ~report:(Pl.report eng) chain (Workloads.Spec.program b)
+  in
+  Alcotest.(check bool) "summary reports a clean finish" true
+    (String.length summary > 0
+    && String.sub summary 0 String.(length "verdict:  finished")
+       = "verdict:  finished");
+  (* each named stage was timed exactly once *)
+  List.iter
+    (fun stage ->
+      match
+        List.assoc_opt stage
+          (List.map
+             (fun (n, calls, _) -> (n, calls))
+             (Engine.Report.stage_summary (Pl.report eng)))
+      with
+      | Some calls -> Alcotest.(check int) (stage ^ " calls") 1 calls
+      | None -> Alcotest.failf "stage %s missing from report" stage)
+    [ "Compile"; "Profile"; "Harden"; "Run"; "Report" ]
+
+let test_report_json_shape () =
+  with_engine ~jobs:2 @@ fun eng ->
+  let bin = Pl.compile eng (Workloads.Spec.program (Workloads.Spec.find "mcf")) in
+  ignore (Pl.harden eng bin);
+  Engine.Report.add_target (Pl.report eng) ~name:"spec:mcf" ~cycles:42
+    ~overheads:[ ("merge", 4.0) ] ~wall:0.5 ();
+  let json = Pl.emit_json eng ~extra:[ ("experiment", "test") ] () in
+  List.iter
+    (fun needle ->
+      let contains s sub =
+        let n = String.length sub in
+        let rec go i =
+          i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) ("json contains " ^ needle) true
+        (contains json needle))
+    [
+      "\"experiment\": \"test\"";
+      "\"jobs\": 2";
+      "\"cache\":";
+      "\"stages\":";
+      "\"compile\":";
+      "\"harden\":";
+      "\"spec:mcf\"";
+      "\"baseline_cycles\": 42";
+      "\"merge\": 4";
+      "\"wall_seconds\":";
+    ]
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest prop_pool_matches_list_map;
+    Alcotest.test_case "pool: exception propagation" `Quick
+      test_pool_exception_propagates;
+    Alcotest.test_case "pool: nested map is safe" `Quick test_pool_nested_map;
+    Alcotest.test_case "cache: hit == fresh copy of cold" `Quick
+      test_cache_hit_returns_equal_fresh_copy;
+    Alcotest.test_case "cache: key separation" `Quick test_cache_distinct_keys;
+    Alcotest.test_case "cache: disk tier warm start" `Quick
+      test_disk_cache_warm_start;
+    Alcotest.test_case "cache: disabled engine" `Quick test_no_cache_engine;
+    Alcotest.test_case "table1 subset: parallel == sequential" `Slow
+      test_table1_parallel_eq_sequential;
+    Alcotest.test_case "juliet subset: parallel == sequential" `Slow
+      test_juliet_parallel_eq_sequential;
+    Alcotest.test_case "compile deterministic across domains" `Quick
+      test_compile_deterministic_across_domains;
+    Alcotest.test_case "typed stage chain" `Quick test_stage_chain;
+    Alcotest.test_case "report JSON shape" `Quick test_report_json_shape;
+  ]
