@@ -1,8 +1,10 @@
 # Convenience entry points; dune does the real work.
 
 BENCH := _build/default/bench/main.exe
+REDFAT := _build/default/bin/redfat_cli.exe
+EXAMPLES := $(wildcard examples/*.mc)
 
-.PHONY: all build test check bench bench-json clean
+.PHONY: all build test check lint bench bench-json clean
 
 all: build
 
@@ -12,10 +14,22 @@ build:
 test:
 	dune runtest
 
-# the tier-1 gate plus a parallel-engine smoke run
+# harden every MiniC example and audit it with the rewrite-soundness
+# linter: zero unaccounted memory accesses or the build fails
+lint: build
+	@mkdir -p _build/lint
+	@set -e; for src in $(EXAMPLES); do \
+	  out=_build/lint/$$(basename $$src .mc); \
+	  $(REDFAT) compile $$src -o $$out.relf >/dev/null; \
+	  $(REDFAT) harden $$out.relf -o $$out.hard.relf >/dev/null; \
+	  $(REDFAT) verify --quiet $$out.hard.relf; \
+	done
+
+# the tier-1 gate plus the lint audit and a parallel-engine smoke run
 check:
 	dune build
 	dune runtest
+	$(MAKE) lint
 	dune build bench/main.exe
 	$(BENCH) fig4 --jobs 2
 

@@ -76,8 +76,8 @@ let eng =
 let wall () = Unix.gettimeofday ()
 
 (* record one measured workload into the --out report *)
-let target name ?cycles ?overheads t0 =
-  Engine.Report.add_target (Pl.report eng) ~name ?cycles ?overheads
+let target name ?cycles ?overheads ?counters t0 =
+  Engine.Report.add_target (Pl.report eng) ~name ?cycles ?overheads ?counters
     ~wall:(wall () -. t0) ()
 
 let geomean xs =
@@ -157,12 +157,22 @@ let table1_row (b : Workloads.Spec.bench) : t1row =
       r_memcheck = float_of_int mc.cycles /. float_of_int base.cycles;
     }
   in
+  (* static counters of the fully optimized configuration (cache hit:
+     the same harden ran for the "merge" column) *)
+  let opt_stats =
+    (Pl.harden eng ~opts:{ Rw.optimized with allowlist = Some allow } bin)
+      .stats
+  in
   target ("spec:" ^ b.name) ~cycles:base.cycles
     ~overheads:
       [ ("unopt", row.r_unopt); ("elim", row.r_elim);
         ("batch", row.r_batch); ("merge", row.r_merge);
         ("nosize", row.r_nosize); ("noreads", row.r_noreads);
         ("memcheck", row.r_memcheck) ]
+    ~counters:
+      [ ("checks_emitted", opt_stats.Rw.checks_emitted);
+        ("eliminated_global", opt_stats.Rw.eliminated_global);
+        ("zero_save_sites", opt_stats.Rw.zero_save_sites) ]
     t0;
   row
 
@@ -599,8 +609,9 @@ let detected () =
 
 let stats () =
   hr "Static rewriting statistics (full instrumentation, all SPEC binaries)";
-  pf "%-11s %7s %7s %7s %7s %6s %6s %6s %9s\n" "binary" "instrs" "memops"
-    "elim" "sites" "tramps" "evict" "traps" "size-ovh";
+  pf "%-11s %7s %7s %7s %6s %7s %6s %6s %6s %6s %9s\n" "binary" "instrs"
+    "memops" "elim" "gelim" "sites" "zsave" "tramps" "evict" "traps"
+    "size-ovh";
   let tot = ref (0, 0, 0, 0) in
   let rows =
     Pl.map eng
@@ -619,8 +630,9 @@ let stats () =
       let a, bb, c, d = !tot in
       tot := (a + s.instrumented, bb + s.jump_patches, c + s.trap_patches,
               d + s.evictions);
-      pf "%-11s %7d %7d %7d %7d %6d %6d %6d %8.2fx\n" name s.instrs_total
-        s.mem_ops s.eliminated s.instrumented s.trampolines s.evictions
+      pf "%-11s %7d %7d %7d %6d %7d %6d %6d %6d %6d %8.2fx\n" name
+        s.instrs_total s.mem_ops s.eliminated s.eliminated_global
+        s.instrumented s.zero_save_sites s.trampolines s.evictions
         s.trap_patches ovh)
     rows;
   let sites, jumps, traps, evict = !tot in

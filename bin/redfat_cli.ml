@@ -227,6 +227,53 @@ let harden_cmd =
   Cmd.v (Cmd.info "harden" ~doc)
     Term.(const run $ input_file $ output $ level_arg $ no_reads $ allowlist_arg)
 
+let verify_cmd =
+  let doc =
+    "Audit a hardened binary with the rewrite-soundness linter: statically \
+     prove every memory operand is instrumented, eliminated with a recorded \
+     justification, or allow-listed."
+  in
+  let allow =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "allow" ] ~docv:"FILE"
+          ~doc:"Allow-list of site addresses (one hex address per line) the \
+                audit accepts as intentionally unchecked.")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "q"; "quiet" ] ~doc:"Only report failures, not the summary.")
+  in
+  let run file allow quiet =
+    let bin = Binfmt.Relf.load_file file in
+    if not (Redfat.Rewrite.is_hardened bin) then begin
+      Printf.eprintf "%s is not a hardened binary (no .redfat section)\n" file;
+      exit 1
+    end;
+    let allow = Option.map Profile.Allowlist.load allow in
+    match Redfat.Rewrite.verify ?allow bin with
+    | Error e ->
+      Printf.eprintf "%s: %s\n" file e;
+      exit 1
+    | Ok r ->
+      if not quiet then Format.printf "%a@." Redfat.Verify.pp_report r;
+      List.iter
+        (fun (f : Redfat.Verify.failure) ->
+          Printf.printf "FAIL %#x: %s\n" f.f_addr f.f_reason)
+        r.failures;
+      if Redfat.Verify.ok r then
+        Printf.printf "%s: OK (%d memory operands accounted for)\n" file
+          r.total
+      else begin
+        Printf.printf "%s: FAILED (%d unaccounted)\n" file
+          (List.length r.failures);
+        exit 1
+      end
+  in
+  Cmd.v (Cmd.info "verify" ~doc) Term.(const run $ input_file $ allow $ quiet)
+
 let jobs_arg =
   Arg.(
     value & opt int 1
@@ -320,6 +367,7 @@ let pipeline_cmd =
         Pl.stage_compile eng
         >>> Pl.stage_profile eng ~train
         >>> Pl.stage_harden eng ()
+        >>> Pl.stage_verify eng
         >>> Pl.stage_run eng ~inputs
         >>> Pl.stage_report eng)
     in
@@ -451,6 +499,6 @@ let main_cmd =
   let info = Cmd.info "redfat" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ list_cmd; workload_cmd; compile_cmd; disasm_cmd; harden_cmd;
-      profile_cmd; pipeline_cmd; fuzz_cmd; run_cmd; trace_cmd ]
+      verify_cmd; profile_cmd; pipeline_cmd; fuzz_cmd; run_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

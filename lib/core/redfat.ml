@@ -18,6 +18,7 @@
 module Rewrite = Rewriter.Rewrite
 module Runtime = Redfat_rt.Runtime
 module Allowlist = Profile.Allowlist
+module Verify = Dataflow.Verify
 
 type run_result = {
   exit_code : int;

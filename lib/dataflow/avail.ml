@@ -1,0 +1,149 @@
+(** Forward "available checks" analysis.
+
+    A fact [(key, info)] means: on {e every} graph path from a root to
+    here, the site [info.site] has emitted a check of variant
+    [info.variant] covering displacements [info.lo, info.hi) off the
+    address expression [key] = (seg, base, idx, scale), and no
+    instruction since has redefined a register of [key] or called a
+    function (which could free the guarded object).
+
+    The join is set intersection requiring {e structural} equality —
+    in particular the same generating site — so an available fact's
+    site lies on every path to the point of use, which is exactly the
+    dominance the rewriter's global elimination needs (and re-verifies
+    independently against the dominator tree).
+
+    Check sites are not part of the instruction stream: the client
+    supplies a [gen] callback mapping an instruction index to the
+    facts its (planned or discovered) patch site establishes.  A fact
+    generated at index [i] holds before instruction [i] runs (the
+    trampoline checks first, then executes the displaced instruction),
+    so within the transfer gen precedes kill: [Load rax, (rax)]
+    generates its fact and immediately kills it. *)
+
+type key = {
+  seg : int;
+  base : X64.Isa.reg option;
+  idx : X64.Isa.reg option;
+  scale : int;
+}
+
+type info = {
+  lo : int;                      (** covered displacement interval... *)
+  hi : int;                      (** ...[lo, hi), relative to [key] *)
+  site : int;                    (** instruction index of the check site *)
+  variant : X64.Isa.variant;
+}
+
+(** [Top] = "not yet reached" (the optimistic identity of the
+    intersection); blocks left at [Top] in the fixpoint are unreachable
+    from every root and report nothing available. *)
+type fact = Top | Facts of (key * info) list  (* sorted by key *)
+
+let key_of_mem (m : X64.Isa.mem) : key =
+  { seg = m.seg; base = m.base; idx = m.idx; scale = m.scale }
+
+(** Does [i] justify skipping a check of [variant] over [lo, hi)?  A
+    [Redzone]-only fact cannot stand in for a [Full] check (it misses
+    the low-fat bounds half of the complementary check). *)
+let covers (i : info) ~(variant : X64.Isa.variant) ~(lo : int) ~(hi : int) =
+  i.lo <= lo && i.hi >= hi
+  && (match (i.variant, variant) with
+     | X64.Isa.Full, _ | X64.Isa.Redzone, X64.Isa.Redzone -> true
+     | X64.Isa.Redzone, X64.Isa.Full -> false)
+
+let join (a : fact) (b : fact) : fact =
+  match (a, b) with
+  | Top, x | x, Top -> x
+  | Facts xs, Facts ys ->
+    Facts
+      (List.filter
+         (fun (k, i) ->
+           match List.assoc_opt k ys with Some j -> i = j | None -> false)
+         xs)
+
+(* insert keeping the list sorted by key; an established wider fact
+   beats the incoming one (its older site dominates at least as much) *)
+let rec insert (k : key) (i : info) = function
+  | [] -> [ (k, i) ]
+  | ((k', i') :: rest) as l ->
+    let c = compare k k' in
+    if c < 0 then (k, i) :: l
+    else if c = 0 then
+      if covers i' ~variant:i.variant ~lo:i.lo ~hi:i.hi then l
+      else (k, i) :: rest
+    else (k', i') :: insert k i rest
+
+let kills_key (defs : X64.Isa.reg list) (k : key) =
+  List.exists (fun r -> k.base = Some r || k.idx = Some r) defs
+
+let transfer_instr ~(gen : int -> (key * info) list) (index : int)
+    (instr : X64.Isa.instr) (f : fact) : fact =
+  match f with
+  | Top -> Top
+  | Facts fs ->
+    let fs = List.fold_left (fun acc (k, i) -> insert k i acc) fs (gen index) in
+    let kill_all =
+      (* a call into unknown code may free() the guarded object; of
+         the known runtime entry points only the allocator pair
+         reshapes heap metadata — the simulated I/O calls cannot
+         invalidate a checked pointer *)
+      match instr with
+      | X64.Isa.Callrt (X64.Isa.Malloc | X64.Isa.Free) -> true
+      | X64.Isa.Callrt _ -> false
+      | _ -> (
+        match X64.Isa.flow_of instr with
+        | To_call _ | Dyn_call -> true
+        | _ -> false)
+    in
+    Facts
+      (if kill_all then []
+       else
+         match X64.Isa.defs instr with
+         | [] -> fs
+         | defs -> List.filter (fun (k, _) -> not (kills_key defs k)) fs)
+
+let block_transfer ~gen (g : Graph.t) (b : Graph.block) (inp : fact) : fact =
+  let f = ref inp in
+  for i = b.Graph.first to b.Graph.last do
+    let _, instr, _ = g.Graph.instrs.(i) in
+    f := transfer_instr ~gen i instr !f
+  done;
+  !f
+
+type t = {
+  graph : Graph.t;
+  gen : int -> (key * info) list;
+  in_facts : fact array;
+}
+
+let solve (g : Graph.t) ~(gen : int -> (key * info) list) : t =
+  let module P = struct
+    type nonrec fact = fact
+
+    let equal (a : fact) (b : fact) = a = b
+    let direction = `Forward
+    let init = Top
+    let boundary = Facts []  (* nothing is available at a root *)
+    let join = join
+    let succs _ (b : Graph.block) = b.Graph.succs
+    let transfer = block_transfer ~gen
+  end in
+  let module S = Solver.Make (P) in
+  let r = S.solve g in
+  { graph = g; gen; in_facts = r.S.in_facts }
+
+(** Facts available immediately before instruction [index] (before its
+    own site's checks run: facts from the same index are excluded). *)
+let available_before (t : t) (index : int) : (key * info) list =
+  let g = t.graph in
+  let bid = Graph.block_of_instr g index in
+  let b = Graph.block g bid in
+  let f = ref t.in_facts.(bid) in
+  for i = b.Graph.first to index - 1 do
+    let _, instr, _ = g.Graph.instrs.(i) in
+    f := transfer_instr ~gen:t.gen i instr !f
+  done;
+  match !f with Top -> [] | Facts fs -> fs
+
+let find (fs : (key * info) list) (k : key) : info option = List.assoc_opt k fs

@@ -1,0 +1,55 @@
+(** Forward "available checks" analysis.
+
+    A fact means: on every graph path to this point some site emitted
+    a check of a given variant covering a displacement interval off an
+    address expression (seg, base, idx, scale), and nothing since has
+    redefined the expression's registers or made a call (which could
+    free the guarded object).  The join intersects facts requiring the
+    {e same generating site}, so an available fact's site lies on
+    every path to its point of use. *)
+
+type key = {
+  seg : int;
+  base : X64.Isa.reg option;
+  idx : X64.Isa.reg option;
+  scale : int;
+}
+
+type info = {
+  lo : int;                      (** covered displacement interval... *)
+  hi : int;                      (** ...[lo, hi), relative to [key] *)
+  site : int;                    (** instruction index of the check site *)
+  variant : X64.Isa.variant;
+}
+
+type fact = Top | Facts of (key * info) list
+
+val key_of_mem : X64.Isa.mem -> key
+(** The address expression of a memory operand (displacement dropped). *)
+
+val covers : info -> variant:X64.Isa.variant -> lo:int -> hi:int -> bool
+(** Does the fact justify skipping a check of [variant] over [lo, hi)?
+    A [Redzone]-only fact never stands in for a [Full] check. *)
+
+val join : fact -> fact -> fact
+
+val transfer_instr :
+  gen:(int -> (key * info) list) ->
+  int ->
+  X64.Isa.instr ->
+  fact ->
+  fact
+(** One instruction: gen (the site's checks run first), then kill
+    (registers redefined; everything on a call). *)
+
+type t
+
+val solve : Graph.t -> gen:(int -> (key * info) list) -> t
+(** [gen] maps an instruction index to the facts the (planned or
+    discovered) check site patched at that instruction establishes. *)
+
+val available_before : t -> int -> (key * info) list
+(** Facts available immediately before an instruction, excluding the
+    instruction's own site.  Empty for unreachable blocks. *)
+
+val find : (key * info) list -> key -> info option

@@ -1,0 +1,95 @@
+(** Block-local copy/constant canonicalization of memory operands.
+
+    The code generator churns through temporaries: the same logical
+    access [a\[i\]] appears as [(%r8,%r9,8)] at one site and
+    [(%r9,%r10,8)] at the next, both registers freshly copied from the
+    stable [%r12]/[%rbx].  Register-named availability facts and merge
+    keys cannot see through the copies, so every redundancy analysis
+    downstream would come up empty.
+
+    [operand] rewrites an operand's registers to the oldest registers
+    provably holding the same values at that instruction — following
+    [mov] chains within the basic block — and folds registers holding
+    known constants into the displacement.  The canonical operand
+    evaluates to the same address at the instruction itself, and (the
+    property batching and availability rely on) at any earlier point
+    of the block after which the canonical registers are not
+    redefined.
+
+    Both the rewriter (member collection, so merge keys, check
+    operands and availability facts are canonical) and the soundness
+    linter (operand classification) call this same function — the
+    agreement of the two is what keeps the linter's proof obligations
+    in sync with the optimizer. *)
+
+(* per-register knowledge at a program point *)
+type state = {
+  copy : int option array;   (* r holds the same value as this register *)
+  konst : int option array;  (* r holds this known constant *)
+}
+
+let fresh () =
+  {
+    copy = Array.make X64.Isa.num_regs None;
+    konst = Array.make X64.Isa.num_regs None;
+  }
+
+let canon_reg (st : state) (r : X64.Isa.reg) : X64.Isa.reg =
+  match st.copy.(r) with Some s -> s | None -> r
+
+(* r's value is redefined: it canonicalizes to itself again, and any
+   chain naming r as its canonical root dies (the holders keep the old
+   value, but the name no longer denotes it) *)
+let invalidate (st : state) (r : X64.Isa.reg) =
+  st.copy.(r) <- None;
+  st.konst.(r) <- None;
+  Array.iteri (fun x c -> if c = Some r then st.copy.(x) <- None) st.copy
+
+let step (st : state) (instr : X64.Isa.instr) =
+  match instr with
+  | X64.Isa.Mov_rr (d, s) ->
+    let c = canon_reg st s in
+    let k = st.konst.(s) in
+    invalidate st d;
+    if c <> d then st.copy.(d) <- Some c;
+    st.konst.(d) <- k
+  | X64.Isa.Mov_ri (d, v) ->
+    invalidate st d;
+    st.konst.(d) <- Some v
+  | _ -> List.iter (invalidate st) (X64.Isa.defs instr)
+
+(** Canonical form of [m] as seen by instruction [index]. *)
+let operand (g : Graph.t) (index : int) (m : X64.Isa.mem) : X64.Isa.mem =
+  let b = Graph.block g (Graph.block_of_instr g index) in
+  let st = fresh () in
+  for i = b.Graph.first to index - 1 do
+    let _, instr, _ = g.Graph.instrs.(i) in
+    step st instr
+  done;
+  (* constant-fold first (a register holding a known constant becomes
+     displacement), then rename what remains to canonical copies *)
+  let m =
+    match m.X64.Isa.base with
+    | Some r when st.konst.(r) <> None ->
+      let d = m.X64.Isa.disp + Option.get st.konst.(r) in
+      if X64.Encode.fits_i32 d then { m with X64.Isa.base = None; disp = d }
+      else m
+    | _ -> m
+  in
+  let m =
+    match m.X64.Isa.idx with
+    | Some r when st.konst.(r) <> None ->
+      let d = m.X64.Isa.disp + (Option.get st.konst.(r) * m.X64.Isa.scale) in
+      if X64.Encode.fits_i32 d then
+        { m with X64.Isa.idx = None; disp = d; scale = 1 }
+      else m
+    | _ -> m
+  in
+  let m =
+    match m.X64.Isa.base with
+    | Some r -> { m with X64.Isa.base = Some (canon_reg st r) }
+    | None -> m
+  in
+  match m.X64.Isa.idx with
+  | Some r -> { m with X64.Isa.idx = Some (canon_reg st r) }
+  | None -> m

@@ -1,0 +1,14 @@
+(** Block-local copy/constant canonicalization of memory operands:
+    rewrite an operand's registers to the oldest registers provably
+    holding the same values at that instruction (following [mov]
+    chains within the block), and fold registers holding known
+    constants into the displacement.  Merge keys, check operands and
+    availability facts all become canonical — and the soundness linter
+    applies the same function, keeping its proof obligations in sync
+    with the optimizer. *)
+
+val operand : Graph.t -> int -> X64.Isa.mem -> X64.Isa.mem
+(** [operand g index m]: the canonical form of [m] as seen by
+    instruction [index].  Evaluates to the same address as [m] at that
+    instruction, and at any earlier point of the block after which the
+    canonical registers are not redefined. *)

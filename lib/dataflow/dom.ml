@@ -1,0 +1,85 @@
+(** Dominator tree via the Cooper–Harvey–Kennedy algorithm
+    ("A Simple, Fast Dominance Algorithm").
+
+    Multiple roots (the entry plus every potential indirect-transfer
+    target) are handled with a virtual super-root: a root's idom is
+    the virtual root, so nothing dominates a root but itself, and no
+    block is ever claimed to dominate code an indirect jump could
+    reach directly. *)
+
+type t = {
+  graph : Graph.t;
+  idom : int array;  (* block id -> immediate dominator; virtual_root for roots *)
+  virtual_root : int;
+}
+
+let compute (g : Graph.t) : t =
+  let nb = Graph.num_blocks g in
+  let virtual_root = nb in
+  let idom = Array.make (nb + 1) (-1) in
+  idom.(virtual_root) <- virtual_root;
+  List.iter (fun r -> idom.(r) <- virtual_root) (Graph.roots g);
+  (* rpo position, virtual root first *)
+  let pos = Array.make (nb + 1) max_int in
+  pos.(virtual_root) <- -1;
+  Array.iteri (fun i b -> pos.(b) <- i) (Graph.rpo g);
+  let is_root =
+    let a = Array.make nb false in
+    List.iter (fun r -> a.(r) <- true) (Graph.roots g);
+    a
+  in
+  let rec intersect b1 b2 =
+    if b1 = b2 then b1
+    else if pos.(b1) > pos.(b2) then intersect idom.(b1) b2
+    else intersect b1 idom.(b2)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun b ->
+        if not is_root.(b) then begin
+          (* processed predecessors only; roots implicitly have the
+             virtual root as an extra predecessor *)
+          let new_idom =
+            List.fold_left
+              (fun acc p ->
+                if idom.(p) = -1 then acc
+                else
+                  match acc with
+                  | None -> Some p
+                  | Some a -> Some (intersect a p))
+              None
+              (Graph.block g b).Graph.preds
+          in
+          match new_idom with
+          | Some ni when idom.(b) <> ni ->
+            idom.(b) <- ni;
+            changed := true
+          | _ -> ()
+        end)
+      (Graph.rpo g)
+  done;
+  { graph = g; idom; virtual_root }
+
+let idom t b =
+  let d = t.idom.(b) in
+  if d = -1 || d = t.virtual_root then None else Some d
+
+(** [dominates t a b]: block [a] dominates block [b] (reflexive).
+    Unreachable blocks (no computed idom) are dominated by nothing but
+    themselves and dominate nothing but themselves. *)
+let dominates t a b =
+  if a = b then true
+  else if t.idom.(b) = -1 || t.idom.(a) = -1 then false
+  else begin
+    let rec up x = if x = a then true else if x = t.virtual_root then false else up t.idom.(x) in
+    up t.idom.(b)
+  end
+
+(** Instruction-level dominance: within one block, program order;
+    across blocks, block dominance. *)
+let dominates_instr t ~(def : int) ~(use : int) =
+  let bd = Graph.block_of_instr t.graph def
+  and bu = Graph.block_of_instr t.graph use in
+  if bd = bu then def <= use else dominates t bd bu

@@ -1,0 +1,21 @@
+(** Dominator tree (Cooper–Harvey–Kennedy), multi-rooted.
+
+    Roots are the entry block and every potential indirect-transfer
+    target; a virtual super-root above them guarantees no block claims
+    dominance over code an indirect jump could reach directly. *)
+
+type t
+
+val compute : Graph.t -> t
+
+val idom : t -> int -> int option
+(** Immediate dominator of a block; [None] for roots and blocks
+    unreachable from every root. *)
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b]: block [a] dominates block [b] (reflexive).
+    Unreachable blocks neither dominate nor are dominated by others. *)
+
+val dominates_instr : t -> def:int -> use:int -> bool
+(** Instruction-index dominance: program order within a block, block
+    dominance across blocks. *)

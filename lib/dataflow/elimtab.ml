@@ -1,0 +1,70 @@
+(** The elimination table: a hardened binary's record of every check
+    the rewriter chose {e not} to emit, with a machine-checkable
+    justification per site.  Ships in the [.elimtab] section (next to
+    the [.traptab] trap table), so the soundness linter can audit a
+    hardened binary from the file alone.
+
+    Format: one header line with the instrumentation policy, then one
+    line per eliminated site —
+    {v
+    !policy reads=1 writes=1
+    40001c clear
+    400033 dom 400010
+    v}
+    [clear]: the operand satisfies the syntactic never-reaches-the-heap
+    rule.  [dom a]: an equivalent or covering check is emitted by the
+    patch site at address [a], which dominates this site. *)
+
+type reason =
+  | Clear          (** syntactic rule: operand cannot reach the heap *)
+  | Dom of int     (** covered by the check at this patch address *)
+
+type t = {
+  reads : bool;   (** were reads instrumented at all? *)
+  writes : bool;
+  entries : (int * reason) list;  (** eliminated instruction address, reason *)
+}
+
+let section_name = ".elimtab"
+
+let default = { reads = true; writes = true; entries = [] }
+
+let render (t : t) : string =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "!policy reads=%d writes=%d\n" (Bool.to_int t.reads)
+       (Bool.to_int t.writes));
+  List.iter
+    (fun (a, r) ->
+      Buffer.add_string b
+        (match r with
+        | Clear -> Printf.sprintf "%x clear\n" a
+        | Dom s -> Printf.sprintf "%x dom %x\n" a s))
+    t.entries;
+  Buffer.contents b
+
+let parse (s : string) : (t, string) result =
+  let lines =
+    String.split_on_char '\n' s |> List.filter (fun l -> String.trim l <> "")
+  in
+  let hex x = try Some (int_of_string ("0x" ^ x)) with _ -> None in
+  let rec go acc pol = function
+    | [] -> Ok { pol with entries = List.rev acc }
+    | line :: rest -> (
+      match String.split_on_char ' ' (String.trim line) with
+      | [ "!policy"; r; w ] -> (
+        match (r, w) with
+        | ("reads=0" | "reads=1"), ("writes=0" | "writes=1") ->
+          go acc { pol with reads = r = "reads=1"; writes = w = "writes=1" } rest
+        | _ -> Error (Printf.sprintf "elimtab: bad policy line %S" line))
+      | [ a; "clear" ] -> (
+        match hex a with
+        | Some a -> go ((a, Clear) :: acc) pol rest
+        | None -> Error (Printf.sprintf "elimtab: bad address in %S" line))
+      | [ a; "dom"; s ] -> (
+        match (hex a, hex s) with
+        | Some a, Some s -> go ((a, Dom s) :: acc) pol rest
+        | _ -> Error (Printf.sprintf "elimtab: bad address in %S" line))
+      | _ -> Error (Printf.sprintf "elimtab: unrecognized line %S" line))
+  in
+  go [] default lines

@@ -1,0 +1,23 @@
+(** The elimination table ([.elimtab] section): a hardened binary's
+    record of every check the rewriter chose not to emit, with a
+    machine-checkable justification per site, plus the instrumentation
+    policy (whether reads/writes were instrumented at all). *)
+
+type reason =
+  | Clear          (** syntactic rule: operand cannot reach the heap *)
+  | Dom of int     (** covered by the check at this patch address *)
+
+type t = {
+  reads : bool;
+  writes : bool;
+  entries : (int * reason) list;
+}
+
+val section_name : string
+
+val default : t
+(** reads and writes instrumented, nothing eliminated — the assumption
+    for hardened binaries predating the elimination table. *)
+
+val render : t -> string
+val parse : string -> (t, string) result

@@ -1,0 +1,107 @@
+(** Interblock backward liveness of registers and %eflags.
+
+    Replaces the rewriter's conservative "everything live past the
+    block edge" cutoff: a register is dead at an instrumentation point
+    iff it is written before read on {e every} path from the point, so
+    trampolines can use it as scratch without a save.
+
+    Facts are bitmasks: bits 0..15 the registers, bit 16 the flags.
+    Calls are summarized by the SysV-style ABI this toolchain's
+    codegen follows (arguments on the stack, results in %rax,
+    caller-saved clobbered, flags clobbered) instead of being
+    traversed; an indirect jump is fully conservative. *)
+
+let flags_bit = 1 lsl 16
+let reg_bit (r : X64.Isa.reg) = 1 lsl r
+let all_live = (1 lsl 17) - 1
+
+let mask_of_regs = List.fold_left (fun m r -> m lor reg_bit r) 0
+
+let caller_saved_regs =
+  X64.Isa.[ rax; rcx; rdx; rsi; rdi; r8; r9; r10; r11 ]
+
+let caller_saved_mask = mask_of_regs caller_saved_regs
+let callee_saved_mask =
+  mask_of_regs X64.Isa.[ rbx; rbp; r12; r13; r14; r15 ] lor reg_bit X64.Isa.rsp
+
+(* live-before from live-after for one instruction *)
+let transfer_instr (i : X64.Isa.instr) (live : int) : int =
+  let live =
+    match X64.Isa.flow_of i with
+    | To_call _ | Dyn_call ->
+      (* ABI summary: the callee clobbers caller-saved registers and
+         the flags, receives arguments on the stack, and preserves the
+         rest *)
+      (live land lnot caller_saved_mask land lnot flags_bit)
+      lor reg_bit X64.Isa.rsp
+    | _ -> live
+  in
+  let live = List.fold_left (fun m r -> m land lnot (reg_bit r)) live (X64.Isa.defs i) in
+  let live = if X64.Isa.writes_flags i then live land lnot flags_bit else live in
+  let live = List.fold_left (fun m r -> m lor reg_bit r) live (X64.Isa.uses i) in
+  if X64.Isa.reads_flags i then live lor flags_bit else live
+
+let exit_live (b : Graph.block) : int =
+  match b.Graph.term with
+  | Stop ->
+    (* ret/hlt: the result register, the stack pointer, and the
+       callee-saved registers (whose values flow back to the caller
+       per the ABI) survive; caller-saved values and flags do not *)
+    reg_bit X64.Isa.rax lor callee_saved_mask
+  | _ ->
+    (* indirect jump, or a block falling off the end of the text:
+       assume everything live *)
+    all_live
+
+module Problem = struct
+  type fact = int
+
+  let equal = Int.equal
+  let direction = `Backward
+  let init = 0
+  let boundary = 0 (* unused: exits are handled in [transfer] *)
+  let join = ( lor )
+  let succs _ (b : Graph.block) = b.Graph.fall_succs
+
+  let transfer (g : Graph.t) (b : Graph.block) (out : int) : int =
+    let live = ref (if b.Graph.fall_succs = [] then exit_live b else out) in
+    for i = b.Graph.last downto b.Graph.first do
+      let _, instr, _ = g.Graph.instrs.(i) in
+      live := transfer_instr instr !live
+    done;
+    !live
+end
+
+module S = Solver.Make (Problem)
+
+type t = { graph : Graph.t; live_in : int array; live_out : int array }
+
+let solve (g : Graph.t) : t =
+  let r = S.solve g in
+  (* recompute out-facts with the exit boundary applied, for clients
+     reading [live_out] directly *)
+  let live_out =
+    Array.map
+      (fun (b : Graph.block) ->
+        if b.Graph.fall_succs = [] then exit_live b else r.S.out_facts.(b.Graph.id))
+      g.Graph.blocks
+  in
+  { graph = g; live_in = r.S.in_facts; live_out }
+
+let live_in t b = t.live_in.(b)
+let live_out t b = t.live_out.(b)
+
+(** Liveness fact immediately before instruction [index]. *)
+let live_before t (index : int) : int =
+  let g = t.graph in
+  let bid = Graph.block_of_instr g index in
+  let b = Graph.block g bid in
+  let live = ref t.live_out.(bid) in
+  for i = b.Graph.last downto index do
+    let _, instr, _ = g.Graph.instrs.(i) in
+    live := transfer_instr instr !live
+  done;
+  !live
+
+let is_live mask (r : X64.Isa.reg) = mask land reg_bit r <> 0
+let flags_live mask = mask land flags_bit <> 0

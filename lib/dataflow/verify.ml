@@ -1,0 +1,335 @@
+(** Rewrite-soundness linter: audit a hardened binary from the file
+    alone, statically proving every memory operand is
+
+    - {e checked} — displaced into a trampoline whose own checks cover
+      its operand and displacement range;
+    - {e covered} — a check emitted at a dominating patch site is
+      available (same address expression, covering range, no
+      redefinition or call in between) — the case of batch members
+      beyond the patched span and of globally-eliminated checks;
+    - {e eliminated with a recorded justification} — the [.elimtab]
+      entry's rule re-verifies ([clear]: the syntactic
+      never-reaches-the-heap rule; [dom]: an available dominating
+      check);
+    - {e allow-listed} — explicitly accepted by the caller; or
+    - excluded by the recorded instrumentation {e policy}
+      (reads/writes not instrumented).
+
+    Anything else is reported as unaccounted and fails the lint.
+
+    The audit rebuilds the original program from the hardened one: the
+    trampolines in [.redfat] are decoded into units (checks, displaced
+    instructions, back-jump), each unit's displaced instructions are
+    re-encoded at their original addresses (recovered from the
+    back-jump target), the patch entry (jump or trap) is
+    cross-checked, and the block graph is re-derived with the same
+    {!Graph.leaders} the rewriter used — so the linter's dominator and
+    availability analyses run on provably the same structure the
+    rewriter optimized against. *)
+
+type status =
+  | Checked
+  | Covered of int          (** covering patch-site address *)
+  | Eliminated_clear
+  | Eliminated_dom of int   (** justifying patch-site address *)
+  | Policy_skipped
+  | Allowlisted
+
+type failure = { f_addr : int; f_reason : string }
+
+type report = {
+  total : int;              (** memory operands examined *)
+  checked : int;
+  covered : int;
+  elim_clear : int;
+  elim_dom : int;
+  policy_skipped : int;
+  allowlisted : int;
+  units : int;              (** trampoline units decoded *)
+  failures : failure list;
+}
+
+let ok (r : report) = r.failures = []
+
+(* one trampoline unit: [checks] [displaced instruction(s)] [jmp back] *)
+type tunit = {
+  u_tramp : int;                   (* trampoline address of the unit *)
+  u_patch : int;                   (* original address of first displaced *)
+  u_span : int;                    (* original bytes covered by the patch *)
+  u_checks : X64.Isa.check list;
+  u_displaced : X64.Isa.instr list;
+}
+
+let parse_units ~(rf_addr : int) ~(rf_len : int)
+    (instrs : (int * X64.Isa.instr * int) list) :
+    tunit list * failure list =
+  let in_tramp a = a >= rf_addr && a < rf_addr + rf_len in
+  let units = ref [] and errs = ref [] and cur = ref [] in
+  let fail a m = errs := { f_addr = a; f_reason = m } :: !errs in
+  let finish back (body : (int * X64.Isa.instr * int) list) =
+    match body with
+    | [] -> fail back "trampoline unit with no body"
+    | (u_tramp, _, _) :: _ ->
+      let rec split_checks acc = function
+        | (_, X64.Isa.Check ck, _) :: rest -> split_checks (ck :: acc) rest
+        | rest -> (List.rev acc, rest)
+      in
+      let checks, disp = split_checks [] body in
+      if
+        List.exists
+          (function _, X64.Isa.Check _, _ -> true | _ -> false)
+          disp
+      then fail u_tramp "check after displaced instruction in trampoline unit"
+      else if disp = [] then
+        fail u_tramp "trampoline unit displaces no instruction"
+      else begin
+        let span = List.fold_left (fun s (_, _, l) -> s + l) 0 disp in
+        units :=
+          {
+            u_tramp;
+            u_patch = back - span;
+            u_span = span;
+            u_checks = checks;
+            u_displaced = List.map (fun (_, i, _) -> i) disp;
+          }
+          :: !units
+      end
+  in
+  List.iter
+    (fun (a, i, l) ->
+      match i with
+      | X64.Isa.Jmp t when not (in_tramp t) ->
+        finish t (List.rev !cur);
+        cur := []
+      | _ -> cur := (a, i, l) :: !cur)
+    instrs;
+  (match !cur with
+  | [] -> ()
+  | (a, _, _) :: _ -> fail a "trailing trampoline code without a back-jump");
+  (List.rev !units, List.rev !errs)
+
+(* the syntactic elimination rule, re-verified independently of the
+   rewriter: no index register, and either no base (absolute address
+   clear of the heap) or an rsp base *)
+let clear_rule (m : X64.Isa.mem) ~(bytes : int) : bool =
+  m.idx = None
+  && (match m.base with
+     | None ->
+       Lowfat.Layout.addr_range_clear_of_heap ~lo:m.disp ~hi:(m.disp + bytes)
+     | Some r -> r = X64.Isa.rsp)
+
+let run ?(allow : int list = []) ~(traps : (int * int) list)
+    (binary : Binfmt.Relf.t) : (report, string) result =
+  match Binfmt.Relf.find_section binary ".text" with
+  | None -> Error "no .text section"
+  | Some text -> (
+    match Binfmt.Relf.find_section binary ".redfat" with
+    | None -> Error "not a hardened binary (no .redfat section)"
+    | Some rf -> (
+      let elimtab =
+        match Binfmt.Relf.find_section binary Elimtab.section_name with
+        | None -> Ok Elimtab.default
+        | Some s -> Elimtab.parse s.bytes
+      in
+      match elimtab with
+      | Error e -> Error e
+      | Ok etab ->
+        let failures = ref [] in
+        let fail a m = failures := { f_addr = a; f_reason = m } :: !failures in
+        (* 1. decode the trampoline section into units *)
+        let tinstrs = X64.Disasm.sweep ~addr:rf.addr rf.bytes in
+        let units, uerrs =
+          parse_units ~rf_addr:rf.addr ~rf_len:(String.length rf.bytes) tinstrs
+        in
+        failures := List.rev_append uerrs !failures;
+        (* 2. validate each patch entry and restore the original text *)
+        let tlen = String.length text.bytes in
+        let buf = Bytes.of_string text.bytes in
+        let traps_tbl = Hashtbl.create 16 in
+        List.iter (fun (a, t) -> Hashtbl.replace traps_tbl a t) traps;
+        let units =
+          List.filter
+            (fun u ->
+              let off = u.u_patch - text.addr in
+              if off < 0 || off + u.u_span > tlen then begin
+                fail u.u_tramp
+                  "trampoline back-jump implies a patch outside .text";
+                false
+              end
+              else begin
+                (match Hashtbl.find_opt traps_tbl u.u_patch with
+                | Some t ->
+                  if t <> u.u_tramp then
+                    fail u.u_patch "trap table disagrees with trampoline unit";
+                  if Char.code (Bytes.get buf off) <> X64.Encode.op_trap then
+                    fail u.u_patch "trap table entry without a trap byte"
+                | None ->
+                  let jmp =
+                    X64.Encode.encode_seq ~addr:u.u_patch
+                      [ X64.Isa.Jmp u.u_tramp ]
+                  in
+                  let jl = String.length jmp in
+                  if
+                    u.u_span < jl
+                    || Bytes.sub_string buf off jl <> jmp
+                  then
+                    fail u.u_patch
+                      "patched site neither jumps nor traps to its trampoline");
+                let restored =
+                  X64.Encode.encode_seq ~addr:u.u_patch u.u_displaced
+                in
+                if String.length restored <> u.u_span then begin
+                  fail u.u_patch
+                    "displaced instructions do not re-encode to the patch span";
+                  false
+                end
+                else begin
+                  Bytes.blit_string restored 0 buf off u.u_span;
+                  true
+                end
+              end)
+            units
+        in
+        (* 3. re-derive the program structure the rewriter saw *)
+        let instrs =
+          Array.of_list
+            (X64.Disasm.sweep ~addr:text.addr (Bytes.to_string buf))
+        in
+        let graph = Graph.of_instrs ~entry:text.addr instrs in
+        let dom = Dom.compute graph in
+        (* checks discovered in trampolines, as availability gen facts *)
+        let gen_tbl = Hashtbl.create 64 in
+        let displaced_at = Hashtbl.create 64 in
+        List.iter
+          (fun u ->
+            match Graph.index_at graph u.u_patch with
+            | None ->
+              fail u.u_patch
+                "patch address is not an instruction boundary after restoration"
+            | Some i0 ->
+              Hashtbl.replace gen_tbl i0
+                (List.map
+                   (fun (ck : X64.Isa.check) ->
+                     ( Avail.key_of_mem ck.ck_mem,
+                       {
+                         Avail.lo = ck.ck_lo;
+                         hi = ck.ck_hi;
+                         site = i0;
+                         variant = ck.ck_variant;
+                       } ))
+                   u.u_checks);
+              (* original addresses occupied by the displaced run *)
+              ignore
+                (List.fold_left
+                   (fun a i ->
+                     Hashtbl.replace displaced_at a u;
+                     a + X64.Encode.length i)
+                   u.u_patch u.u_displaced))
+          units;
+        let gen i = Option.value (Hashtbl.find_opt gen_tbl i) ~default:[] in
+        let avail = Avail.solve graph ~gen in
+        let elims = Hashtbl.create 16 in
+        List.iter (fun (a, r) -> Hashtbl.replace elims a r) etab.entries;
+        let allowed = Hashtbl.create 16 in
+        List.iter (fun a -> Hashtbl.replace allowed a ()) allow;
+        (* 4. the proof obligation, per memory operand *)
+        let site_addr idx =
+          let a, _, _ = instrs.(idx) in
+          a
+        in
+        let covered_by idx (m : X64.Isa.mem) ~bytes =
+          match
+            Avail.find (Avail.available_before avail idx) (Avail.key_of_mem m)
+          with
+          | Some info
+            when info.Avail.lo <= m.disp
+                 && info.hi >= m.disp + bytes
+                 && Dom.dominates_instr dom ~def:info.site ~use:idx ->
+            Some (site_addr info.site)
+          | _ -> None
+        in
+        let unit_checks_cover (u : tunit) (m : X64.Isa.mem) ~bytes =
+          let key = Avail.key_of_mem m in
+          List.exists
+            (fun (ck : X64.Isa.check) ->
+              Avail.key_of_mem ck.ck_mem = key
+              && ck.ck_lo <= m.disp
+              && ck.ck_hi >= m.disp + bytes)
+            u.u_checks
+        in
+        let total = ref 0 in
+        let checked = ref 0 and covered = ref 0 in
+        let elim_clear = ref 0 and elim_dom = ref 0 in
+        let policy_skipped = ref 0 and allowlisted = ref 0 in
+        Array.iteri
+          (fun idx (a, instr, _len) ->
+            match X64.Isa.mem_operand instr with
+            | None -> ()
+            | Some (m, w, write) -> (
+              incr total;
+              (* the rewriter collected this operand in canonical form
+                 (copies renamed, constants folded — {!Canon}); the
+                 proof obligation must examine the same form *)
+              let m = Canon.operand graph idx m in
+              let bytes = X64.Isa.width_bytes w in
+              let wanted = if write then etab.writes else etab.reads in
+              if not wanted then incr policy_skipped
+              else
+                let in_unit =
+                  match Hashtbl.find_opt displaced_at a with
+                  | Some u when unit_checks_cover u m ~bytes -> true
+                  | _ -> false
+                in
+                if in_unit then incr checked
+                else
+                  match covered_by idx m ~bytes with
+                  | Some _site -> (
+                    match Hashtbl.find_opt elims a with
+                    | Some (Elimtab.Dom s) ->
+                      incr elim_dom;
+                      ignore s
+                    | _ -> incr covered)
+                  | None -> (
+                    match Hashtbl.find_opt elims a with
+                    | Some Elimtab.Clear ->
+                      if clear_rule m ~bytes then incr elim_clear
+                      else
+                        fail a
+                          "recorded 'clear' elimination fails the syntactic \
+                           rule"
+                    | Some (Elimtab.Dom s) ->
+                      fail a
+                        (Printf.sprintf
+                           "recorded dominating check at %#x is not available"
+                           s)
+                    | None ->
+                      if Hashtbl.mem allowed a then incr allowlisted
+                      else fail a "unaccounted memory access")))
+          instrs;
+        Ok
+          {
+            total = !total;
+            checked = !checked;
+            covered = !covered;
+            elim_clear = !elim_clear;
+            elim_dom = !elim_dom;
+            policy_skipped = !policy_skipped;
+            allowlisted = !allowlisted;
+            units = List.length units;
+            failures = List.rev !failures;
+          }))
+
+let pp_report fmt (r : report) =
+  Format.fprintf fmt
+    "@[<v>memory operands:   %d@,\
+     checked in unit:   %d@,\
+     covered by dom:    %d@,\
+     eliminated clear:  %d@,\
+     eliminated dom:    %d@,\
+     policy skipped:    %d@,\
+     allow-listed:      %d@,\
+     trampoline units:  %d@,\
+     unaccounted:       %d@]"
+    r.total r.checked r.covered r.elim_clear r.elim_dom r.policy_skipped
+    r.allowlisted r.units
+    (List.length r.failures)

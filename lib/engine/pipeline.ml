@@ -67,6 +67,9 @@ let profile t ?max_steps ~test_suite bin =
       map t (Redfat.profile_run ?max_steps prof.Rw.binary) test_suite
       |> Redfat.merge_profiles)
 
+let verify t ?allow bin =
+  Report.timed t.rep "verify" @@ fun () -> Rw.verify ?allow bin
+
 let run_baseline t ?inputs ?max_steps ?libs bin =
   Report.timed t.rep "run" @@ fun () ->
   Redfat.run_baseline ?inputs ?max_steps ?libs bin
@@ -105,6 +108,19 @@ let stage_harden t ?(opts = Rw.optimized) () =
   Stage.v ~name:"Harden" ~input:"relf-binary * allow-list"
     ~output:"relf-binary * hardened-rewrite" (fun (bin, allow) ->
       (bin, harden t ~opts:{ opts with Rw.allowlist = Some allow } bin))
+
+let stage_verify t =
+  Stage.v ~name:"Verify" ~input:"relf-binary * hardened-rewrite"
+    ~output:"relf-binary * hardened-rewrite" (fun (bin, hard) ->
+      (match verify t hard.Rw.binary with
+      | Error e -> failwith ("verify: " ^ e)
+      | Ok r ->
+        if not (Redfat.Verify.ok r) then
+          failwith
+            (Format.asprintf "verify: %d unaccounted memory accesses@ %a"
+               (List.length r.Redfat.Verify.failures)
+               Redfat.Verify.pp_report r));
+      (bin, hard))
 
 let stage_run t ~inputs =
   Stage.v ~name:"Run" ~input:"relf-binary * hardened-rewrite"

@@ -44,6 +44,12 @@ val profile :
     pool and merged; the resulting allow-list is cached on
     Digest(RELF bytes) + the suite. *)
 
+val verify :
+  t -> ?allow:int list -> Binfmt.Relf.t ->
+  (Redfat.Verify.report, string) result
+(** Timed run of the rewrite-soundness linter ({!Redfat.Verify}) on a
+    hardened binary. *)
+
 val run_baseline :
   t -> ?inputs:int list -> ?max_steps:int -> ?libs:Binfmt.Relf.t list ->
   Binfmt.Relf.t -> Redfat.run_result * Redfat.verdict
@@ -84,6 +90,13 @@ val stage_harden :
   t -> ?opts:Redfat.Rewrite.options -> unit ->
   (Binfmt.Relf.t * Redfat.Allowlist.t, Binfmt.Relf.t * Redfat.Rewrite.t)
   Stage.t
+
+val stage_verify :
+  t ->
+  (Binfmt.Relf.t * Redfat.Rewrite.t, Binfmt.Relf.t * Redfat.Rewrite.t)
+  Stage.t
+(** Pass-through soundness gate: lint the hardened binary and fail the
+    chain if any memory access is unaccounted for. *)
 
 val stage_run :
   t -> inputs:int list ->

@@ -4,6 +4,7 @@ type target = {
   tg_name : string;
   tg_cycles : int;
   tg_overheads : (string * float) list;
+  tg_counters : (string * int) list;
   tg_wall : float;
 }
 
@@ -47,11 +48,12 @@ let timed t name f =
   let t0 = now () in
   Fun.protect ~finally:(fun () -> record t name (now () -. t0)) f
 
-let add_target t ~name ?(cycles = 0) ?(overheads = []) ~wall () =
+let add_target t ~name ?(cycles = 0) ?(overheads = []) ?(counters = []) ~wall
+    () =
   Mutex.lock t.lock;
   t.tgs <-
     { tg_name = name; tg_cycles = cycles; tg_overheads = overheads;
-      tg_wall = wall }
+      tg_counters = counters; tg_wall = wall }
     :: t.tgs;
   Mutex.unlock t.lock
 
@@ -138,6 +140,15 @@ let to_json ?cache ?(cache_enabled = true) ?(extra = []) t =
              (List.map
                 (fun (k, v) -> Printf.sprintf "%S: %s" (escape k) (json_float v))
                 tg.tg_overheads));
+        add " }"
+      end;
+      if tg.tg_counters <> [] then begin
+        add ", \"counters\": { ";
+        add "%s"
+          (String.concat ", "
+             (List.map
+                (fun (k, v) -> Printf.sprintf "%S: %d" (escape k) v)
+                tg.tg_counters));
         add " }"
       end;
       add " }%s\n" (if i = List.length tgs - 1 then "" else ","))

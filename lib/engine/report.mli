@@ -19,12 +19,15 @@ type target = {
   tg_name : string;
   tg_cycles : int;  (** baseline cycles, 0 when not applicable *)
   tg_overheads : (string * float) list;  (** column -> slowdown ratio *)
+  tg_counters : (string * int) list;
+      (** named integer facts (e.g. [eliminated_global],
+          [zero_save_sites]) *)
   tg_wall : float;  (** seconds spent producing this target *)
 }
 
 val add_target :
   t -> name:string -> ?cycles:int -> ?overheads:(string * float) list ->
-  wall:float -> unit -> unit
+  ?counters:(string * int) list -> wall:float -> unit -> unit
 
 val targets : t -> target list
 (** Sorted by name (parallel recording order is nondeterministic). *)

@@ -4,8 +4,12 @@
       operands that provably cannot reach the low-fat heap.
     - {!clobbers}: the trampoline-specialization analysis ("additional
       low-level optimizations", §6) — how many scratch registers and
-      whether %eflags must be preserved around the instrumentation,
-      determined by a forward clobber scan within the basic block. *)
+      whether %eflags must be preserved around the instrumentation.
+      The forward clobber scan no longer bails conservatively at the
+      first control transfer: a block-terminating call or indirect
+      jump clobbers the caller-saved registers and flags per the ABI,
+      and registers the scan could not classify are resolved by the
+      interblock liveness solution when one is supplied. *)
 
 (** The trampoline code needs this many scratch registers when none are
     statically known to be dead at the instrumentation point. *)
@@ -31,40 +35,79 @@ type spec = { nsaves : int; save_flags : bool }
 let conservative = { nsaves = scratch_needed; save_flags = true }
 
 (* Scan forward from instruction [start] (inclusive: the displaced
-   instruction itself still runs after the check) through the basic
-   block, up to [limit] instructions, computing which registers are
-   written before being read (dead at the point) and whether the flags
-   are written before being read. *)
-let clobbers (cfg : Cfg.t) ~(start : int) ~(limit : int) : spec =
+   instruction itself still runs after the check) computing which
+   registers are written before being read — dead at the point — and
+   whether the flags are written before being read.
+
+   The scan stops {e before} the first block boundary, direct
+   control transfer, call, or at [limit] instructions.  Registers and
+   flags the scan could not classify are then resolved at the stop
+   point: a call or indirect jump makes the caller-saved registers and
+   flags dead per the ABI (arguments travel on the stack, the callee
+   clobbers freely); anything still unknown falls back to the
+   interblock liveness fact at the stop point when [live] is supplied,
+   or stays conservatively live. *)
+let clobbers ?(live : Dataflow.Live.t option) (cfg : Cfg.t) ~(start : int)
+    ~(limit : int) : spec =
   let read = Array.make X64.Isa.num_regs false in
   let dead = Array.make X64.Isa.num_regs false in
-  let flags_dead = ref None in
-  let stop = ref false in
-  let i = ref start in
+  let flags = ref `Unknown in
   let n = Cfg.num_instrs cfg in
-  let steps = ref 0 in
-  while (not !stop) && !i < n && !steps < limit do
-    let addr, instr, _len = cfg.instrs.(!i) in
-    if !i > start && Cfg.is_leader cfg addr then stop := true
+  let stop = ref None in
+  let i = ref start and steps = ref 0 in
+  while !stop = None do
+    if !i >= n then stop := Some `End
     else begin
-      List.iter (fun r -> if not dead.(r) then read.(r) <- true)
-        (X64.Isa.uses instr);
-      List.iter (fun r -> if not read.(r) then dead.(r) <- true)
-        (X64.Isa.defs instr);
-      if !flags_dead = None then begin
-        if X64.Isa.reads_flags instr then flags_dead := Some false
-        else if X64.Isa.writes_flags instr then flags_dead := Some true
-      end;
-      (match X64.Isa.flow_of instr with
-       | Fall -> ()
-       | Branch _ | Goto _ | To_call _ | Dyn_call | Dyn_goto | Stop ->
-         stop := true);
-      incr i;
-      incr steps
+      let addr, instr, _len = cfg.instrs.(!i) in
+      if !i > start && Cfg.is_leader cfg addr then stop := Some `Edge
+      else if !steps >= limit then stop := Some `Edge
+      else
+        match X64.Isa.flow_of instr with
+        | To_call _ | Dyn_call | Dyn_goto ->
+          (* ABI boundary: the transfer's own operands are read first
+             (e.g. [call *%rax]), then the callee clobbers *)
+          List.iter (fun r -> if not dead.(r) then read.(r) <- true)
+            (X64.Isa.uses instr);
+          stop := Some `Call
+        | Branch _ | Goto _ | Stop -> stop := Some `Edge
+        | Fall ->
+          List.iter (fun r -> if not dead.(r) then read.(r) <- true)
+            (X64.Isa.uses instr);
+          List.iter (fun r -> if not read.(r) then dead.(r) <- true)
+            (X64.Isa.defs instr);
+          if !flags = `Unknown then begin
+            if X64.Isa.reads_flags instr then flags := `Read
+            else if X64.Isa.writes_flags instr then flags := `Written
+          end;
+          incr i;
+          incr steps
     end
   done;
+  (* resolve what the scan left unclassified *)
+  (match !stop with
+   | Some `Call ->
+     (* the call (or tail transfer) writes every caller-saved register
+        and the flags before anything can read them *)
+     List.iter (fun r -> if not read.(r) then dead.(r) <- true)
+       Dataflow.Live.caller_saved_regs;
+     if !flags = `Unknown then flags := `Written
+   | _ -> ());
+  (match live with
+   | Some lv when !i < n ->
+     (* the stop-point instruction was not consumed by the scan, so the
+        liveness fact immediately before it is exactly the fact at the
+        scan's frontier; a register untouched between [start] and the
+        frontier has the same liveness at both points *)
+     let mask = Dataflow.Live.live_before lv !i in
+     for r = 0 to X64.Isa.num_regs - 1 do
+       if (not read.(r)) && (not dead.(r)) && not (Dataflow.Live.is_live mask r)
+       then dead.(r) <- true
+     done;
+     if !flags = `Unknown && not (Dataflow.Live.flags_live mask) then
+       flags := `Written
+   | _ -> ());
   let ndead = Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 dead in
   {
     nsaves = max 0 (scratch_needed - ndead);
-    save_flags = (match !flags_dead with Some true -> false | _ -> true);
+    save_flags = (match !flags with `Written -> false | _ -> true);
   }

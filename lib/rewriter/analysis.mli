@@ -13,7 +13,12 @@ type spec = { nsaves : int; save_flags : bool }
 
 val conservative : spec
 
-val clobbers : Cfg.t -> start:int -> limit:int -> spec
-(** Forward scan from instruction index [start] through its basic
-    block (at most [limit] instructions): registers written before
-    read are dead at the point and need no save; likewise the flags. *)
+val clobbers : ?live:Dataflow.Live.t -> Cfg.t -> start:int -> limit:int -> spec
+(** Save-specialization at an instrumentation point: forward scan from
+    instruction index [start] (at most [limit] instructions) for
+    registers written before read — dead at the point, no save needed;
+    likewise the flags.  A terminating call or indirect jump clobbers
+    the caller-saved registers and the flags per the ABI; registers
+    the local scan cannot classify fall back to the interblock
+    liveness fact at the scan frontier when [live] is supplied, and
+    stay conservatively live otherwise. *)

@@ -7,52 +7,32 @@
     check onto a path that never executes it.  We therefore err on the
     side of more leaders: every direct branch/call target, every
     fall-through edge of a branch, call or return, and conservatively
-    the instruction after any indirect transfer. *)
+    the instruction after any indirect transfer.
+
+    Leader recovery and the block graph itself live in
+    {!Dataflow.Graph}; this module is the rewriter's view of them.
+    Delegating (rather than duplicating) the leader computation is
+    what lets the soundness linter re-derive provably the same block
+    structure from a hardened binary. *)
 
 type t = {
   text_addr : int;
   instrs : (int * X64.Isa.instr * int) array; (* addr, instr, length *)
   index_of : (int, int) Hashtbl.t;            (* addr -> instrs index *)
   leaders : (int, unit) Hashtbl.t;            (* BB start addresses *)
+  graph : Dataflow.Graph.t;                   (* block graph over [instrs] *)
 }
 
 let recover ~(text_addr : int) (code : string) : t =
   let instrs = Array.of_list (X64.Disasm.sweep ~addr:text_addr code) in
-  let index_of = Hashtbl.create (Array.length instrs) in
-  Array.iteri (fun i (a, _, _) -> Hashtbl.replace index_of a i) instrs;
-  let leaders = Hashtbl.create 256 in
-  let mark a = if Hashtbl.mem index_of a then Hashtbl.replace leaders a () in
-  mark text_addr;
-  (* code-pointer constant scanning: an immediate that is a valid
-     instruction address is a potential indirect-branch target (taken
-     function addresses), so it must never be displaced or batched
-     across.  This is the standard conservative heuristic of static
-     rewriters for stripped binaries. *)
-  Array.iter
-    (fun (_, i, _) ->
-      match i with
-      | X64.Isa.Mov_ri (_, v) when Hashtbl.mem index_of v -> mark v
-      | _ -> ())
+  let graph = Dataflow.Graph.of_instrs ~entry:text_addr instrs in
+  {
+    text_addr;
     instrs;
-  Array.iter
-    (fun (a, i, len) ->
-      match X64.Isa.flow_of i with
-      | Fall -> ()
-      | Goto t -> mark t
-      | Branch t ->
-        mark t;
-        mark (a + len)
-      | To_call t ->
-        mark t;
-        mark (a + len)
-      (* indirect transfers: the target is statically unknown; the
-         return fall-through is a leader, and potential dynamic targets
-         are recovered below by code-pointer constant scanning *)
-      | Dyn_call -> mark (a + len)
-      | Dyn_goto -> mark (a + len)
-      | Stop -> mark (a + len))
-    instrs;
-  { text_addr; instrs; index_of; leaders }
+    index_of = graph.Dataflow.Graph.index_of;
+    leaders = graph.Dataflow.Graph.leaders;
+    graph;
+  }
 
 let is_leader t addr = Hashtbl.mem t.leaders addr
 

@@ -5,13 +5,18 @@
     the side of more: direct branch/call targets, fall-throughs of
     branches/calls/returns/indirect transfers, and every code-pointer
     constant found in the instruction stream (potential indirect
-    targets). *)
+    targets).
+
+    Block boundaries are computed by {!Dataflow.Graph.leaders} — the
+    same function the rewrite-soundness linter uses — and the recovered
+    [graph] feeds the dominator, liveness and availability analyses. *)
 
 type t = {
   text_addr : int;
   instrs : (int * X64.Isa.instr * int) array;  (** addr, instr, length *)
   index_of : (int, int) Hashtbl.t;
   leaders : (int, unit) Hashtbl.t;
+  graph : Dataflow.Graph.t;  (** basic-block graph over [instrs] *)
 }
 
 val recover : text_addr:int -> string -> t

@@ -11,13 +11,21 @@
     - optimizations: check {e elimination} (operands that cannot reach
       the heap), check {e batching} (one trampoline guards a run of
       accesses within a basic block), check {e merging} (one check
-      covers several accesses differing only in displacement), and
-      scratch/flags save specialization. *)
+      covers several accesses differing only in displacement),
+      {e global elimination} (a check dominated by an equivalent or
+      covering available check is dropped, with the justification
+      recorded in the [.elimtab] section for the soundness linter),
+      and scratch/flags save specialization driven by interblock
+      liveness. *)
 
 type options = {
   elim : bool;
   batch : bool;
   merge : bool;
+  global_elim : bool;
+      (** drop checks dominated by an equivalent/covering available
+          check (dataflow over the recovered CFG); every drop is
+          recorded in [.elimtab] with its justifying site *)
   scratch_opt : bool;
   instrument_reads : bool;
   instrument_writes : bool;
@@ -30,27 +38,33 @@ type options = {
 }
 
 let unoptimized =
-  { elim = false; batch = false; merge = false; scratch_opt = false;
-    instrument_reads = true; instrument_writes = true; allowlist = None;
-    profiling = false }
+  { elim = false; batch = false; merge = false; global_elim = false;
+    scratch_opt = false; instrument_reads = true; instrument_writes = true;
+    allowlist = None; profiling = false }
 
 let with_elim = { unoptimized with elim = true }
 let with_batch = { with_elim with batch = true }
 
 (** All optimizations of Table 1's "+merge" column (which also enables
-    the low-level trampoline specialization). *)
-let optimized = { with_batch with merge = true; scratch_opt = true }
+    the low-level trampoline specialization and global elimination). *)
+let optimized =
+  { with_batch with merge = true; scratch_opt = true; global_elim = true }
 
 let production ~allowlist = { optimized with allowlist = Some allowlist }
 
+(* profiling needs one observable check per site, so global elimination
+   is off: an eliminated site would never report to the profiler and
+   would be (safely but wastefully) excluded from the allow-list *)
 let profiling_build =
-  { optimized with merge = false; profiling = true; allowlist = None }
+  { optimized with merge = false; profiling = true; allowlist = None;
+    global_elim = false }
 
 (* canonical rendering of every options field, for content-hash cache
    keys: equal keys must imply identical rewrites *)
 let options_key (o : options) =
-  Printf.sprintf "e%db%dm%ds%dr%dw%dp%d|%s"
+  Printf.sprintf "e%db%dm%dg%ds%dr%dw%dp%d|%s"
     (Bool.to_int o.elim) (Bool.to_int o.batch) (Bool.to_int o.merge)
+    (Bool.to_int o.global_elim)
     (Bool.to_int o.scratch_opt)
     (Bool.to_int o.instrument_reads)
     (Bool.to_int o.instrument_writes)
@@ -65,11 +79,13 @@ type stats = {
   instrs_total : int;
   mem_ops : int;            (** instructions with an explicit operand *)
   eliminated : int;
+  eliminated_global : int;  (** checks dropped by global elimination *)
   instrumented : int;       (** sites actually guarded *)
   full_sites : int;
   redzone_sites : int;
   trampolines : int;
   checks_emitted : int;     (** post-merging check count *)
+  zero_save_sites : int;    (** trampolines needing no register saves *)
   jump_patches : int;
   evictions : int;          (** successor instructions displaced *)
   trap_patches : int;
@@ -178,9 +194,11 @@ let operand_key (m : X64.Isa.mem) = (m.seg, m.base, m.idx, m.scale)
 
 (* Merge checks for operands sharing (variant, seg, base, idx, scale):
    the covered range becomes [min disp, max disp+len) (paper §6,
-   Figure 7). *)
+   Figure 7).  Each group keeps its member list: global elimination
+   records a justification per member, and the stats count guarded
+   sites per emitted group. *)
 let make_groups (opts : options) ~(variant_of : member -> X64.Isa.variant)
-    (batch : member list) : group list =
+    (batch : member list) : (group * member list) list =
   let singleton m =
     {
       g_variant = variant_of m;
@@ -191,7 +209,7 @@ let make_groups (opts : options) ~(variant_of : member -> X64.Isa.variant)
       g_site = m.addr;
     }
   in
-  if not opts.merge then List.map singleton batch
+  if not opts.merge then List.map (fun m -> (singleton m, [ m ])) batch
   else begin
     let table = Hashtbl.create 8 and order = ref [] in
     List.iter
@@ -199,16 +217,21 @@ let make_groups (opts : options) ~(variant_of : member -> X64.Isa.variant)
         let key = (variant_of m, operand_key m.m) in
         match Hashtbl.find_opt table key with
         | None ->
-          Hashtbl.add table key (ref (singleton m));
+          Hashtbl.add table key (ref (singleton m), ref [ m ]);
           order := key :: !order
-        | Some g ->
+        | Some (g, ms) ->
+          ms := m :: !ms;
           g :=
             { !g with
               g_lo = min !g.g_lo m.m.disp;
               g_hi = max !g.g_hi (m.m.disp + m.bytes);
               g_write = !g.g_write || m.write })
       batch;
-    List.rev_map (fun key -> !(Hashtbl.find table key)) !order
+    List.rev_map
+      (fun key ->
+        let g, ms = Hashtbl.find table key in
+        (!g, List.rev !ms))
+      !order
   end
 
 (* --- the rewriting driver ------------------------------------------- *)
@@ -226,6 +249,7 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) (opts : options)
   let n = Cfg.num_instrs cfg in
   (* 1. collect instrumentable members *)
   let mem_ops = ref 0 and eliminated = ref 0 in
+  let elim_records = ref [] (* (addr, Elimtab.reason), newest first *) in
   let members = ref [] in
   for i = 0 to n - 1 do
     let addr, instr, _len = cfg.instrs.(i) in
@@ -237,8 +261,18 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) (opts : options)
         if write then opts.instrument_writes else opts.instrument_reads
       in
       if wanted then begin
+        (* canonical operand: registers renamed to the oldest copies
+           holding the same values, known constants folded into the
+           displacement.  The generated code churns through scratch
+           registers, so without this the merge keys and availability
+           facts of one logical address never coincide.  The linter
+           canonicalizes identically (same shared pass). *)
+        let m = Dataflow.Canon.operand cfg.graph i m in
         let bytes = X64.Isa.width_bytes w in
-        if opts.elim && Analysis.eliminable m ~len:bytes then incr eliminated
+        if opts.elim && Analysis.eliminable m ~len:bytes then begin
+          incr eliminated;
+          elim_records := (addr, Dataflow.Elimtab.Clear) :: !elim_records
+        end
         else members := { mi = i; addr; m; bytes; write } :: !members
       end
   done;
@@ -259,35 +293,127 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) (opts : options)
       | Some h -> if Hashtbl.mem h m.addr then X64.Isa.Full else X64.Isa.Redzone
   in
   let batches = make_batches cfg opts members in
+  (* one plan per batch: the patch lands at the first member, whose
+     trampoline runs the batch's (merged) checks *)
+  let plans =
+    List.filter_map
+      (function
+        | [] -> None
+        | first :: _ as batch ->
+          Some (first, make_groups opts ~variant_of batch))
+      batches
+  in
   let patch_starts = Hashtbl.create 64 in
+  List.iter (fun (first, _) -> Hashtbl.replace patch_starts first.mi ()) plans;
+  (* 2. global elimination: a planned check whose key, range and
+     variant are covered by a check available from a dominating site is
+     not emitted; the justification (member address -> emitting patch
+     address) goes to [.elimtab].  Facts join by intersection requiring
+     the same generating site, so an available fact's site lies on
+     every path here — dominance is still re-checked against the
+     dominator tree, and a fact generated by a site that is itself
+     covered never propagates past it (the covering fact shadows it),
+     so recorded justifications always point at emitted sites.
+     Profiling builds keep every check observable (see
+     [profiling_build]). *)
+  let global_elim = opts.global_elim && not opts.profiling in
+  let eliminated_global = ref 0 in
+  let plans =
+    if not global_elim then
+      List.map (fun (first, groups) -> (first, groups, [])) plans
+    else begin
+      let graph = cfg.graph in
+      let dom = Dataflow.Dom.compute graph in
+      let gen_tbl = Hashtbl.create 64 in
+      List.iter
+        (fun ((first : member), groups) ->
+          Hashtbl.replace gen_tbl first.mi
+            (List.map
+               (fun ((g : group), _) ->
+                 ( Dataflow.Avail.key_of_mem g.g_mem,
+                   {
+                     Dataflow.Avail.lo = g.g_lo;
+                     hi = g.g_hi;
+                     site = first.mi;
+                     variant = g.g_variant;
+                   } ))
+               groups))
+        plans;
+      let gen i = Option.value (Hashtbl.find_opt gen_tbl i) ~default:[] in
+      let avail = Dataflow.Avail.solve graph ~gen in
+      List.map
+        (fun ((first : member), groups) ->
+          let facts = Dataflow.Avail.available_before avail first.mi in
+          let emitted, dropped =
+            List.partition
+              (fun ((g : group), _) ->
+                match
+                  Dataflow.Avail.find facts (Dataflow.Avail.key_of_mem g.g_mem)
+                with
+                | Some info
+                  when Dataflow.Avail.covers info ~variant:g.g_variant
+                         ~lo:g.g_lo ~hi:g.g_hi
+                       && Dataflow.Dom.dominates_instr dom ~def:info.site
+                            ~use:first.mi ->
+                  false
+                | _ -> true)
+              groups
+          in
+          let records =
+            List.concat_map
+              (fun ((g : group), (ms : member list)) ->
+                let info =
+                  Option.get
+                    (Dataflow.Avail.find facts
+                       (Dataflow.Avail.key_of_mem g.g_mem))
+                in
+                let site_addr, _, _ = cfg.instrs.(info.Dataflow.Avail.site) in
+                incr eliminated_global;
+                List.map
+                  (fun (m : member) ->
+                    (m.addr, Dataflow.Elimtab.Dom site_addr))
+                  ms)
+              dropped
+          in
+          (first, emitted, records))
+        plans
+    end
+  in
   List.iter
-    (function
-      | [] -> ()
-      | first :: _ -> Hashtbl.replace patch_starts first.mi ())
-    batches;
-  (* 2. build trampolines and patches *)
+    (fun (_, _, records) ->
+      elim_records := List.rev_append records !elim_records)
+    plans;
+  (* 3. build trampolines and patches *)
+  let live =
+    if opts.scratch_opt then Some (Dataflow.Live.solve cfg.graph) else None
+  in
   let text_bytes = Bytes.of_string text.bytes in
   let tramp = Buffer.create 4096 in
   let traps = ref [] in
+  let instrumented = ref 0 in
   let full_sites = ref 0 and redzone_sites = ref 0 in
   let checks_emitted = ref 0 and jump_patches = ref 0 in
   let trap_patches = ref 0 and evictions = ref 0 in
+  let trampolines = ref 0 and zero_save_sites = ref 0 in
   let patch_byte addr b =
     Bytes.set text_bytes (addr - text.addr) (Char.chr b)
   in
   let patch_string addr s =
     Bytes.blit_string s 0 text_bytes (addr - text.addr) (String.length s)
   in
-  let do_batch (batch : member list) =
-    match batch with
-    | [] -> ()
-    | first :: _ ->
+  let do_plan ((first : member), (groups : (group * member list) list), _) =
+    if groups <> [] then begin
+      incr trampolines;
       List.iter
-        (fun m ->
-          match variant_of m with
-          | X64.Isa.Full -> incr full_sites
-          | X64.Isa.Redzone -> incr redzone_sites)
-        batch;
+        (fun (_, ms) ->
+          List.iter
+            (fun m ->
+              incr instrumented;
+              match variant_of m with
+              | X64.Isa.Full -> incr full_sites
+              | X64.Isa.Redzone -> incr redzone_sites)
+            ms)
+        groups;
       (* plan the patch tactic at the first member *)
       let a0, _i0, l0 = cfg.instrs.(first.mi) in
       let displaced = ref [ first.mi ] and span = ref l0 in
@@ -327,12 +453,13 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) (opts : options)
       (* emit the trampoline *)
       let tramp_addr = tramp_base + Buffer.length tramp in
       let spec =
-        if opts.scratch_opt then Analysis.clobbers cfg ~start:first.mi ~limit:24
+        if opts.scratch_opt then
+          Analysis.clobbers ?live cfg ~start:first.mi ~limit:24
         else Analysis.conservative
       in
-      let groups = make_groups opts ~variant_of batch in
+      if spec.nsaves = 0 then incr zero_save_sites;
       List.iteri
-        (fun gi (g : group) ->
+        (fun gi ((g : group), _) ->
           incr checks_emitted;
           let ck =
             {
@@ -373,8 +500,9 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) (opts : options)
          patch_byte a0 X64.Encode.op_trap;
          traps := (a0, tramp_addr) :: !traps
        | `Evict -> assert false)
+    end
   in
-  List.iter do_batch batches;
+  List.iter do_plan plans;
   let tramp_bytes = Buffer.contents tramp in
   let traps = List.rev !traps in
   (* the trap table ships inside the binary (like E9Patch's loader
@@ -382,6 +510,16 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) (opts : options)
   let traptab =
     String.concat ""
       (List.map (fun (a, t) -> Printf.sprintf "%x %x\n" a t) traps)
+  in
+  (* the elimination table likewise: every dropped check with its
+     justification, so the soundness linter can audit the file alone *)
+  let elimtab =
+    Dataflow.Elimtab.render
+      {
+        Dataflow.Elimtab.reads = opts.instrument_reads;
+        writes = opts.instrument_writes;
+        entries = List.sort compare !elim_records;
+      }
   in
   let sections =
     List.map
@@ -392,6 +530,7 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) (opts : options)
     @ [
         Binfmt.Relf.section ~executable:true ~name:".redfat"
           ~addr:tramp_base tramp_bytes;
+        Binfmt.Relf.section ~name:Dataflow.Elimtab.section_name ~addr:0 elimtab;
       ]
     @
     if traptab = "" then []
@@ -402,11 +541,13 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) (opts : options)
       instrs_total = n;
       mem_ops = !mem_ops;
       eliminated = !eliminated;
-      instrumented = List.length members;
+      eliminated_global = !eliminated_global;
+      instrumented = !instrumented;
       full_sites = !full_sites;
       redzone_sites = !redzone_sites;
-      trampolines = List.length batches;
+      trampolines = !trampolines;
       checks_emitted = !checks_emitted;
+      zero_save_sites = !zero_save_sites;
       jump_patches = !jump_patches;
       evictions = !evictions;
       trap_patches = !trap_patches;
@@ -433,19 +574,27 @@ let traps_of_binary (b : Binfmt.Relf.t) : (int * int) list =
 let is_hardened (b : Binfmt.Relf.t) =
   Binfmt.Relf.find_section b ".redfat" <> None
 
+(** Audit a hardened binary with the rewrite-soundness linter. *)
+let verify ?allow (b : Binfmt.Relf.t) :
+    (Dataflow.Verify.report, string) result =
+  Dataflow.Verify.run ?allow ~traps:(traps_of_binary b) b
+
 let pp_stats fmt (s : stats) =
   Format.fprintf fmt
     "@[<v>instructions:      %d@,\
      memory operands:   %d@,\
      eliminated:        %d@,\
+     eliminated global: %d@,\
      instrumented:      %d (full %d / redzone %d)@,\
      trampolines:       %d@,\
      checks emitted:    %d@,\
+     zero-save sites:   %d@,\
      jump patches:      %d@,\
      evictions:         %d@,\
      trap patches:      %d@,\
      text bytes:        %d@,\
      trampoline bytes:  %d@]"
-    s.instrs_total s.mem_ops s.eliminated s.instrumented s.full_sites
-    s.redzone_sites s.trampolines s.checks_emitted s.jump_patches s.evictions
-    s.trap_patches s.text_bytes s.tramp_bytes
+    s.instrs_total s.mem_ops s.eliminated s.eliminated_global s.instrumented
+    s.full_sites s.redzone_sites s.trampolines s.checks_emitted
+    s.zero_save_sites s.jump_patches s.evictions s.trap_patches s.text_bytes
+    s.tramp_bytes

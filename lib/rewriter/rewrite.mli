@@ -1,11 +1,15 @@
 (** The RedFat static binary rewriter (paper §3-§6): E9Patch-style
-    trampoline patching with the check elimination, batching and
-    merging optimizations. *)
+    trampoline patching with the check elimination, batching, merging
+    and global (dominance-based) elimination optimizations. *)
 
 type options = {
   elim : bool;              (** check elimination (§6) *)
   batch : bool;             (** check batching (§6) *)
   merge : bool;             (** check merging (§6) *)
+  global_elim : bool;
+      (** drop checks dominated by an equivalent/covering available
+          check; every drop is recorded in the [.elimtab] section with
+          its justifying site for the soundness linter *)
   scratch_opt : bool;       (** trampoline save specialization (§6) *)
   instrument_reads : bool;
   instrument_writes : bool;
@@ -24,10 +28,14 @@ val with_elim : options
 val with_batch : options
 
 val optimized : options
-(** Table 1's "+merge" column: all optimizations. *)
+(** Table 1's "+merge" column: all optimizations, including global
+    elimination and liveness-driven save specialization. *)
 
 val production : allowlist:int list -> options
+
 val profiling_build : options
+(** Per-site observable checks; global elimination is forced off (an
+    eliminated site would never report to the profiler). *)
 
 val options_key : options -> string
 (** Canonical rendering of every field, for content-hash cache keys:
@@ -37,11 +45,13 @@ type stats = {
   instrs_total : int;
   mem_ops : int;
   eliminated : int;
+  eliminated_global : int;  (** checks dropped by global elimination *)
   instrumented : int;
   full_sites : int;
   redzone_sites : int;
   trampolines : int;
   checks_emitted : int;
+  zero_save_sites : int;    (** trampolines needing no register saves *)
   jump_patches : int;
   evictions : int;
   trap_patches : int;
@@ -58,12 +68,19 @@ type t = {
 val rewrite : ?tramp_base:int -> options -> Binfmt.Relf.t -> t
 (** Instrument a binary.  [tramp_base] places the trampoline section
     (distinct modules of one process need distinct areas, each within
-    rel32 reach of its text). *)
+    rel32 reach of their text). *)
 
 val traps_of_binary : Binfmt.Relf.t -> (int * int) list
 (** Recover the trap table from a hardened binary's [.traptab]
     section (hardened binaries are self-contained on disk). *)
 
 val is_hardened : Binfmt.Relf.t -> bool
+
+val verify :
+  ?allow:int list ->
+  Binfmt.Relf.t ->
+  (Dataflow.Verify.report, string) result
+(** Audit a hardened binary with the rewrite-soundness linter
+    ({!Dataflow.Verify}), feeding it the binary's own trap table. *)
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -9,6 +9,7 @@ let () =
       ("minic", Test_minic.tests);
       ("parser", Test_parser.tests);
       ("rewriter", Test_rewriter.tests);
+      ("dataflow", Test_dataflow.tests);
       ("shared-objects", Test_shared_objects.tests);
       ("profile", Test_profile.tests);
       ("fuzzer", Test_fuzzer.tests);

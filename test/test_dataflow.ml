@@ -1,0 +1,431 @@
+(* The dataflow subsystem: block graph, dominators, liveness,
+   availability/canonicalization, the elimination table, and the
+   rewrite-soundness linter — on hand-built CFG fixtures with known
+   solutions, plus behaviour-preservation properties of global check
+   elimination over workload subsets. *)
+
+open X64
+module Df = Dataflow
+module Rw = Rewriter.Rewrite
+
+let i x = Asm.I x
+
+let graph_of items =
+  let code, labels = Asm.assemble ~origin:Lowfat.Layout.code_base items in
+  let instrs = Array.of_list (Disasm.sweep ~addr:Lowfat.Layout.code_base code) in
+  let g = Df.Graph.of_instrs ~entry:Lowfat.Layout.code_base instrs in
+  let block_at name =
+    match Df.Graph.index_at g (Hashtbl.find labels name) with
+    | Some idx -> Df.Graph.block_of_instr g idx
+    | None -> Alcotest.failf "label %s is not an instruction boundary" name
+  in
+  (g, block_at)
+
+let assemble_binary items : Binfmt.Relf.t =
+  let code, _ = Asm.assemble ~origin:Lowfat.Layout.code_base items in
+  {
+    Binfmt.Relf.entry = Lowfat.Layout.code_base;
+    pic = false;
+    stripped = true;
+    sections =
+      [
+        Binfmt.Relf.section ~executable:true ~name:".text"
+          ~addr:Lowfat.Layout.code_base code;
+      ];
+  }
+
+(* --- fixtures: dominators ------------------------------------------- *)
+
+(*        entry
+          /   \
+       left   right     (diamond)
+          \   /
+          join          *)
+let diamond =
+  [
+    Asm.Label "entry";
+    i (Isa.Mov_ri (Isa.rax, 1));
+    Asm.Jcc_l (Isa.Eq, "right");
+    Asm.Label "left";
+    i (Isa.Mov_ri (Isa.rbx, 2));
+    Asm.Jmp_l "join";
+    Asm.Label "right";
+    i (Isa.Mov_ri (Isa.rcx, 3));
+    Asm.Label "join";
+    i (Isa.Alu_ri (Isa.Add, Isa.rax, 1));
+    i Isa.Ret;
+  ]
+
+let test_dom_diamond () =
+  let g, blk = graph_of diamond in
+  let dom = Df.Dom.compute g in
+  let entry = blk "entry" and left = blk "left" in
+  let right = blk "right" and join = blk "join" in
+  Alcotest.(check (option int)) "idom left" (Some entry) (Df.Dom.idom dom left);
+  Alcotest.(check (option int)) "idom right" (Some entry)
+    (Df.Dom.idom dom right);
+  Alcotest.(check (option int)) "idom join = fork, not a branch" (Some entry)
+    (Df.Dom.idom dom join);
+  Alcotest.(check bool) "entry dominates join" true
+    (Df.Dom.dominates dom entry join);
+  Alcotest.(check bool) "left does not dominate join" false
+    (Df.Dom.dominates dom left join);
+  Alcotest.(check bool) "reflexive" true (Df.Dom.dominates dom join join)
+
+(*  entry -> head <-> body ; head -> exit  (natural loop) *)
+let loop =
+  [
+    Asm.Label "entry";
+    i (Isa.Mov_ri (Isa.rbx, 0));
+    Asm.Label "head";
+    i (Isa.Alu_ri (Isa.Sub, Isa.rbx, 10));   (* sets flags off rbx *)
+    Asm.Jcc_l (Isa.Ge, "exit");
+    Asm.Label "body";
+    i (Isa.Alu_ri (Isa.Add, Isa.rbx, 1));
+    Asm.Jmp_l "head";
+    Asm.Label "exit";
+    i Isa.Ret;
+  ]
+
+let test_dom_loop () =
+  let g, blk = graph_of loop in
+  let dom = Df.Dom.compute g in
+  let entry = blk "entry" and head = blk "head" in
+  let body = blk "body" and exit_ = blk "exit" in
+  Alcotest.(check (option int)) "idom head" (Some entry) (Df.Dom.idom dom head);
+  Alcotest.(check (option int)) "idom body" (Some head) (Df.Dom.idom dom body);
+  Alcotest.(check (option int)) "idom exit" (Some head) (Df.Dom.idom dom exit_);
+  Alcotest.(check bool) "back edge grants no dominance" false
+    (Df.Dom.dominates dom body head)
+
+let unreachable_fixture =
+  [
+    Asm.Label "entry";
+    i (Isa.Mov_ri (Isa.rax, 1));
+    Asm.Jmp_l "live";
+    Asm.Label "dead";                        (* never targeted *)
+    i (Isa.Mov_ri (Isa.rbx, 2));
+    Asm.Label "live";
+    i Isa.Ret;
+  ]
+
+let test_dom_unreachable () =
+  let g, blk = graph_of unreachable_fixture in
+  let dom = Df.Dom.compute g in
+  let entry = blk "entry" and dead = blk "dead" and live = blk "live" in
+  Alcotest.(check bool) "dead block is unreachable" false
+    (Df.Graph.reachable g dead);
+  Alcotest.(check bool) "live block is reachable" true
+    (Df.Graph.reachable g live);
+  Alcotest.(check bool) "nothing dominates an unreachable block" false
+    (Df.Dom.dominates dom entry dead);
+  Alcotest.(check bool) "an unreachable block dominates nothing else" false
+    (Df.Dom.dominates dom dead live);
+  Alcotest.(check bool) "except itself" true (Df.Dom.dominates dom dead dead)
+
+(* --- fixtures: liveness --------------------------------------------- *)
+
+let test_live_diamond () =
+  let g, blk = graph_of diamond in
+  let lv = Df.Live.solve g in
+  (* rax is written in entry, read in join: live on both branch blocks *)
+  let live_left = Df.Live.live_in lv (blk "left") in
+  let live_right = Df.Live.live_in lv (blk "right") in
+  Alcotest.(check bool) "rax live into left" true
+    (Df.Live.is_live live_left Isa.rax);
+  Alcotest.(check bool) "rax live into right" true
+    (Df.Live.is_live live_right Isa.rax);
+  (* rbx is written in left and never read *)
+  Alcotest.(check bool) "rbx dead into left" false
+    (Df.Live.is_live live_left Isa.rbx)
+
+let test_live_loop () =
+  let g, blk = graph_of loop in
+  let lv = Df.Live.solve g in
+  (* the loop counter survives the back edge *)
+  Alcotest.(check bool) "rbx live around the loop" true
+    (Df.Live.is_live (Df.Live.live_in lv (blk "head")) Isa.rbx);
+  Alcotest.(check bool) "rbx live through the body" true
+    (Df.Live.is_live (Df.Live.live_in lv (blk "body")) Isa.rbx);
+  (* flags die at the conditional branch: nothing reads them in the body *)
+  Alcotest.(check bool) "flags dead into body" false
+    (Df.Live.flags_live (Df.Live.live_in lv (blk "body")))
+
+let test_live_call_abi () =
+  (* a call clobbers the caller-saved registers: values in them are not
+     live across it, while callee-saved values are *)
+  let g, blk =
+    graph_of
+      [
+        Asm.Label "entry";
+        i (Isa.Mov_ri (Isa.r10, 7));         (* caller-saved *)
+        i (Isa.Mov_ri (Isa.rbx, 8));         (* callee-saved *)
+        Asm.Call_l "fn";
+        Asm.Label "after";
+        i (Isa.Mov_rr (Isa.rax, Isa.r10));   (* reads r10 after the call *)
+        i (Isa.Mov_rr (Isa.rdx, Isa.rbx));
+        i Isa.Ret;
+        Asm.Label "fn";
+        i Isa.Ret;
+      ]
+  in
+  let lv = Df.Live.solve g in
+  let live_entry = Df.Live.live_in lv (blk "entry") in
+  Alcotest.(check bool) "r10 not live across the call" false
+    (Df.Live.is_live live_entry Isa.r10);
+  ignore blk
+
+(* --- clobber analysis at a call boundary ---------------------------- *)
+
+let test_clobbers_call_boundary () =
+  (* the scan hits a call with nothing read before it: the ABI says the
+     caller-saved registers and flags are clobbered, so the trampoline
+     needs no saves at all — the old analysis bailed conservative *)
+  let bin =
+    assemble_binary
+      [
+        i (Isa.Store (Isa.W8, Isa.mem ~base:Isa.rax (), Isa.rbx));
+        Asm.Call_l "fn";
+        i Isa.Ret;
+        Asm.Label "fn";
+        i Isa.Ret;
+      ]
+  in
+  let text = Binfmt.Relf.text_exn bin in
+  let cfg = Rewriter.Cfg.recover ~text_addr:text.addr text.bytes in
+  let spec = Rewriter.Analysis.clobbers cfg ~start:0 ~limit:24 in
+  Alcotest.(check int) "no saves needed before a call" 0 spec.nsaves;
+  Alcotest.(check bool) "no flags save either" false spec.save_flags
+
+(* --- operand canonicalization --------------------------------------- *)
+
+let test_canon_operand () =
+  let g, _ =
+    graph_of
+      [
+        i (Isa.Mov_rr (Isa.r8, Isa.r12));
+        i (Isa.Mov_ri (Isa.r9, 5));
+        i (Isa.Store (Isa.W8, Isa.mem ~base:Isa.r8 ~idx:Isa.r9 ~scale:8 (),
+                      Isa.rbx));
+        i Isa.Ret;
+      ]
+  in
+  let m =
+    Df.Canon.operand g 2 (Isa.mem ~base:Isa.r8 ~idx:Isa.r9 ~scale:8 ())
+  in
+  Alcotest.(check bool) "copy renamed to its source" true
+    (m.Isa.base = Some Isa.r12);
+  Alcotest.(check bool) "constant index folded away" true (m.Isa.idx = None);
+  Alcotest.(check int) "into the displacement" 40 m.Isa.disp
+
+(* --- elimination table ---------------------------------------------- *)
+
+let test_elimtab_roundtrip () =
+  let t =
+    {
+      Df.Elimtab.reads = true;
+      writes = false;
+      entries =
+        [ (0x400010, Df.Elimtab.Clear); (0x400020, Df.Elimtab.Dom 0x400008) ];
+    }
+  in
+  match Df.Elimtab.parse (Df.Elimtab.render t) with
+  | Error e -> Alcotest.fail e
+  | Ok t' ->
+    Alcotest.(check bool) "round-trips" true (t = t')
+
+(* --- options cache keys --------------------------------------------- *)
+
+let test_options_key_distinct () =
+  let base = Rw.optimized in
+  let variants =
+    [
+      Rw.unoptimized;
+      Rw.with_elim;
+      Rw.with_batch;
+      base;
+      { base with Rw.global_elim = false };
+      { base with Rw.merge = false };
+      { base with Rw.scratch_opt = false };
+      { base with Rw.instrument_reads = false };
+      { base with Rw.instrument_writes = false };
+      { base with Rw.allowlist = Some [] };
+      { base with Rw.allowlist = Some [ 0x400000 ] };
+      Rw.profiling_build;
+    ]
+  in
+  let keys = List.map Rw.options_key variants in
+  Alcotest.(check int) "pairwise distinct cache keys"
+    (List.length keys)
+    (List.length (List.sort_uniq compare keys))
+
+(* --- global elimination: effect and behaviour preservation ----------- *)
+
+let spec_subset = [ "bzip2"; "omnetpp"; "GemsFDTD" ]
+
+let test_global_elim_reduces_checks () =
+  (* the acceptance bar: on the optimized Table 1 configuration,
+     global elimination strictly reduces emitted checks somewhere *)
+  let strictly_reduced =
+    List.exists
+      (fun name ->
+        let bin = Workloads.Spec.binary (Workloads.Spec.find name) in
+        let off =
+          (Rw.rewrite { Rw.optimized with Rw.global_elim = false } bin).stats
+        in
+        let on = (Rw.rewrite Rw.optimized bin).stats in
+        on.Rw.eliminated_global > 0
+        && on.Rw.checks_emitted < off.Rw.checks_emitted)
+      spec_subset
+  in
+  Alcotest.(check bool) "strictly fewer checks on some workload" true
+    strictly_reduced
+
+let run_outcome bin opts inputs =
+  let hard = Rw.rewrite opts bin in
+  let hr = Redfat.run_hardened ~inputs hard.Rw.binary in
+  let verdict =
+    match hr.Redfat.verdict with
+    | Redfat.Finished c -> Printf.sprintf "finished:%d" c
+    | Redfat.Detected e -> "detected:" ^ Redfat_rt.Runtime.kind_name e.kind
+    | Redfat.Fault m -> "fault:" ^ m
+  in
+  (verdict, hr.Redfat.run.Redfat.outputs, hr.Redfat.run.Redfat.exit_code)
+
+let check_behaviour_preserved name bin inputs =
+  let off = run_outcome bin { Rw.optimized with Rw.global_elim = false } inputs
+  and on = run_outcome bin Rw.optimized inputs in
+  Alcotest.(check (triple string (list int) int))
+    (name ^ ": same verdict, outputs, exit code")
+    off on
+
+let test_global_elim_preserves_behaviour () =
+  List.iter
+    (fun name ->
+      let b = Workloads.Spec.find name in
+      let bin = Workloads.Spec.binary b in
+      check_behaviour_preserved ("spec:" ^ name) bin
+        (Workloads.Spec.ref_inputs b))
+    spec_subset
+
+let test_global_elim_preserves_verdicts () =
+  (* detection verdicts on attack inputs are not weakened *)
+  List.iteri
+    (fun k (c : Workloads.Juliet.case) ->
+      if k mod 7 = 0 then begin
+        let bin = Workloads.Juliet.binary c in
+        check_behaviour_preserved
+          ("juliet:" ^ c.Workloads.Juliet.id ^ ":benign")
+          bin c.Workloads.Juliet.benign_inputs;
+        check_behaviour_preserved
+          ("juliet:" ^ c.Workloads.Juliet.id ^ ":attack")
+          bin c.Workloads.Juliet.attack_inputs
+      end)
+    Workloads.Juliet.all
+
+(* --- the soundness linter ------------------------------------------- *)
+
+let test_verify_workloads_ok () =
+  List.iter
+    (fun name ->
+      let bin = Workloads.Spec.binary (Workloads.Spec.find name) in
+      let hard = Rw.rewrite Rw.optimized bin in
+      match Rw.verify hard.Rw.binary with
+      | Error e -> Alcotest.failf "%s: verify error: %s" name e
+      | Ok r ->
+        Alcotest.(check bool) (name ^ ": zero unaccounted accesses") true
+          (Df.Verify.ok r))
+    spec_subset
+
+let heap_fixture =
+  (* one heap access, one eliminated rsp access *)
+  [
+    i (Isa.Mov_ri (Isa.rdi, 64));
+    i (Isa.Callrt Isa.Malloc);
+    i (Isa.Mov_ri (Isa.r10, 1));
+    i (Isa.Store (Isa.W8, Isa.mem ~base:Isa.rax (), Isa.r10));
+    i (Isa.Store (Isa.W8, Isa.mem ~disp:16 ~base:Isa.rsp (), Isa.r10));
+    i Isa.Ret;
+  ]
+
+let test_verify_detects_tampering () =
+  let hard = Rw.rewrite Rw.optimized (assemble_binary heap_fixture) in
+  (match Rw.verify hard.Rw.binary with
+  | Ok r -> Alcotest.(check bool) "pristine binary verifies" true
+      (Df.Verify.ok r)
+  | Error e -> Alcotest.fail e);
+  (* drop the elimination table's entries: the rsp store loses its
+     recorded justification and must surface as unaccounted *)
+  let tampered =
+    {
+      hard.Rw.binary with
+      Binfmt.Relf.sections =
+        List.map
+          (fun (s : Binfmt.Relf.section) ->
+            if s.name = Df.Elimtab.section_name then
+              { s with bytes = "!policy reads=1 writes=1\n" }
+            else s)
+          hard.Rw.binary.Binfmt.Relf.sections;
+    }
+  in
+  match Rw.verify tampered with
+  | Ok r ->
+    Alcotest.(check bool) "tampered elimtab fails the lint" false
+      (Df.Verify.ok r)
+  | Error e -> Alcotest.fail e
+
+let test_verify_rejects_unhardened_text_edit () =
+  let hard = Rw.rewrite Rw.optimized (assemble_binary heap_fixture) in
+  (* append an unpatched heap store to the text: a memory access no
+     trampoline, table or rule accounts for *)
+  let tampered =
+    {
+      hard.Rw.binary with
+      Binfmt.Relf.sections =
+        List.map
+          (fun (s : Binfmt.Relf.section) ->
+            if s.name = ".text" then
+              let rogue =
+                X64.Encode.encode_seq ~addr:(s.addr + String.length s.bytes)
+                  [ Isa.Store (Isa.W8, Isa.mem ~base:Isa.rax (), Isa.r10);
+                    Isa.Ret ]
+              in
+              { s with Binfmt.Relf.bytes = s.bytes ^ rogue }
+            else s)
+          hard.Rw.binary.Binfmt.Relf.sections;
+    }
+  in
+  match Rw.verify tampered with
+  | Ok r ->
+    Alcotest.(check bool) "rogue access fails the lint" false
+      (Df.Verify.ok r)
+  | Error _ -> ()   (* structural rejection is also a failure verdict *)
+
+let tests =
+  [
+    Alcotest.test_case "dominators: diamond" `Quick test_dom_diamond;
+    Alcotest.test_case "dominators: loop" `Quick test_dom_loop;
+    Alcotest.test_case "dominators: unreachable block" `Quick
+      test_dom_unreachable;
+    Alcotest.test_case "liveness: diamond" `Quick test_live_diamond;
+    Alcotest.test_case "liveness: loop" `Quick test_live_loop;
+    Alcotest.test_case "liveness: call ABI summary" `Quick test_live_call_abi;
+    Alcotest.test_case "clobbers at a call boundary" `Quick
+      test_clobbers_call_boundary;
+    Alcotest.test_case "operand canonicalization" `Quick test_canon_operand;
+    Alcotest.test_case "elimtab round-trip" `Quick test_elimtab_roundtrip;
+    Alcotest.test_case "options_key pairwise distinct" `Quick
+      test_options_key_distinct;
+    Alcotest.test_case "global elim strictly reduces checks" `Quick
+      test_global_elim_reduces_checks;
+    Alcotest.test_case "global elim preserves behaviour (SPEC)" `Quick
+      test_global_elim_preserves_behaviour;
+    Alcotest.test_case "global elim preserves verdicts (Juliet)" `Quick
+      test_global_elim_preserves_verdicts;
+    Alcotest.test_case "verify: workloads lint clean" `Quick
+      test_verify_workloads_ok;
+    Alcotest.test_case "verify: tampered elimtab fails" `Quick
+      test_verify_detects_tampering;
+    Alcotest.test_case "verify: rogue text access fails" `Quick
+      test_verify_rejects_unhardened_text_edit;
+  ]

@@ -138,7 +138,26 @@ let test_merging_same_operand () =
   Alcotest.(check int) "merged into one check" 1 s.checks_emitted
 
 let test_merge_respects_operand_key () =
-  (* different base registers cannot merge *)
+  (* base registers holding provably different values cannot merge *)
+  let items =
+    [
+      i (Isa.Mov_ri (Isa.rdi, 64));
+      i (Isa.Callrt Isa.Malloc);
+      i (Isa.Mov_rr (Isa.rbx, Isa.rax));
+      i (Isa.Alu_ri (Isa.Add, Isa.rbx, 32));
+      i (Isa.Mov_ri (Isa.r10, 1));
+      i (Isa.Store (Isa.W8, Isa.mem ~base:Isa.rax (), Isa.r10));
+      i (Isa.Store (Isa.W8, Isa.mem ~disp:8 ~base:Isa.rbx (), Isa.r10));
+      i Isa.Ret;
+    ]
+  in
+  let s = stats Rw.optimized items in
+  Alcotest.(check int) "two checks" 2 s.checks_emitted;
+  Alcotest.(check int) "one trampoline" 1 s.trampolines
+
+let test_merge_through_copies () =
+  (* a register copy holds the same value, so accesses through the copy
+     merge with accesses through the original (operand canonicalization) *)
   let items =
     [
       i (Isa.Mov_ri (Isa.rdi, 64));
@@ -151,7 +170,7 @@ let test_merge_respects_operand_key () =
     ]
   in
   let s = stats Rw.optimized items in
-  Alcotest.(check int) "two checks" 2 s.checks_emitted;
+  Alcotest.(check int) "one merged check" 1 s.checks_emitted;
   Alcotest.(check int) "one trampoline" 1 s.trampolines
 
 let test_batch_broken_by_redefinition () =
@@ -465,6 +484,7 @@ let tests =
     Alcotest.test_case "merging same operand" `Quick test_merging_same_operand;
     Alcotest.test_case "merge respects operand key" `Quick
       test_merge_respects_operand_key;
+    Alcotest.test_case "merge through copies" `Quick test_merge_through_copies;
     Alcotest.test_case "batch broken by redefinition" `Quick
       test_batch_broken_by_redefinition;
     Alcotest.test_case "batch broken by branch" `Quick
