@@ -4,7 +4,10 @@ BENCH := _build/default/bench/main.exe
 REDFAT := _build/default/bin/redfat_cli.exe
 EXAMPLES := $(wildcard examples/*.mc)
 
-.PHONY: all build test check lint bench bench-json clean
+BENCH_DIFF := _build/default/tools/bench_diff.exe
+
+.PHONY: all build test check lint bench bench-json bench-gate bench-baseline \
+	ci clean
 
 all: build
 
@@ -41,6 +44,25 @@ bench: build
 bench-json: build
 	$(BENCH) table1 --jobs 4 --out BENCH_table1.json
 	@echo "wrote BENCH_table1.json"
+
+# the bench-regression gate: regenerate Table 1 and diff it against
+# the committed baseline.  Cycle counts come from the deterministic VM
+# cost model, so any regression is a code change, not machine noise.
+# Fails on emitted-check-count increases or >10% cycle regressions.
+bench-gate: build
+	$(BENCH) table1 --jobs 2 --out BENCH_table1.json > /dev/null
+	$(BENCH_DIFF) bench/baseline.json BENCH_table1.json
+
+# after an INTENTIONAL hardening/cost change: refresh the baseline and
+# commit it together with the change that explains it
+bench-baseline: build
+	$(BENCH) table1 --jobs 2 --out bench/baseline.json > /dev/null
+	@echo "wrote bench/baseline.json -- commit it with the explaining change"
+
+# everything CI runs, in one local command (mirrors .github/workflows/ci.yml)
+ci: build test lint
+	$(BENCH) fig4 --jobs 2
+	$(MAKE) bench-gate
 
 clean:
 	dune clean

@@ -11,8 +11,10 @@
      --no-cache    disable the artifact cache (compiles/rewrites/
                    allow-lists; persisted in _redfat_cache/)
      --out F.json  write a structured report (per-target cycles and
-                   overheads, per-stage wall time, cache hit/miss,
-                   jobs) to F.json
+                   overheads, per-check-kind counters, per-stage wall
+                   time, cache hit/miss, jobs) to F.json
+     --trace F     write the run's spans and counters as Chrome
+                   trace-event JSON (Perfetto-loadable)
 
    Output is byte-identical for any --jobs value (modulo fig8's
    measured wall-clock rewrite-time line): workers never print;
@@ -29,14 +31,16 @@ let pf fmt = Printf.printf fmt
 
 (* --- command line + the engine -------------------------------------- *)
 
-let experiment, opt_jobs, opt_cache, opt_out =
+let experiment, opt_jobs, opt_cache, opt_out, opt_trace =
   let exp = ref None
   and jobs = ref 1
   and cache = ref true
-  and out = ref None in
+  and out = ref None
+  and trace = ref None in
   let usage () =
     prerr_endline
-      "usage: main.exe [experiment] [--jobs N] [--no-cache] [--out FILE]";
+      "usage: main.exe [experiment] [--jobs N] [--no-cache] [--out FILE] \
+       [--trace FILE]";
     exit 1
   in
   let rec parse = function
@@ -52,6 +56,9 @@ let experiment, opt_jobs, opt_cache, opt_out =
     | "--out" :: f :: rest ->
       out := Some f;
       parse rest
+    | "--trace" :: f :: rest ->
+      trace := Some f;
+      parse rest
     | x :: _ when String.length x > 0 && x.[0] = '-' -> usage ()
     | x :: rest when !exp = None ->
       exp := Some x;
@@ -59,15 +66,18 @@ let experiment, opt_jobs, opt_cache, opt_out =
     | _ -> usage ()
   in
   parse (List.tl (Array.to_list Sys.argv));
-  (* fail on an unwritable --out path now, not after the whole run *)
-  (match !out with
-  | Some f -> (
-    try Out_channel.with_open_text f (fun _ -> ())
-    with Sys_error e ->
-      prerr_endline ("--out: " ^ e);
-      exit 1)
-  | None -> ());
-  (Option.value !exp ~default:"all", !jobs, !cache, !out)
+  (* fail on an unwritable output path now, not after the whole run *)
+  List.iter
+    (fun (flag, r) ->
+      match !r with
+      | Some f -> (
+        try Out_channel.with_open_text f (fun _ -> ())
+        with Sys_error e ->
+          prerr_endline (flag ^ ": " ^ e);
+          exit 1)
+      | None -> ())
+    [ ("--out", out); ("--trace", trace) ];
+  (Option.value !exp ~default:"all", !jobs, !cache, !out, !trace)
 
 let eng =
   Pl.create ~jobs:opt_jobs ~cache:opt_cache
@@ -170,9 +180,10 @@ let table1_row (b : Workloads.Spec.bench) : t1row =
         ("nosize", row.r_nosize); ("noreads", row.r_noreads);
         ("memcheck", row.r_memcheck) ]
     ~counters:
-      [ ("checks_emitted", opt_stats.Rw.checks_emitted);
-        ("eliminated_global", opt_stats.Rw.eliminated_global);
-        ("zero_save_sites", opt_stats.Rw.zero_save_sites) ]
+      ([ ("checks_emitted", opt_stats.Rw.checks_emitted);
+         ("eliminated_global", opt_stats.Rw.eliminated_global);
+         ("zero_save_sites", opt_stats.Rw.zero_save_sites) ]
+      @ opt_stats.Rw.checks_by_kind)
     t0;
   row
 
@@ -902,5 +913,11 @@ let () =
     Out_channel.with_open_text file (fun oc ->
         Out_channel.output_string oc json);
     pf "wrote %s\n" file
+  | None -> ());
+  (match opt_trace with
+  | Some file ->
+    Out_channel.with_open_text file (fun oc ->
+        Out_channel.output_string oc (Pl.trace_json eng));
+    pf "wrote %s (Chrome trace-event JSON)\n" file
   | None -> ());
   Pl.close eng

@@ -51,6 +51,44 @@ let find_workload name : Binfmt.Relf.t * int list =
       [] )
   | _ -> failwith ("unknown workload " ^ name ^ " (try: redfat list)")
 
+(* Resolve a workflow target to (program, train suite, ref inputs).
+   Accepts the built-in workload names and MiniC source paths
+   (examples/victim.mc style), so the staged commands work on user
+   programs too. *)
+let find_program name : Minic.Ast.program * int list list * int list =
+  if Filename.check_suffix name ".mc" then begin
+    if not (Sys.file_exists name) then failwith ("no such file: " ^ name);
+    let src = In_channel.with_open_text name In_channel.input_all in
+    match Minic.Parser.parse_program src with
+    | prog -> (prog, [ [] ], [])
+    | exception Minic.Parser.Parse_error (msg, pos) ->
+      failwith (Printf.sprintf "%s:%d:%d: parse error: %s" name pos.line
+                  pos.col msg)
+    | exception Minic.Lexer.Lex_error (msg, pos) ->
+      failwith (Printf.sprintf "%s:%d:%d: lex error: %s" name pos.line
+                  pos.col msg)
+  end
+  else
+    match String.split_on_char ':' name with
+    | [ "spec"; n ] ->
+      let b = Workloads.Spec.find n in
+      ( Workloads.Spec.program b,
+        [ Workloads.Spec.train_inputs b ],
+        Workloads.Spec.ref_inputs b )
+    | [ "cve"; n ] ->
+      let c = List.find (fun (c : Workloads.Cve.case) -> c.name = n)
+          Workloads.Cve.all
+      in
+      (c.program, [ c.benign_inputs ], c.benign_inputs)
+    | [ "kraken"; n ] ->
+      let b = Workloads.Kraken.find n in
+      let inputs = Workloads.Kraken.inputs b in
+      (Workloads.Kraken.program b, [ inputs ], inputs)
+    | [ "chrome" ] -> (Workloads.Chrome.program (), [ [ 0; 50 ] ], [ 0; 50 ])
+    | [ "synth"; seed ] ->
+      (Workloads.Synth.program ~seed:(int_of_string seed) (), [ [] ], [])
+    | _ -> failwith ("unknown workload " ^ name ^ " (try: redfat list)")
+
 (* --- commands -------------------------------------------------------- *)
 
 let list_cmd =
@@ -316,7 +354,8 @@ let pipeline_cmd =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"NAME" ~doc:"Workload name, e.g. spec:mcf.")
+      & info [] ~docv:"TARGET"
+          ~doc:"Workload name (e.g. spec:mcf) or MiniC source file (.mc).")
   in
   let no_cache =
     Arg.(
@@ -330,32 +369,23 @@ let pipeline_cmd =
       & info [ "cache-dir" ] ~docv:"DIR"
           ~doc:"Persist artifacts on disk so repeated invocations start warm.")
   in
-  let find name : Minic.Ast.program * int list list * int list =
-    match String.split_on_char ':' name with
-    | [ "spec"; n ] ->
-      let b = Workloads.Spec.find n in
-      ( Workloads.Spec.program b,
-        [ Workloads.Spec.train_inputs b ],
-        Workloads.Spec.ref_inputs b )
-    | [ "cve"; n ] ->
-      let c = List.find (fun (c : Workloads.Cve.case) -> c.name = n)
-          Workloads.Cve.all
-      in
-      (c.program, [ c.benign_inputs ], c.benign_inputs)
-    | [ "kraken"; n ] ->
-      let b = Workloads.Kraken.find n in
-      let inputs = Workloads.Kraken.inputs b in
-      (Workloads.Kraken.program b, [ inputs ], inputs)
-    | [ "chrome" ] -> (Workloads.Chrome.program (), [ [ 0; 50 ] ], [ 0; 50 ])
-    | [ "synth"; seed ] ->
-      (Workloads.Synth.program ~seed:(int_of_string seed) (), [ [] ], [])
-    | _ -> failwith ("unknown workload " ^ name ^ " (try: redfat list)")
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Also write the run's spans and counters as Chrome \
+                trace-event JSON (load in Perfetto / chrome://tracing).")
   in
-  let run name jobs no_cache cache_dir =
+  let run name jobs no_cache cache_dir trace =
     let prog, train, inputs =
-      try find name
-      with Not_found | Failure _ ->
+      try find_program name
+      with
+      | Not_found ->
         Printf.eprintf "unknown workload %s (try: redfat list)\n" name;
+        exit 1
+      | Failure msg ->
+        Printf.eprintf "%s\n" msg;
         exit 1
     in
     let eng =
@@ -379,10 +409,16 @@ let pipeline_cmd =
     Printf.printf "cache: %s, %d hits / %d misses / %d stores\n"
       (if Pl.cache_enabled eng then "enabled" else "disabled")
       st.Engine.Cache.hits st.Engine.Cache.misses st.Engine.Cache.stores;
+    (match trace with
+    | Some f ->
+      Out_channel.with_open_text f (fun oc ->
+          Out_channel.output_string oc (Pl.trace_json eng));
+      Printf.printf "wrote %s (Chrome trace-event JSON)\n" f
+    | None -> ());
     Pl.close eng
   in
   Cmd.v (Cmd.info "pipeline" ~doc)
-    Term.(const run $ wname $ jobs_arg $ no_cache $ cache_dir)
+    Term.(const run $ wname $ jobs_arg $ no_cache $ cache_dir $ trace_arg)
 
 let env_arg =
   Arg.(
@@ -458,11 +494,78 @@ let run_cmd =
     Term.(const run $ input_file $ inputs_arg $ env_arg $ log_flag $ random_arg)
 
 let trace_cmd =
-  let doc = "Trace the first N executed instructions (debugging aid)." in
+  let doc =
+    "With $(b,--out): run the full staged workflow on a workload or .mc \
+     file and export a structured trace (Chrome trace-event JSON with \
+     per-stage/per-phase spans, cache and check counters, per-site VM \
+     cycle attribution) plus a text summary.  Without: print the first N \
+     executed instructions of a RELF binary (debugging aid)."
+  in
   let limit =
     Arg.(value & opt int 60 & info [ "limit"; "n" ] ~doc:"Instructions to show.")
   in
-  let run file inputs limit =
+  let target =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TARGET"
+          ~doc:"RELF binary (instruction mode) or workload name / MiniC \
+                source (with --out).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Run the staged workflow and write Chrome trace-event JSON \
+                here (load in Perfetto / chrome://tracing).")
+  in
+  (* workflow mode: drive every engine stage with an Obs-instrumented
+     engine, attach VM check accounting to the hardened run, export *)
+  let run_workflow name jobs outfile =
+    let prog, train, inputs =
+      try find_program name
+      with
+      | Not_found ->
+        Printf.eprintf "unknown workload %s (try: redfat list)\n" name;
+        exit 1
+      | Failure msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1
+    in
+    let module Pl = Engine.Pipeline in
+    let eng = Pl.create ~jobs ~cache:false () in
+    let bin = Pl.compile eng prog in
+    let allow = Pl.profile eng ~test_suite:train bin in
+    let hard =
+      Pl.harden eng
+        ~opts:{ Redfat.Rewrite.optimized with allowlist = Some allow }
+        bin
+    in
+    let base, _ = Pl.run_baseline eng ~inputs bin in
+    let acct = Vm.Cpu.new_acct () in
+    let hrun =
+      Pl.run_hardened eng
+        ~options:{ Redfat_rt.Runtime.default_options with mode = Log }
+        ~acct ~inputs hard.Redfat.Rewrite.binary
+    in
+    Pl.record_vm_acct eng acct;
+    Out_channel.with_open_text outfile (fun oc ->
+        Out_channel.output_string oc (Pl.trace_json eng));
+    print_string (Obs.summary (Pl.obs eng));
+    Printf.printf
+      "\nverdict: %s; baseline %d cycles, hardened %d cycles (%.2fx)\n"
+      (Redfat.verdict_to_string hrun.Redfat.verdict)
+      base.Redfat.cycles hrun.Redfat.run.Redfat.cycles
+      (float_of_int hrun.Redfat.run.Redfat.cycles
+      /. float_of_int base.Redfat.cycles);
+    Printf.printf "wrote %s (Chrome trace-event JSON)\n" outfile;
+    Pl.close eng
+  in
+  let run file inputs limit jobs out =
+    match out with
+    | Some outfile -> run_workflow file jobs outfile
+    | None ->
     let bin = Binfmt.Relf.load_file file in
     let cpu = Redfat.prepare bin in
     cpu.inputs <- parse_inputs inputs;
@@ -492,7 +595,7 @@ let trace_cmd =
          (Redfat_rt.Runtime.kind_name e.kind) e.site)
   in
   Cmd.v (Cmd.info "trace" ~doc)
-    Term.(const run $ input_file $ inputs_arg $ limit)
+    Term.(const run $ target $ inputs_arg $ limit $ jobs_arg $ out)
 
 let main_cmd =
   let doc = "harden stripped binaries against more memory errors" in

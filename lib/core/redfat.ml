@@ -99,11 +99,13 @@ type hardened_run = {
   rt : Runtime.t;  (** allocator/check state: errors, coverage, ... *)
 }
 
-(** Run a hardened binary with libredfat preloaded. *)
+(** Run a hardened binary with libredfat preloaded.  [acct] attaches
+    per-site check accounting to the VM (overhead attribution). *)
 let run_hardened ?(options = Runtime.default_options) ?(profiling = false)
-    ?random ?(inputs = []) ?max_steps ?(libs = []) (binary : Binfmt.Relf.t) :
-    hardened_run =
+    ?random ?acct ?(inputs = []) ?max_steps ?(libs = [])
+    (binary : Binfmt.Relf.t) : hardened_run =
   let cpu = prepare ?max_steps ~libs binary in
+  cpu.acct <- acct;
   cpu.inputs <- inputs;
   List.iter
     (fun b ->

@@ -57,6 +57,7 @@ val run_hardened :
   ?options:Runtime.options ->
   ?profiling:bool ->
   ?random:int ->
+  ?acct:Vm.Cpu.acct ->
   ?inputs:int list ->
   ?max_steps:int ->
   ?libs:Binfmt.Relf.t list ->
@@ -64,7 +65,9 @@ val run_hardened :
   hardened_run
 (** Run a (hardened) binary with libredfat preloaded.  [random] seeds
     heap randomization; trap tables are recovered from every loaded
-    module's [.traptab] section. *)
+    module's [.traptab] section.  [acct] attaches per-site check
+    accounting to the VM ({!Vm.Cpu.acct}): cycle and execution-count
+    attribution per guarded site, for trace exports. *)
 
 val run_memcheck :
   ?inputs:int list ->

@@ -6,20 +6,25 @@ type t = {
   dir : string option;
   on : bool;
   st : stats;
+  notify : (string -> unit) option;
 }
 
 (* versioned header so a stale or foreign file is rejected, never
-   unmarshalled *)
-let magic = "REDFAT-ART1\n"
+   unmarshalled.  ART2: rewrite stats gained the per-check-kind
+   breakdown, so ART1 blobs no longer unmarshal to the current types. *)
+let magic = "REDFAT-ART2\n"
 
-let create ?(enabled = true) ?dir () =
+let create ?(enabled = true) ?dir ?notify () =
   {
     lock = Mutex.create ();
     mem = Hashtbl.create 64;
     dir = (if enabled then dir else None);
     on = enabled;
     st = { hits = 0; misses = 0; stores = 0 };
+    notify;
   }
+
+let notify t ev = match t.notify with Some f -> f ev | None -> ()
 
 let enabled t = t.on
 let stats t = t.st
@@ -84,6 +89,7 @@ let memo (type a) t ~key (compute : unit -> a) : a =
       Mutex.lock t.lock;
       t.st.hits <- t.st.hits + 1;
       Mutex.unlock t.lock;
+      notify t "hit";
       (Marshal.from_string blob 0 : a)
     | None ->
       let v = compute () in
@@ -95,6 +101,11 @@ let memo (type a) t ~key (compute : unit -> a) : a =
       | Some _ -> t.st.stores <- t.st.stores + 1
       | None -> ());
       Mutex.unlock t.lock;
-      (match t.dir with Some dir -> disk_store dir key blob | None -> ());
+      notify t "miss";
+      (match t.dir with
+      | Some dir ->
+        notify t "store";
+        disk_store dir key blob
+      | None -> ());
       v
   end

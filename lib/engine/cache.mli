@@ -20,10 +20,14 @@ type stats = {
 
 type t
 
-val create : ?enabled:bool -> ?dir:string -> unit -> t
+val create :
+  ?enabled:bool -> ?dir:string -> ?notify:(string -> unit) -> unit -> t
 (** [dir]: enable the disk tier in that directory (created on
     demand).  [enabled = false] turns the cache into a pass-through
-    that counts every lookup as a miss. *)
+    that counts every lookup as a miss.  [notify]: called with
+    ["hit"], ["miss"], or ["store"] per lookup outcome (outside the
+    cache lock, from the calling domain — e.g. to bump lock-free
+    [Obs] counters). *)
 
 val enabled : t -> bool
 val stats : t -> stats

@@ -8,11 +8,16 @@ type t = {
 }
 
 let create ?(jobs = 1) ?(cache = true) ?cache_dir () =
+  let rep = Report.create () in
+  let obs = Report.obs rep in
   let t =
     {
-      pool = Pool.create ~jobs ();
-      cache = Cache.create ~enabled:cache ?dir:cache_dir ();
-      rep = Report.create ();
+      pool = Pool.create ~jobs ~obs ();
+      cache =
+        Cache.create ~enabled:cache ?dir:cache_dir
+          ~notify:(fun ev -> Obs.add obs ("cache." ^ ev))
+          ();
+      rep;
       closed = false;
     }
   in
@@ -28,6 +33,7 @@ let close t =
 
 let jobs t = Pool.jobs t.pool
 let report t = t.rep
+let obs t = Report.obs t.rep
 let cache_stats t = Cache.stats t.cache
 let cache_enabled t = Cache.enabled t.cache
 let map t f xs = Pool.map_list t.pool f xs
@@ -49,7 +55,8 @@ let harden t ?tramp_base ?(opts = Rw.optimized) bin =
         string_of_int (Option.value tramp_base ~default:(-1));
       ]
   in
-  Cache.memo t.cache ~key (fun () -> Rw.rewrite ?tramp_base opts bin)
+  Cache.memo t.cache ~key (fun () ->
+      Rw.rewrite ?tramp_base ~obs:(obs t) opts bin)
 
 let profile t ?max_steps ~test_suite bin =
   let prof = harden t ~opts:Rw.profiling_build bin in
@@ -74,10 +81,11 @@ let run_baseline t ?inputs ?max_steps ?libs bin =
   Report.timed t.rep "run" @@ fun () ->
   Redfat.run_baseline ?inputs ?max_steps ?libs bin
 
-let run_hardened t ?options ?profiling ?random ?inputs ?max_steps ?libs bin =
+let run_hardened t ?options ?profiling ?random ?acct ?inputs ?max_steps ?libs
+    bin =
   Report.timed t.rep "run" @@ fun () ->
-  Redfat.run_hardened ?options ?profiling ?random ?inputs ?max_steps ?libs
-    bin
+  Redfat.run_hardened ?options ?profiling ?random ?acct ?inputs ?max_steps
+    ?libs bin
 
 let run_memcheck t ?inputs ?max_steps bin =
   Report.timed t.rep "run" @@ fun () ->
@@ -86,6 +94,25 @@ let run_memcheck t ?inputs ?max_steps bin =
 let emit_json t ?extra () =
   Report.to_json ~cache:(cache_stats t) ~cache_enabled:(cache_enabled t)
     ?extra t.rep
+
+(* fold a VM check-accounting table into the collector: per-variant
+   execution/cycle counters plus per-site distributions, so a trace
+   shows where the hardening cycles went *)
+let record_vm_acct t (a : Vm.Cpu.acct) =
+  let o = obs t in
+  if a.Vm.Cpu.acct_full > 0 then
+    Obs.add o ~n:a.Vm.Cpu.acct_full "vm.check.full";
+  if a.Vm.Cpu.acct_redzone > 0 then
+    Obs.add o ~n:a.Vm.Cpu.acct_redzone "vm.check.redzone";
+  if a.Vm.Cpu.acct_cycles > 0 then
+    Obs.add o ~n:a.Vm.Cpu.acct_cycles "vm.check.cycles";
+  List.iter
+    (fun (_site, checks, cycles) ->
+      Obs.observe o "vm.site.checks" checks;
+      Obs.observe o "vm.site.cycles" cycles)
+    (Vm.Cpu.acct_sites a)
+
+let trace_json t = Obs.to_chrome ~process_name:"redfat" (obs t)
 
 (* --- the canonical typed stage chain -------------------------------- *)
 

@@ -19,6 +19,12 @@ val close : t -> unit
 
 val jobs : t -> int
 val report : t -> Report.t
+
+val obs : t -> Obs.t
+(** The engine's collector: stage spans, pool task lifetimes, cache
+    hit/miss counters, rewriter phase spans and per-check-kind
+    counters all land here (per-domain, lock-free). *)
+
 val cache_stats : t -> Cache.stats
 val cache_enabled : t -> bool
 
@@ -56,8 +62,8 @@ val run_baseline :
 
 val run_hardened :
   t -> ?options:Redfat.Runtime.options -> ?profiling:bool -> ?random:int ->
-  ?inputs:int list -> ?max_steps:int -> ?libs:Binfmt.Relf.t list ->
-  Binfmt.Relf.t -> Redfat.hardened_run
+  ?acct:Vm.Cpu.acct -> ?inputs:int list -> ?max_steps:int ->
+  ?libs:Binfmt.Relf.t list -> Binfmt.Relf.t -> Redfat.hardened_run
 
 val run_memcheck :
   t -> ?inputs:int list -> ?max_steps:int -> Binfmt.Relf.t ->
@@ -65,8 +71,18 @@ val run_memcheck :
 (** Timed (never cached): runs are the measurements themselves. *)
 
 val emit_json : t -> ?extra:(string * string) list -> unit -> string
-(** The run's report (stages, targets, cache counters, jobs, wall)
-    as JSON. *)
+(** The run's report (stages, targets, cache counters, obs counters
+    and histograms, jobs, wall) as JSON. *)
+
+val record_vm_acct : t -> Vm.Cpu.acct -> unit
+(** Fold a VM per-site check-accounting table ({!run_hardened}'s
+    [acct]) into the collector: [vm.check.*] counters and [vm.site.*]
+    histograms. *)
+
+val trace_json : t -> string
+(** The engine's collector as Chrome trace-event JSON (merge point:
+    call only at a quiescent moment, e.g. after the chain/batches
+    finish). *)
 
 (** {2 The canonical typed stage chain}
 

@@ -21,12 +21,13 @@ type t = {
   mutable closing : bool;
   mutable domains : unit Domain.t list;
   mutable started : bool;
+  obs : Obs.t option; (* task-lifetime spans, recorded in the worker *)
 }
 
 (* nested [map] calls from inside a worker run sequentially *)
 let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
-let create ~jobs () =
+let create ~jobs ?obs () =
   {
     n = max 0 jobs;
     lock = Mutex.create ();
@@ -35,6 +36,7 @@ let create ~jobs () =
     closing = false;
     domains = [];
     started = false;
+    obs;
   }
 
 let jobs t = max 1 t.n
@@ -151,6 +153,15 @@ let map t f tasks =
         c
       in
       if not skip then
+        let f =
+          match t.obs with
+          | None -> f
+          | Some obs ->
+            (* runs in the worker domain: the span lands in that
+               domain's buffer, so each task's lifetime is attributed
+               to the domain that executed it *)
+            fun x -> Obs.span obs ~cat:"pool" "pool.task" (fun () -> f x)
+        in
         match f tasks.(i) with
         | v -> results.(i) <- Some v
         | exception e ->

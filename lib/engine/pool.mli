@@ -14,8 +14,10 @@
 
 type t
 
-val create : jobs:int -> unit -> t
-(** [jobs <= 1] never spawns domains; everything runs inline. *)
+val create : jobs:int -> ?obs:Obs.t -> unit -> t
+(** [jobs <= 1] never spawns domains; everything runs inline.
+    [obs]: record each task's lifetime as an [Obs] span (category
+    ["pool"]) in the executing worker's own buffer. *)
 
 val jobs : t -> int
 

@@ -1,5 +1,3 @@
-type stage_stat = { mutable calls : int; mutable seconds : float }
-
 type target = {
   tg_name : string;
   tg_cycles : int;
@@ -8,9 +6,13 @@ type target = {
   tg_wall : float;
 }
 
+(* Hot-path recording (spans, counters, histograms) goes through the
+   per-domain [Obs] buffers — no shared lock, no contended cache line.
+   Only the cold per-target list keeps a mutex (one push per measured
+   workload). *)
 type t = {
+  obs : Obs.t;
   lock : Mutex.t;
-  stages : (string, stage_stat) Hashtbl.t;
   mutable tgs : target list;
   mutable njobs : int;
   t0 : float;
@@ -20,33 +22,21 @@ let now () = Unix.gettimeofday ()
 
 let create () =
   {
+    obs = Obs.create ();
     lock = Mutex.create ();
-    stages = Hashtbl.create 8;
     tgs = [];
     njobs = 1;
     t0 = now ();
   }
 
+let obs t = t.obs
 let set_jobs t n = t.njobs <- n
 let jobs t = t.njobs
 
 let record t name dt =
-  Mutex.lock t.lock;
-  let s =
-    match Hashtbl.find_opt t.stages name with
-    | Some s -> s
-    | None ->
-      let s = { calls = 0; seconds = 0.0 } in
-      Hashtbl.replace t.stages name s;
-      s
-  in
-  s.calls <- s.calls + 1;
-  s.seconds <- s.seconds +. dt;
-  Mutex.unlock t.lock
+  Obs.add_span t.obs ~cat:"stage" name ~start:(now () -. dt) ~dur:dt
 
-let timed t name f =
-  let t0 = now () in
-  Fun.protect ~finally:(fun () -> record t name (now () -. t0)) f
+let timed t name f = Obs.span t.obs ~cat:"stage" name f
 
 let add_target t ~name ?(cycles = 0) ?(overheads = []) ?(counters = []) ~wall
     () =
@@ -63,14 +53,7 @@ let targets t =
   Mutex.unlock t.lock;
   List.sort (fun a b -> compare a.tg_name b.tg_name) tgs
 
-let stage_summary t =
-  Mutex.lock t.lock;
-  let rows =
-    Hashtbl.fold (fun name s acc -> (name, s.calls, s.seconds) :: acc)
-      t.stages []
-  in
-  Mutex.unlock t.lock;
-  List.sort compare rows
+let stage_summary t = Obs.span_summary ~cat:"stage" t.obs
 
 let wall t = now () -. t.t0
 
@@ -126,6 +109,32 @@ let to_json ?cache ?(cache_enabled = true) ?(extra = []) t =
         calls (json_float secs)
         (if i = List.length stages - 1 then "" else ","))
     stages;
+  add "  },\n";
+  (* merged obs counters and histograms: the per-check-kind and cache
+     facts the bench-regression gate diffs *)
+  add "  \"counters\": {";
+  let cs = Obs.counters t.obs in
+  List.iteri
+    (fun i (name, v) ->
+      add "%s %S: %d" (if i = 0 then "" else ",") (escape name) v)
+    cs;
+  add " },\n";
+  add "  \"histograms\": {\n";
+  let hs = Obs.histograms t.obs in
+  List.iteri
+    (fun i (name, (h : Obs.hist)) ->
+      add
+        "    %S: { \"count\": %d, \"sum\": %d, \"min\": %d, \"max\": %d, \
+         \"buckets\": [%s] }%s\n"
+        (escape name) h.Obs.h_count h.Obs.h_sum
+        (if h.Obs.h_count = 0 then 0 else h.Obs.h_min)
+        (if h.Obs.h_count = 0 then 0 else h.Obs.h_max)
+        (String.concat ", "
+           (List.map
+              (fun (lo, c) -> Printf.sprintf "[%d, %d]" lo c)
+              h.Obs.h_buckets))
+        (if i = List.length hs - 1 then "" else ","))
+    hs;
   add "  },\n";
   add "  \"targets\": [\n";
   let tgs = targets t in

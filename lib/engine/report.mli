@@ -1,19 +1,31 @@
 (** Per-stage observability for engine runs: call counts and summed
     wall time per stage (across all worker domains), per-target
     measurement records, and a structured JSON rendering for
-    [BENCH_*.json] trajectory files.  All recording entry points are
-    thread-safe. *)
+    [BENCH_*.json] trajectory files.
+
+    [Report] is the merged {e read side}: all hot-path recording
+    (stage spans, counters, histograms) flows through the per-domain
+    lock-free {!Obs} buffers, so worker domains never contend on a
+    report mutex; only the cold per-target list is mutex-guarded. *)
 
 type t
 
 val create : unit -> t
 
+val obs : t -> Obs.t
+(** The underlying collector: spans with category ["stage"] are the
+    stage table; any counters/histograms recorded on it are folded
+    into {!to_json} and the Chrome trace export. *)
+
 val set_jobs : t -> int -> unit
 val jobs : t -> int
 
 val timed : t -> string -> (unit -> 'a) -> 'a
-(** Run the thunk, adding its wall time and one call to the named
-    stage's counters.  Exceptions still record the elapsed time. *)
+(** Run the thunk inside an [Obs] span of category ["stage"] named
+    after the stage.  Exceptions still record the elapsed time. *)
+
+val record : t -> string -> float -> unit
+(** Record an already-measured stage interval of [dt] seconds. *)
 
 type target = {
   tg_name : string;

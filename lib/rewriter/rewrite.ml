@@ -91,6 +91,8 @@ type stats = {
   trap_patches : int;
   text_bytes : int;
   tramp_bytes : int;
+  checks_by_kind : (string * int) list;
+      (** emit/elide breakdown keyed by check kind / elimination rule *)
 }
 
 type t = {
@@ -242,15 +244,24 @@ let jmp_len = 5
     [tramp_base] places the trampoline section (distinct modules of one
     process need distinct trampoline areas, still within rel32 reach of
     their text). *)
-let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) (opts : options)
-    (binary : Binfmt.Relf.t) : t =
+let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
+    (opts : options) (binary : Binfmt.Relf.t) : t =
+  (* per-phase spans (category "rewrite") when a collector is given *)
+  let sp name f =
+    match obs with
+    | Some o -> Obs.span o ~cat:"rewrite" name f
+    | None -> f ()
+  in
   let text = Binfmt.Relf.text_exn binary in
-  let cfg = Cfg.recover ~text_addr:text.addr text.bytes in
+  let cfg = sp "rw.recover" @@ fun () ->
+    Cfg.recover ~text_addr:text.addr text.bytes
+  in
   let n = Cfg.num_instrs cfg in
   (* 1. collect instrumentable members *)
   let mem_ops = ref 0 and eliminated = ref 0 in
   let elim_records = ref [] (* (addr, Elimtab.reason), newest first *) in
   let members = ref [] in
+  sp "rw.collect" (fun () ->
   for i = 0 to n - 1 do
     let addr, instr, _len = cfg.instrs.(i) in
     match X64.Isa.mem_operand instr with
@@ -275,7 +286,7 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) (opts : options)
         end
         else members := { mi = i; addr; m; bytes; write } :: !members
       end
-  done;
+  done);
   let members = List.rev !members in
   let allow =
     match opts.allowlist with
@@ -292,10 +303,10 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) (opts : options)
       | None -> X64.Isa.Full
       | Some h -> if Hashtbl.mem h m.addr then X64.Isa.Full else X64.Isa.Redzone
   in
-  let batches = make_batches cfg opts members in
   (* one plan per batch: the patch lands at the first member, whose
      trampoline runs the batch's (merged) checks *)
-  let plans =
+  let plans = sp "rw.plan" @@ fun () ->
+    let batches = make_batches cfg opts members in
     List.filter_map
       (function
         | [] -> None
@@ -318,7 +329,7 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) (opts : options)
      [profiling_build]). *)
   let global_elim = opts.global_elim && not opts.profiling in
   let eliminated_global = ref 0 in
-  let plans =
+  let plans = sp "rw.elim" @@ fun () ->
     if not global_elim then
       List.map (fun (first, groups) -> (first, groups, [])) plans
     else begin
@@ -393,6 +404,7 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) (opts : options)
   let instrumented = ref 0 in
   let full_sites = ref 0 and redzone_sites = ref 0 in
   let checks_emitted = ref 0 and jump_patches = ref 0 in
+  let emit_full = ref 0 and emit_redzone = ref 0 in
   let trap_patches = ref 0 and evictions = ref 0 in
   let trampolines = ref 0 and zero_save_sites = ref 0 in
   let patch_byte addr b =
@@ -461,6 +473,9 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) (opts : options)
       List.iteri
         (fun gi ((g : group), _) ->
           incr checks_emitted;
+          (match g.g_variant with
+           | X64.Isa.Full -> incr emit_full
+           | X64.Isa.Redzone -> incr emit_redzone);
           let ck =
             {
               X64.Isa.ck_variant = g.g_variant;
@@ -502,7 +517,7 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) (opts : options)
        | `Evict -> assert false)
     end
   in
-  List.iter do_plan plans;
+  sp "rw.emit" (fun () -> List.iter do_plan plans);
   let tramp_bytes = Buffer.contents tramp in
   let traps = List.rev !traps in
   (* the trap table ships inside the binary (like E9Patch's loader
@@ -536,6 +551,22 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) (opts : options)
     if traptab = "" then []
     else [ Binfmt.Relf.section ~name:".traptab" ~addr:0 traptab ]
   in
+  let checks_by_kind =
+    [
+      ("elide.clear", !eliminated);
+      ("elide.dom", !eliminated_global);
+      ("emit.full", !emit_full);
+      ("emit.redzone", !emit_redzone);
+      ("patch.jump", !jump_patches);
+      ("patch.trap", !trap_patches);
+    ]
+  in
+  (match obs with
+  | Some o ->
+    List.iter
+      (fun (k, v) -> if v > 0 then Obs.add o ~n:v ("rw." ^ k))
+      checks_by_kind
+  | None -> ());
   let stats =
     {
       instrs_total = n;
@@ -553,6 +584,7 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) (opts : options)
       trap_patches = !trap_patches;
       text_bytes = String.length text.bytes;
       tramp_bytes = String.length tramp_bytes;
+      checks_by_kind;
     }
   in
   { binary = { binary with sections }; traps; stats }

@@ -57,6 +57,14 @@ type stats = {
   trap_patches : int;
   text_bytes : int;
   tramp_bytes : int;
+  checks_by_kind : (string * int) list;
+      (** the emit/elide breakdown, keyed by check kind or elimination
+          rule: [emit.full]/[emit.redzone] (emitted checks per
+          variant), [elide.clear] (local elimination: operand provably
+          never reaches the heap), [elide.dom] (global elimination:
+          covered by a dominating available check),
+          [patch.jump]/[patch.trap].  Deterministic; folded into bench
+          JSON per-target counters and gated by [tools/bench_diff]. *)
 }
 
 type t = {
@@ -65,10 +73,12 @@ type t = {
   stats : stats;
 }
 
-val rewrite : ?tramp_base:int -> options -> Binfmt.Relf.t -> t
+val rewrite : ?tramp_base:int -> ?obs:Obs.t -> options -> Binfmt.Relf.t -> t
 (** Instrument a binary.  [tramp_base] places the trampoline section
     (distinct modules of one process need distinct areas, each within
-    rel32 reach of their text). *)
+    rel32 reach of their text).  [obs]: record per-phase spans
+    (category ["rewrite"]: collect, plan, elim, emit) and mirror the
+    per-check-kind counters ([rw.*]) into the collector. *)
 
 val traps_of_binary : Binfmt.Relf.t -> (int * int) list
 (** Recover the trap table from a hardened binary's [.traptab]

@@ -25,6 +25,45 @@ exception Exited of int
    evaluated from it on demand.  ALU results record (result, 0). *)
 type flags = { mutable fa : int; mutable fb : int }
 
+(* Optional per-hardened-site check accounting: which guarded sites
+   execute, how often, and how many cycles their checks cost.  Off by
+   default (a [None] test per executed check); a trace run attaches an
+   [acct] and exports it through the obs layer. *)
+type site_acct = { mutable sa_checks : int; mutable sa_cycles : int }
+
+type acct = {
+  acct_sites : (int, site_acct) Hashtbl.t; (* ck_site -> totals *)
+  mutable acct_full : int;     (* Full-variant checks executed *)
+  mutable acct_redzone : int;  (* Redzone-variant checks executed *)
+  mutable acct_cycles : int;   (* total cycles spent in checks *)
+}
+
+let new_acct () =
+  { acct_sites = Hashtbl.create 64; acct_full = 0; acct_redzone = 0;
+    acct_cycles = 0 }
+
+let acct_record (a : acct) (ck : X64.Isa.check) cost =
+  (match ck.X64.Isa.ck_variant with
+   | X64.Isa.Full -> a.acct_full <- a.acct_full + 1
+   | X64.Isa.Redzone -> a.acct_redzone <- a.acct_redzone + 1);
+  a.acct_cycles <- a.acct_cycles + cost;
+  let sa =
+    match Hashtbl.find_opt a.acct_sites ck.X64.Isa.ck_site with
+    | Some sa -> sa
+    | None ->
+      let sa = { sa_checks = 0; sa_cycles = 0 } in
+      Hashtbl.add a.acct_sites ck.X64.Isa.ck_site sa;
+      sa
+  in
+  sa.sa_checks <- sa.sa_checks + 1;
+  sa.sa_cycles <- sa.sa_cycles + cost
+
+let acct_sites (a : acct) : (int * int * int) list =
+  Hashtbl.fold
+    (fun site sa acc -> (site, sa.sa_checks, sa.sa_cycles) :: acc)
+    a.acct_sites []
+  |> List.sort compare
+
 type t = {
   mem : Mem.t;
   regs : int array;
@@ -38,6 +77,7 @@ type t = {
   mutable on_probe : (t -> int -> int) option;
   mutable on_mem : (t -> addr:int -> len:int -> write:bool -> unit) option;
   mutable dispatch_cost : int;  (** extra cycles per instruction (DBI) *)
+  mutable acct : acct option;   (** per-site check accounting *)
   trap_table : (int, int) Hashtbl.t;  (** patch address -> trampoline *)
   icache : (int, X64.Isa.instr * int) Hashtbl.t;
   (* scripted I/O *)
@@ -62,6 +102,7 @@ let create ?(max_steps = 200_000_000) () =
     on_probe = None;
     on_mem = None;
     dispatch_cost = 0;
+    acct = None;
     trap_table = Hashtbl.create 64;
     icache = Hashtbl.create 4096;
     inputs = [];
@@ -296,7 +337,12 @@ let step t (rt : runtime) =
      | None -> raise (Invalid_opcode t.rip))
   | Check c ->
     (match t.on_check with
-     | Some f -> t.cycles <- t.cycles + f t c
+     | Some f ->
+       let cost = f t c in
+       t.cycles <- t.cycles + cost;
+       (match t.acct with
+        | Some a -> acct_record a c cost
+        | None -> ())
      | None -> ());
     t.rip <- next
   | Probe id ->

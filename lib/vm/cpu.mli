@@ -22,6 +22,25 @@ exception Exited of int
     evaluated from it on demand. *)
 type flags = { mutable fa : int; mutable fb : int }
 
+(** Per-hardened-site check accounting (off unless an [acct] is
+    attached to the CPU): how often each guarded site's check executes
+    and what it costs, plus per-variant and total-cycle tallies.  The
+    measurement substrate for overhead {e attribution} — Table 1 says
+    how much hardening costs, this says {e where}. *)
+type site_acct = { mutable sa_checks : int; mutable sa_cycles : int }
+
+type acct = {
+  acct_sites : (int, site_acct) Hashtbl.t;  (** ck_site -> totals *)
+  mutable acct_full : int;     (** Full-variant checks executed *)
+  mutable acct_redzone : int;  (** Redzone-variant checks executed *)
+  mutable acct_cycles : int;   (** total cycles spent in checks *)
+}
+
+val new_acct : unit -> acct
+
+val acct_sites : acct -> (int * int * int) list
+(** [(site, checks, cycles)] per guarded site, sorted by site. *)
+
 type t = {
   mem : Mem.t;
   regs : int array;                   (** 16 general-purpose registers *)
@@ -37,6 +56,7 @@ type t = {
   mutable on_mem : (t -> addr:int -> len:int -> write:bool -> unit) option;
       (** DBI hook, called on every explicit memory access *)
   mutable dispatch_cost : int;        (** extra cycles per instruction *)
+  mutable acct : acct option;         (** per-site check accounting *)
   trap_table : (int, int) Hashtbl.t;  (** patch address -> trampoline *)
   icache : (int, X64.Isa.instr * int) Hashtbl.t;
   mutable inputs : int list;          (** script for the Input runtime fn *)

@@ -24,4 +24,5 @@ let () =
       ("asm-properties", Test_asm_properties.tests);
       ("pipeline", Test_pipeline.tests);
       ("engine", Test_engine.tests);
+      ("obs", Test_obs.tests);
     ]
