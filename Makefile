@@ -6,8 +6,8 @@ EXAMPLES := $(wildcard examples/*.mc)
 
 BENCH_DIFF := _build/default/tools/bench_diff.exe
 
-.PHONY: all build test check lint bench bench-json bench-gate bench-baseline \
-	ci clean
+.PHONY: all build test check lint doc-check bench bench-json bench-gate \
+	bench-baseline ci clean
 
 all: build
 
@@ -28,11 +28,20 @@ lint: build
 	  $(REDFAT) verify --quiet $$out.hard.relf; \
 	done
 
-# the tier-1 gate plus the lint audit and a parallel-engine smoke run
+# the docs-sync gate: CLI flags and the fault taxonomy in
+# docs/MANUAL.md must match the code, and intra-repo markdown links
+# must resolve
+doc-check:
+	dune build tools/doc_check.exe
+	_build/default/tools/doc_check.exe
+
+# the tier-1 gate plus the lint audit, the docs-sync gate, and a
+# parallel-engine smoke run
 check:
 	dune build
 	dune runtest
 	$(MAKE) lint
+	$(MAKE) doc-check
 	dune build bench/main.exe
 	$(BENCH) fig4 --jobs 2
 
@@ -60,7 +69,7 @@ bench-baseline: build
 	@echo "wrote bench/baseline.json -- commit it with the explaining change"
 
 # everything CI runs, in one local command (mirrors .github/workflows/ci.yml)
-ci: build test lint
+ci: build test lint doc-check
 	$(BENCH) fig4 --jobs 2
 	$(MAKE) bench-gate
 

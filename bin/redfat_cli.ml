@@ -13,12 +13,24 @@
      redfat pipeline spec:mcf --jobs 4 --cache-dir _redfat_cache *)
 
 open Cmdliner
+module Fault = Engine.Fault
 
 let parse_inputs s =
   if String.trim s = "" then []
   else
     String.split_on_char ',' s
-    |> List.map (fun x -> int_of_string (String.trim x))
+    |> List.map (fun x ->
+           match int_of_string_opt (String.trim x) with
+           | Some v -> v
+           | None ->
+             Fault.fail
+               (Fault.Input
+                  {
+                    what = "script";
+                    detail =
+                      Printf.sprintf
+                        "input script %S is not comma-separated integers" s;
+                  }))
 
 (* --- workload registry ---------------------------------------------- *)
 
@@ -49,7 +61,13 @@ let find_workload name : Binfmt.Relf.t * int list =
     ( Minic.Codegen.compile
         (Workloads.Synth.program ~seed:(int_of_string seed) ()),
       [] )
-  | _ -> failwith ("unknown workload " ^ name ^ " (try: redfat list)")
+  | _ ->
+    Fault.fail
+      (Fault.Input
+         {
+           what = "target";
+           detail = "unknown workload " ^ name ^ " (try: redfat list)";
+         })
 
 (* Resolve a workflow target to (program, train suite, ref inputs).
    Accepts the built-in workload names and MiniC source paths
@@ -57,16 +75,30 @@ let find_workload name : Binfmt.Relf.t * int list =
    programs too. *)
 let find_program name : Minic.Ast.program * int list list * int list =
   if Filename.check_suffix name ".mc" then begin
-    if not (Sys.file_exists name) then failwith ("no such file: " ^ name);
+    if not (Sys.file_exists name) then
+      Fault.fail
+        (Fault.Io { what = "read"; path = name; detail = "no such file" });
     let src = In_channel.with_open_text name In_channel.input_all in
     match Minic.Parser.parse_program src with
     | prog -> (prog, [ [] ], [])
     | exception Minic.Parser.Parse_error (msg, pos) ->
-      failwith (Printf.sprintf "%s:%d:%d: parse error: %s" name pos.line
-                  pos.col msg)
+      Fault.fail
+        (Fault.Parse
+           {
+             what = "source";
+             detail =
+               Printf.sprintf "%s:%d:%d: parse error: %s" name pos.line
+                 pos.col msg;
+           })
     | exception Minic.Lexer.Lex_error (msg, pos) ->
-      failwith (Printf.sprintf "%s:%d:%d: lex error: %s" name pos.line
-                  pos.col msg)
+      Fault.fail
+        (Fault.Parse
+           {
+             what = "source";
+             detail =
+               Printf.sprintf "%s:%d:%d: lex error: %s" name pos.line pos.col
+                 msg;
+           })
   end
   else
     match String.split_on_char ':' name with
@@ -87,7 +119,13 @@ let find_program name : Minic.Ast.program * int list list * int list =
     | [ "chrome" ] -> (Workloads.Chrome.program (), [ [ 0; 50 ] ], [ 0; 50 ])
     | [ "synth"; seed ] ->
       (Workloads.Synth.program ~seed:(int_of_string seed) (), [ [] ], [])
-    | _ -> failwith ("unknown workload " ^ name ^ " (try: redfat list)")
+    | _ ->
+      Fault.fail
+        (Fault.Input
+           {
+             what = "target";
+             detail = "unknown workload " ^ name ^ " (try: redfat list)";
+           })
 
 (* --- commands -------------------------------------------------------- *)
 
@@ -347,15 +385,19 @@ let profile_cmd =
 let pipeline_cmd =
   let doc =
     "Run the full staged hardening workflow (Compile >>> Profile >>> Harden \
-     >>> Run >>> Report) on a built-in workload, with per-stage timings and \
-     artifact-cache statistics."
+     >>> Verify >>> Run >>> Report) on one or more targets, with per-stage \
+     timings, artifact-cache statistics and per-target fault isolation: a \
+     failing target is reported as a typed fault and the rest of the batch \
+     completes (exit code 2), unless $(b,--strict) makes the first fault \
+     fail the whole batch (exit code 1)."
   in
-  let wname =
+  let wnames =
     Arg.(
-      required
-      & pos 0 (some string) None
+      non_empty
+      & pos_all string []
       & info [] ~docv:"TARGET"
-          ~doc:"Workload name (e.g. spec:mcf) or MiniC source file (.mc).")
+          ~doc:"Workload name (e.g. spec:mcf), MiniC source file (.mc), or \
+                RELF binary file (.relf); repeatable.")
   in
   let no_cache =
     Arg.(
@@ -377,48 +419,106 @@ let pipeline_cmd =
           ~doc:"Also write the run's spans and counters as Chrome \
                 trace-event JSON (load in Perfetto / chrome://tracing).")
   in
-  let run name jobs no_cache cache_dir trace =
-    let prog, train, inputs =
-      try find_program name
-      with
-      | Not_found ->
-        Printf.eprintf "unknown workload %s (try: redfat list)\n" name;
-        exit 1
-      | Failure msg ->
-        Printf.eprintf "%s\n" msg;
-        exit 1
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the run's report (stages, targets, counters, and the \
+                typed per-target fault records) as JSON.")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Fail fast: the first fault aborts the whole batch with exit \
+                code 1 instead of degrading or skipping the target.")
+  in
+  let inject_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject" ] ~docv:"SPEC"
+          ~doc:"Deterministic fault injection (testing): a comma-separated \
+                list of POINT[:SUBSTR][@N][%PCT[~SEED]] clauses, or 'none'. \
+                Defaults to \\$REDFAT_FAULT.")
+  in
+  let run names inputs jobs no_cache cache_dir trace out strict inject_spec =
+    let inject =
+      match inject_spec with
+      | None -> Engine.Faultinject.of_env ()
+      | Some s -> (
+        match Engine.Faultinject.parse s with
+        | Ok t -> t
+        | Error e ->
+          Fault.fail (Fault.Input { what = "script"; detail = "--inject: " ^ e }))
     in
+    let relf_inputs = parse_inputs inputs in
     let eng =
-      Engine.Pipeline.create ~jobs ~cache:(not no_cache) ?cache_dir ()
+      Engine.Pipeline.create ~jobs ~cache:(not no_cache) ?cache_dir ~strict
+        ~inject ()
     in
     let module Pl = Engine.Pipeline in
-    let chain =
-      Engine.Stage.(
-        Pl.stage_compile eng
-        >>> Pl.stage_profile eng ~train
-        >>> Pl.stage_harden eng ()
-        >>> Pl.stage_verify eng
-        >>> Pl.stage_run eng ~inputs
-        >>> Pl.stage_report eng)
+    (* one summary per target; a .relf target skips the Compile stage
+       and uses --inputs, a workload/.mc target compiles and uses its
+       own reference inputs *)
+    let process name =
+      let binary_chain ~train ~inputs =
+        Engine.Stage.(
+          Pl.stage_profile eng ~train
+          >>> Pl.stage_harden eng ()
+          >>> Pl.stage_verify eng
+          >>> Pl.stage_run eng ~inputs
+          >>> Pl.stage_report eng)
+      in
+      if Filename.check_suffix name ".relf" then
+        let bin = Pl.load_relf eng name in
+        Engine.Stage.run ~report:(Pl.report eng)
+          (binary_chain ~train:[ relf_inputs ] ~inputs:relf_inputs)
+          bin
+      else
+        let prog, train, inputs = find_program name in
+        Engine.Stage.run ~report:(Pl.report eng)
+          Engine.Stage.(Pl.stage_compile eng >>> binary_chain ~train ~inputs)
+          prog
     in
-    Printf.printf "workload: %s\n%s\n\n" name (Engine.Stage.describe chain);
-    let summary = Engine.Stage.run ~report:(Pl.report eng) chain prog in
-    print_endline summary;
-    Format.printf "\n%a@." Engine.Report.pp (Pl.report eng);
+    let results = Pl.map_targets eng process names in
+    let failed = ref 0 in
+    List.iter2
+      (fun name result ->
+        match result with
+        | Ok summary -> Printf.printf "=== %s ===\n%s\n\n" name summary
+        | Error f ->
+          incr failed;
+          Printf.printf "=== %s ===\nFAILED %s\n\n" name (Fault.to_string f))
+      names results;
+    Format.printf "%a@." Engine.Report.pp (Pl.report eng);
     let st = Pl.cache_stats eng in
     Printf.printf "cache: %s, %d hits / %d misses / %d stores\n"
       (if Pl.cache_enabled eng then "enabled" else "disabled")
       st.Engine.Cache.hits st.Engine.Cache.misses st.Engine.Cache.stores;
+    (match out with
+    | Some f ->
+      Out_channel.with_open_text f (fun oc ->
+          Out_channel.output_string oc (Pl.emit_json eng ()));
+      Printf.printf "wrote %s (report JSON)\n" f
+    | None -> ());
     (match trace with
     | Some f ->
       Out_channel.with_open_text f (fun oc ->
           Out_channel.output_string oc (Pl.trace_json eng));
       Printf.printf "wrote %s (Chrome trace-event JSON)\n" f
     | None -> ());
-    Pl.close eng
+    Pl.close eng;
+    if !failed > 0 then begin
+      Printf.printf "%d of %d target(s) failed\n" !failed (List.length names);
+      exit 2
+    end
   in
   Cmd.v (Cmd.info "pipeline" ~doc)
-    Term.(const run $ wname $ jobs_arg $ no_cache $ cache_dir $ trace_arg)
+    Term.(
+      const run $ wnames $ inputs_arg $ jobs_arg $ no_cache $ cache_dir
+      $ trace_arg $ out_arg $ strict_arg $ inject_arg)
 
 let env_arg =
   Arg.(
@@ -597,11 +697,47 @@ let trace_cmd =
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(const run $ target $ inputs_arg $ limit $ jobs_arg $ out)
 
+let errors_cmd =
+  let doc =
+    "Print the typed fault taxonomy (stable codes, severities, meanings, \
+     degradation behaviour).  Mostly an internal aid: $(b,--list) emits the \
+     exact markdown table embedded in docs/MANUAL.md, which tools/doc_check \
+     uses to keep the manual in sync with the code."
+  in
+  let list_flag =
+    Arg.(
+      value & flag
+      & info [ "list" ]
+          ~doc:"Emit the taxonomy as the markdown table embedded in \
+                docs/MANUAL.md (the doc-sync format).")
+  in
+  let run list =
+    if list then print_string (Fault.registry_markdown ())
+    else
+      List.iter
+        (fun (i : Fault.info) ->
+          Printf.printf "%-16s %-9s %s\n" i.i_code
+            (Fault.severity_to_string i.i_severity)
+            i.i_meaning)
+        Fault.registry
+  in
+  Cmd.v (Cmd.info "errors" ~doc) Term.(const run $ list_flag)
+
 let main_cmd =
   let doc = "harden stripped binaries against more memory errors" in
   let info = Cmd.info "redfat" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ list_cmd; workload_cmd; compile_cmd; disasm_cmd; harden_cmd;
-      verify_cmd; profile_cmd; pipeline_cmd; fuzz_cmd; run_cmd; trace_cmd ]
+      verify_cmd; profile_cmd; pipeline_cmd; fuzz_cmd; run_cmd; trace_cmd;
+      errors_cmd ]
 
-let () = exit (Cmd.eval main_cmd)
+(* every command runs under the fault boundary: an escaping exception
+   is classified into the typed taxonomy and printed as one stable
+   `redfat: fault[CODE] ...` line (exit code 1), never a raw OCaml
+   backtrace *)
+let () =
+  try exit (Cmd.eval ~catch:false main_cmd)
+  with e ->
+    let f = Fault.of_exn e in
+    Printf.eprintf "redfat: %s\n" (Fault.to_string f);
+    exit 1

@@ -10,14 +10,20 @@
     !policy reads=1 writes=1
     40001c clear
     400033 dom 400010
+    400041 skip
     v}
     [clear]: the operand satisfies the syntactic never-reaches-the-heap
     rule.  [dom a]: an equivalent or covering check is emitted by the
-    patch site at address [a], which dominates this site. *)
+    patch site at address [a], which dominates this site.  [skip]: the
+    rewriter faulted while emitting this site's check and degraded it
+    to uninstrumented under its graceful-degradation policy — weaker
+    but recorded, so the linter can tell an audited downgrade from a
+    rewriter bug. *)
 
 type reason =
   | Clear          (** syntactic rule: operand cannot reach the heap *)
   | Dom of int     (** covered by the check at this patch address *)
+  | Skip           (** degraded to uninstrumented after a site fault *)
 
 type t = {
   reads : bool;   (** were reads instrumented at all? *)
@@ -39,7 +45,8 @@ let render (t : t) : string =
       Buffer.add_string b
         (match r with
         | Clear -> Printf.sprintf "%x clear\n" a
-        | Dom s -> Printf.sprintf "%x dom %x\n" a s))
+        | Dom s -> Printf.sprintf "%x dom %x\n" a s
+        | Skip -> Printf.sprintf "%x skip\n" a))
     t.entries;
   Buffer.contents b
 
@@ -57,6 +64,10 @@ let parse (s : string) : (t, string) result =
         | ("reads=0" | "reads=1"), ("writes=0" | "writes=1") ->
           go acc { pol with reads = r = "reads=1"; writes = w = "writes=1" } rest
         | _ -> Error (Printf.sprintf "elimtab: bad policy line %S" line))
+      | [ a; "skip" ] -> (
+        match hex a with
+        | Some a -> go ((a, Skip) :: acc) pol rest
+        | None -> Error (Printf.sprintf "elimtab: bad address in %S" line))
       | [ a; "clear" ] -> (
         match hex a with
         | Some a -> go ((a, Clear) :: acc) pol rest

@@ -6,6 +6,10 @@
 type reason =
   | Clear          (** syntactic rule: operand cannot reach the heap *)
   | Dom of int     (** covered by the check at this patch address *)
+  | Skip
+      (** degraded to uninstrumented after a site fault: weaker but
+          sound, and recorded so the linter can tell an audited
+          downgrade from a rewriter bug *)
 
 type t = {
   reads : bool;

@@ -33,6 +33,7 @@ type status =
   | Eliminated_clear
   | Eliminated_dom of int   (** justifying patch-site address *)
   | Policy_skipped
+  | Degraded                (** recorded [skip] downgrade after a site fault *)
   | Allowlisted
 
 type failure = { f_addr : int; f_reason : string }
@@ -44,6 +45,7 @@ type report = {
   elim_clear : int;
   elim_dom : int;
   policy_skipped : int;
+  degraded : int;           (** recorded [skip] downgrades *)
   allowlisted : int;
   units : int;              (** trampoline units decoded *)
   failures : failure list;
@@ -261,6 +263,7 @@ let run ?(allow : int list = []) ~(traps : (int * int) list)
         let checked = ref 0 and covered = ref 0 in
         let elim_clear = ref 0 and elim_dom = ref 0 in
         let policy_skipped = ref 0 and allowlisted = ref 0 in
+        let degraded = ref 0 in
         Array.iteri
           (fun idx (a, instr, _len) ->
             match X64.Isa.mem_operand instr with
@@ -302,6 +305,7 @@ let run ?(allow : int list = []) ~(traps : (int * int) list)
                         (Printf.sprintf
                            "recorded dominating check at %#x is not available"
                            s)
+                    | Some Elimtab.Skip -> incr degraded
                     | None ->
                       if Hashtbl.mem allowed a then incr allowlisted
                       else fail a "unaccounted memory access")))
@@ -314,6 +318,7 @@ let run ?(allow : int list = []) ~(traps : (int * int) list)
             elim_clear = !elim_clear;
             elim_dom = !elim_dom;
             policy_skipped = !policy_skipped;
+            degraded = !degraded;
             allowlisted = !allowlisted;
             units = List.length units;
             failures = List.rev !failures;
@@ -327,9 +332,10 @@ let pp_report fmt (r : report) =
      eliminated clear:  %d@,\
      eliminated dom:    %d@,\
      policy skipped:    %d@,\
+     degraded (skip):   %d@,\
      allow-listed:      %d@,\
      trampoline units:  %d@,\
      unaccounted:       %d@]"
     r.total r.checked r.covered r.elim_clear r.elim_dom r.policy_skipped
-    r.allowlisted r.units
+    r.degraded r.allowlisted r.units
     (List.length r.failures)

@@ -14,6 +14,10 @@ type status =
   | Eliminated_clear
   | Eliminated_dom of int   (** justifying patch-site address *)
   | Policy_skipped
+  | Degraded
+      (** recorded [skip] entry: the rewriter faulted at this site and
+          degraded it to uninstrumented under its graceful-degradation
+          policy — accounted for, but flagged in the report *)
   | Allowlisted
 
 type failure = { f_addr : int; f_reason : string }
@@ -25,6 +29,7 @@ type report = {
   elim_clear : int;
   elim_dom : int;
   policy_skipped : int;
+  degraded : int;           (** recorded [skip] downgrades *)
   allowlisted : int;
   units : int;              (** trampoline units decoded *)
   failures : failure list;

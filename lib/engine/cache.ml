@@ -1,4 +1,11 @@
-type stats = { mutable hits : int; mutable misses : int; mutable stores : int }
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable stores : int;
+  mutable stale : int;
+  mutable corrupt : int;
+  mutable retries : int;
+}
 
 type t = {
   lock : Mutex.t;
@@ -11,8 +18,10 @@ type t = {
 
 (* versioned header so a stale or foreign file is rejected, never
    unmarshalled.  ART2: rewrite stats gained the per-check-kind
-   breakdown, so ART1 blobs no longer unmarshal to the current types. *)
-let magic = "REDFAT-ART2\n"
+   breakdown.  ART3: rewrite stats gained degraded_sites/skipped_sites
+   (the fault layer), so ART2 blobs no longer unmarshal to the current
+   types. *)
+let magic = "REDFAT-ART3\n"
 
 let create ?(enabled = true) ?dir ?notify () =
   {
@@ -20,7 +29,8 @@ let create ?(enabled = true) ?dir ?notify () =
     mem = Hashtbl.create 64;
     dir = (if enabled then dir else None);
     on = enabled;
-    st = { hits = 0; misses = 0; stores = 0 };
+    st = { hits = 0; misses = 0; stores = 0; stale = 0; corrupt = 0;
+           retries = 0 };
     notify;
   }
 
@@ -38,15 +48,27 @@ let ensure_dir dir =
   if not (Sys.file_exists dir) then
     try Sys.mkdir dir 0o755 with Sys_error _ -> ()
 
-let disk_load dir k : string option =
+(* a disk artifact is Absent (no file), Stale (recognizable but older
+   format magic), Corrupt (unrecognizable header), or readable.  Stale
+   and corrupt files are deleted so they self-heal by recompute. *)
+type loaded = Blob of string | Absent | Stale | Corrupt
+
+let looks_like_art s =
+  let p = "REDFAT-ART" in
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let disk_load dir k : loaded =
   let file = path dir k in
   match In_channel.with_open_bin file In_channel.input_all with
-  | exception Sys_error _ -> None
+  | exception Sys_error _ -> Absent
   | s ->
     let m = String.length magic in
     if String.length s > m && String.sub s 0 m = magic then
-      Some (String.sub s m (String.length s - m))
-    else None
+      Blob (String.sub s m (String.length s - m))
+    else begin
+      (try Sys.remove file with Sys_error _ -> ());
+      if looks_like_art s then Stale else Corrupt
+    end
 
 let disk_store dir k blob =
   ensure_dir dir;
@@ -55,13 +77,24 @@ let disk_store dir k blob =
     Printf.sprintf "%s.%d.%d.tmp" file (Unix.getpid ())
       (Domain.self () :> int)
   in
-  match
+  let write () =
     Out_channel.with_open_bin tmp (fun oc ->
         Out_channel.output_string oc magic;
-        Out_channel.output_string oc blob)
-  with
-  | () -> ( try Sys.rename tmp file with Sys_error _ -> ())
-  | exception Sys_error _ -> ()
+        Out_channel.output_string oc blob);
+    Sys.rename tmp file
+  in
+  let cleanup () = try Sys.remove tmp with Sys_error _ -> () in
+  match write () with
+  | () -> true
+  | exception Sys_error _ -> (
+    cleanup ();
+    (* one bounded retry: transient IO (ENOSPC races, a dir swept by a
+       concurrent cleanup) can succeed the second time *)
+    match write () with
+    | () -> true
+    | exception Sys_error _ ->
+      cleanup ();
+      false)
 
 let memo (type a) t ~key (compute : unit -> a) : a =
   if not t.on then compute ()
@@ -77,20 +110,52 @@ let memo (type a) t ~key (compute : unit -> a) : a =
         | None -> None
         | Some dir -> (
           match disk_load dir key with
-          | Some blob ->
+          | Blob blob ->
             Mutex.lock t.lock;
             Hashtbl.replace t.mem key blob;
             Mutex.unlock t.lock;
             Some blob
-          | None -> None))
+          | Absent -> None
+          | Stale ->
+            Mutex.lock t.lock;
+            t.st.stale <- t.st.stale + 1;
+            Mutex.unlock t.lock;
+            notify t "stale";
+            None
+          | Corrupt ->
+            Mutex.lock t.lock;
+            t.st.corrupt <- t.st.corrupt + 1;
+            Mutex.unlock t.lock;
+            notify t "corrupt";
+            None))
     in
-    match cached with
-    | Some blob ->
+    let unmarshalled =
+      match cached with
+      | None -> None
+      | Some blob -> (
+        (* a blob with the right magic can still be truncated by a torn
+           write predating the tmp+rename discipline, or bit-rotted:
+           treat an unmarshal failure as Corrupt and recompute *)
+        match (Marshal.from_string blob 0 : a) with
+        | v -> Some v
+        | exception _ ->
+          Mutex.lock t.lock;
+          t.st.corrupt <- t.st.corrupt + 1;
+          Hashtbl.remove t.mem key;
+          Mutex.unlock t.lock;
+          (match t.dir with
+          | Some dir -> ( try Sys.remove (path dir key) with Sys_error _ -> ())
+          | None -> ());
+          notify t "corrupt";
+          None)
+    in
+    match unmarshalled with
+    | Some v ->
       Mutex.lock t.lock;
       t.st.hits <- t.st.hits + 1;
       Mutex.unlock t.lock;
       notify t "hit";
-      (Marshal.from_string blob 0 : a)
+      v
     | None ->
       let v = compute () in
       let blob = Marshal.to_string v [] in
@@ -105,7 +170,14 @@ let memo (type a) t ~key (compute : unit -> a) : a =
       (match t.dir with
       | Some dir ->
         notify t "store";
-        disk_store dir key blob
+        if not (disk_store dir key blob) then begin
+          Mutex.lock t.lock;
+          t.st.retries <- t.st.retries + 1;
+          Mutex.unlock t.lock;
+          (* the memory tier still holds the artifact: degrade to
+             memory-only for this key rather than failing the stage *)
+          notify t "store-failed"
+        end
       | None -> ());
       v
   end

@@ -15,7 +15,10 @@
 type stats = {
   mutable hits : int;
   mutable misses : int;
-  mutable stores : int;  (** artifacts written to the disk tier *)
+  mutable stores : int;   (** artifacts written to the disk tier *)
+  mutable stale : int;    (** artifacts rejected for an old format magic *)
+  mutable corrupt : int;  (** artifacts unreadable (bad header/unmarshal) *)
+  mutable retries : int;  (** disk writes that failed even after a retry *)
 }
 
 type t
@@ -25,9 +28,9 @@ val create :
 (** [dir]: enable the disk tier in that directory (created on
     demand).  [enabled = false] turns the cache into a pass-through
     that counts every lookup as a miss.  [notify]: called with
-    ["hit"], ["miss"], or ["store"] per lookup outcome (outside the
-    cache lock, from the calling domain — e.g. to bump lock-free
-    [Obs] counters). *)
+    ["hit"], ["miss"], ["store"], ["stale"], ["corrupt"], or
+    ["store-failed"] per lookup outcome (outside the cache lock, from
+    the calling domain — e.g. to bump lock-free [Obs] counters). *)
 
 val enabled : t -> bool
 val stats : t -> stats
@@ -42,4 +45,12 @@ val memo : t -> key:string -> (unit -> 'a) -> 'a
     run [compute], store the result in both tiers, and return it.
     Thread-safe; [compute] runs outside the lock (two workers racing
     on the same key may both compute — harmless, as artifacts are
-    deterministic functions of the key). *)
+    deterministic functions of the key).
+
+    Fault-tolerant against a damaged disk tier: an artifact carrying
+    an older format magic ([stale]) or an unreadable header or blob
+    ([corrupt]) is deleted and recomputed (self-healing); disk writes
+    are atomic (tmp file + rename) with one bounded retry, and a write
+    that still fails degrades that key to the memory tier instead of
+    failing the stage.  [memo] itself therefore never raises on cache
+    damage — only [compute]'s own exceptions escape. *)

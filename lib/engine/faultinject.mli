@@ -1,0 +1,64 @@
+(** Deterministic fault injection for the pipeline.
+
+    A harness [t] is parsed from a SPEC string (the [REDFAT_FAULT]
+    environment variable, or [redfat pipeline --inject SPEC]) and
+    installed on an engine; the engine calls {!hook} at each
+    injection point, and a matching clause raises the canonical typed
+    {!Fault.t} for that point.
+
+    {2 SPEC grammar}
+
+    {v
+    SPEC   := "none" | clause { "," clause }
+    clause := POINT [ ":" SUBSTR ] [ "@" N ] [ "%" PCT [ "~" SEED ] ]
+    POINT  := parse | compile | profile | rewrite | harden | cache
+            | verify | run | io
+    v}
+
+    - [POINT] names the injection point (see {!points});
+    - [:SUBSTR] restricts the clause to labels containing [SUBSTR]
+      (labels are target names, or [site:<hex>] inside the rewriter);
+    - [@N] fires only on the Nth matching hit {e per label} (default:
+      every hit) — [cache@1] makes the first cache access of every
+      label fault and the retry succeed;
+    - [%PCT~SEED] fires on PCT% of hits, decided by a pure hash of
+      (seed, point, label, hit index), so the decision is identical
+      whatever order labels are processed in — parallel and
+      sequential runs inject exactly the same faults.
+
+    All state is per-label hit counters under a mutex; the decision
+    for hit [k] of label [l] never depends on other labels, which is
+    what keeps [--jobs N] runs deterministic under injection. *)
+
+type t
+
+val none : t
+(** The inert harness: every {!hook} call is a no-op. *)
+
+val is_none : t -> bool
+
+val parse : string -> (t, string) result
+(** Parse a SPEC ([""] and ["none"] yield {!none}). *)
+
+val of_env : unit -> t
+(** The harness described by [REDFAT_FAULT] (unset/empty = {!none}).
+    A malformed SPEC raises [Fault] (code [input.script]) rather than
+    silently injecting nothing. *)
+
+val to_string : t -> string
+(** Canonical SPEC rendering (stable; part of cache keys so injected
+    runs never reuse, or pollute, clean-run artifacts). *)
+
+val points : string list
+(** The valid injection points. *)
+
+val hook : t -> point:string -> label:string -> unit
+(** Raise the canonical typed fault for [point] if a clause fires.
+    No-op on {!none}. *)
+
+val hook_fn :
+  t -> label:string -> (stage:string -> site:int -> unit) option
+(** The rewriter-facing site hook ([Rewrite.rewrite ?fault_hook]):
+    [None] when inert, otherwise a function mapping the rewriter's
+    per-site callbacks onto the [rewrite] point with labels
+    [<label>/site:<hex>]. *)

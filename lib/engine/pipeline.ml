@@ -4,10 +4,13 @@ type t = {
   pool : Pool.t;
   cache : Cache.t;
   rep : Report.t;
+  strict : bool;
+  inject : Faultinject.t;
   mutable closed : bool;
 }
 
-let create ?(jobs = 1) ?(cache = true) ?cache_dir () =
+let create ?(jobs = 1) ?(cache = true) ?cache_dir ?(strict = false)
+    ?(inject = Faultinject.none) () =
   let rep = Report.create () in
   let obs = Report.obs rep in
   let t =
@@ -18,6 +21,8 @@ let create ?(jobs = 1) ?(cache = true) ?cache_dir () =
           ~notify:(fun ev -> Obs.add obs ("cache." ^ ev))
           ();
       rep;
+      strict;
+      inject;
       closed = false;
     }
   in
@@ -36,59 +41,145 @@ let report t = t.rep
 let obs t = Report.obs t.rep
 let cache_stats t = Cache.stats t.cache
 let cache_enabled t = Cache.enabled t.cache
+let strict t = t.strict
+let inject t = t.inject
 let map t f xs = Pool.map_list t.pool f xs
+
+(* --- the fault boundary --------------------------------------------- *)
+
+(* the target a worker domain is currently processing: the provenance
+   attached to faults and the label injection clauses match against.
+   Domain-local, so parallel workers never race on it. *)
+let target_key : string Domain.DLS.key = Domain.DLS.new_key (fun () -> "-")
+
+let hook t point =
+  Faultinject.hook t.inject ~point ~label:(Domain.DLS.get target_key)
+
+let record_fault t (f : Fault.t) =
+  Report.add_fault t.rep f;
+  Obs.add (obs t) ("fault." ^ Fault.code f)
+
+let protect t ~target f =
+  let saved = Domain.DLS.get target_key in
+  Domain.DLS.set target_key target;
+  let finish r = Domain.DLS.set target_key saved; r in
+  let rec go attempt =
+    match f () with
+    | v -> finish (Ok v)
+    | exception e ->
+      let flt = Fault.of_exn ~target e in
+      (* one bounded retry for transient cache/IO faults: the state
+         they depend on (a damaged artifact now deleted, a racing
+         writer now done) can differ on the second attempt *)
+      if Fault.is_transient flt && attempt < 2 then go (attempt + 1)
+      else begin
+        record_fault t flt;
+        if t.strict then (finish (); raise (Fault.Fault flt))
+        else finish (Error flt)
+      end
+  in
+  go 1
+
+let map_targets t f targets =
+  Pool.map_list t.pool
+    (fun tgt -> protect t ~target:tgt (fun () -> f tgt))
+    targets
+
+let load_relf t path =
+  hook t "io";
+  let data =
+    try In_channel.with_open_bin path In_channel.input_all
+    with Sys_error msg ->
+      Fault.fail (Fault.Io { what = "read"; path; detail = msg })
+  in
+  hook t "parse";
+  let bin = Binfmt.Relf.parse data in
+  (match Binfmt.Relf.find_section bin ".text" with
+  | Some s when String.length s.bytes > 0 -> ()
+  | Some _ ->
+    Fault.fail (Fault.Parse { what = "nocode"; detail = path ^ ": empty .text section" })
+  | None ->
+    Fault.fail (Fault.Parse { what = "nocode"; detail = path ^ ": no .text section" }));
+  bin
 
 (* --- cached, timed stage primitives --------------------------------- *)
 
+(* injected runs must never reuse (or pollute) clean-run artifacts, so
+   the canonical injection spec is part of every cache key; the harden
+   key also carries the fault policy, which changes what a faulting
+   rewrite produces *)
+let inject_key t = Faultinject.to_string t.inject
+
+let memo t ~key compute =
+  hook t "cache";
+  Cache.memo t.cache ~key compute
+
 let compile t (prog : Minic.Ast.program) =
   Report.timed t.rep "compile" @@ fun () ->
-  let key = Cache.key ~kind:"compile" [ Marshal.to_string prog [] ] in
-  Cache.memo t.cache ~key (fun () -> Minic.Codegen.compile prog)
+  hook t "compile";
+  let key =
+    Cache.key ~kind:"compile" [ Marshal.to_string prog []; inject_key t ]
+  in
+  memo t ~key (fun () -> Minic.Codegen.compile prog)
 
 let harden t ?tramp_base ?(opts = Rw.optimized) bin =
   Report.timed t.rep "harden" @@ fun () ->
+  hook t "harden";
   let key =
     Cache.key ~kind:"harden"
       [
         Binfmt.Relf.serialize bin;
         Rw.options_key opts;
         string_of_int (Option.value tramp_base ~default:(-1));
+        inject_key t;
+        (if t.strict then "abort" else "degrade");
       ]
   in
-  Cache.memo t.cache ~key (fun () ->
-      Rw.rewrite ?tramp_base ~obs:(obs t) opts bin)
+  memo t ~key (fun () ->
+      Rw.rewrite ?tramp_base ~obs:(obs t)
+        ~on_fault:(if t.strict then Rw.Abort else Rw.Degrade)
+        ?fault_hook:
+          (Faultinject.hook_fn t.inject ~label:(Domain.DLS.get target_key))
+        opts bin)
 
 let profile t ?max_steps ~test_suite bin =
   let prof = harden t ~opts:Rw.profiling_build bin in
   Report.timed t.rep "profile" @@ fun () ->
+  hook t "profile";
   let key =
     Cache.key ~kind:"profile"
       (Binfmt.Relf.serialize bin
+      :: inject_key t
       :: (string_of_int (Option.value max_steps ~default:(-1))
          :: List.map
               (fun inputs ->
                 String.concat "," (List.map string_of_int inputs))
               test_suite))
   in
-  Cache.memo t.cache ~key (fun () ->
+  memo t ~key (fun () ->
       map t (Redfat.profile_run ?max_steps prof.Rw.binary) test_suite
       |> Redfat.merge_profiles)
 
 let verify t ?allow bin =
-  Report.timed t.rep "verify" @@ fun () -> Rw.verify ?allow bin
+  Report.timed t.rep "verify" @@ fun () ->
+  hook t "verify";
+  Rw.verify ?allow bin
 
 let run_baseline t ?inputs ?max_steps ?libs bin =
   Report.timed t.rep "run" @@ fun () ->
+  hook t "run";
   Redfat.run_baseline ?inputs ?max_steps ?libs bin
 
 let run_hardened t ?options ?profiling ?random ?acct ?inputs ?max_steps ?libs
     bin =
   Report.timed t.rep "run" @@ fun () ->
+  hook t "run";
   Redfat.run_hardened ?options ?profiling ?random ?acct ?inputs ?max_steps
     ?libs bin
 
 let run_memcheck t ?inputs ?max_steps bin =
   Report.timed t.rep "run" @@ fun () ->
+  hook t "run";
   Redfat.run_memcheck ?inputs ?max_steps bin
 
 let emit_json t ?extra () =
@@ -140,13 +231,18 @@ let stage_verify t =
   Stage.v ~name:"Verify" ~input:"relf-binary * hardened-rewrite"
     ~output:"relf-binary * hardened-rewrite" (fun (bin, hard) ->
       (match verify t hard.Rw.binary with
-      | Error e -> failwith ("verify: " ^ e)
+      | Error e -> Fault.fail (Fault.Verify { unaccounted = 0; detail = e })
       | Ok r ->
         if not (Redfat.Verify.ok r) then
-          failwith
-            (Format.asprintf "verify: %d unaccounted memory accesses@ %a"
-               (List.length r.Redfat.Verify.failures)
-               Redfat.Verify.pp_report r));
+          Fault.fail
+            (Fault.Verify
+               {
+                 unaccounted = List.length r.Redfat.Verify.failures;
+                 detail =
+                   Format.asprintf "%d unaccounted memory accesses@ %a"
+                     (List.length r.Redfat.Verify.failures)
+                     Redfat.Verify.pp_report r;
+               }));
       (bin, hard))
 
 let stage_run t ~inputs =
@@ -155,7 +251,10 @@ let stage_run t ~inputs =
       let base, bv = run_baseline t ~inputs bin in
       (match bv with
       | Redfat.Finished _ -> ()
-      | v -> failwith ("baseline: " ^ Redfat.verdict_to_string v));
+      | v ->
+        Fault.fail
+          (Fault.Run
+             { what = "baseline"; detail = Redfat.verdict_to_string v }));
       let hrun =
         run_hardened t
           ~options:{ Redfat.Runtime.default_options with mode = Log }

@@ -9,10 +9,20 @@
 
 type t
 
-val create : ?jobs:int -> ?cache:bool -> ?cache_dir:string -> unit -> t
+val create :
+  ?jobs:int -> ?cache:bool -> ?cache_dir:string -> ?strict:bool ->
+  ?inject:Faultinject.t -> unit -> t
 (** [jobs]: worker domains for [map] (default 1 = sequential).
     [cache]: artifact caching on/off.  [cache_dir]: also persist
-    artifacts on disk so repeated invocations start warm. *)
+    artifacts on disk so repeated invocations start warm.
+
+    [strict] (default [false]): fail fast — {!protect} re-raises
+    instead of returning [Error], and a faulting rewrite site aborts
+    the rewrite ({!Redfat.Rewrite.Abort}) instead of degrading.
+    [inject]: a deterministic fault-injection harness
+    ({!Faultinject}); its canonical spec is folded into every cache
+    key so injected runs never reuse or pollute clean-run
+    artifacts. *)
 
 val close : t -> unit
 (** Join the worker domains.  Also registered [at_exit]; idempotent. *)
@@ -27,9 +37,44 @@ val obs : t -> Obs.t
 
 val cache_stats : t -> Cache.stats
 val cache_enabled : t -> bool
+val strict : t -> bool
+val inject : t -> Faultinject.t
 
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Deterministic-order parallel map over independent work items. *)
+
+(** {2 The fault boundary}
+
+    Faults are recorded once, at this boundary: primitives raise (or
+    propagate) exceptions; {!protect} classifies them into the typed
+    taxonomy ({!Fault.of_exn}), records them in the report and as
+    [fault.<code>] obs counters, and isolates them per target. *)
+
+val protect : t -> target:string -> (unit -> 'a) -> ('a, Fault.t) result
+(** Run a thunk with [target] as the current fault provenance (and
+    injection label).  An escaping exception is classified, recorded
+    ([Report.add_fault] + [fault.<code>] counter) and returned as
+    [Error] — or re-raised as [Fault.Fault] when the engine is
+    [strict].  Transient faults (cache/IO) get one bounded retry
+    before being recorded. *)
+
+val map_targets :
+  t -> (string -> 'a) -> string list -> ('a, Fault.t) result list
+(** [protect]-wrapped parallel map over targets: one result slot per
+    target in input order; a faulting target never cancels the rest of
+    the batch (unless [strict], where the first fault fails the whole
+    batch deterministically — lowest-index fault wins). *)
+
+val record_fault : t -> Fault.t -> unit
+(** Record an already-classified fault (report + counter) without
+    raising — for callers that classify at their own boundary. *)
+
+val load_relf : t -> string -> Binfmt.Relf.t
+(** Read and parse a RELF file, with typed faults for every way that
+    can fail: unreadable file ([io.read]), malformed container
+    ([parse.magic]/[parse.truncated]/[parse.int]/[parse.section] via
+    {!Fault.of_exn}), and a missing or empty [.text] section
+    ([parse.nocode]).  Runs the [io] and [parse] injection points. *)
 
 (** {2 Cached, timed stage primitives} *)
 

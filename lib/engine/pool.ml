@@ -193,6 +193,12 @@ let map t f tasks =
 
 let map_list t f xs = Array.to_list (map t f (Array.of_list xs))
 
+(* per-task isolation: each task's exception becomes its own [Error]
+   slot instead of cancelling the batch — the fault-tolerant pipeline
+   builds per-target records from these *)
+let map_result t f xs =
+  map_list t (fun x -> try Ok (f x) with e -> Error e) xs
+
 let close t =
   Mutex.lock t.lock;
   while t.batch <> None do

@@ -31,6 +31,12 @@ val map : t -> ('a -> 'b) -> 'a array -> 'b array
 
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 
+val map_result : t -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+(** Per-task isolation: a task's exception becomes its own [Error]
+    slot (in deterministic input order) and every other task still
+    runs — the batch is never cancelled.  Used by the fault-tolerant
+    pipeline to build per-target fault records. *)
+
 val close : t -> unit
 (** Join all worker domains.  Idempotent; the pool is unusable for
     parallel batches afterwards (maps fall back to sequential). *)

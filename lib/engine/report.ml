@@ -14,6 +14,7 @@ type t = {
   obs : Obs.t;
   lock : Mutex.t;
   mutable tgs : target list;
+  mutable flts : Fault.t list;
   mutable njobs : int;
   t0 : float;
 }
@@ -25,6 +26,7 @@ let create () =
     obs = Obs.create ();
     lock = Mutex.create ();
     tgs = [];
+    flts = [];
     njobs = 1;
     t0 = now ();
   }
@@ -52,6 +54,19 @@ let targets t =
   let tgs = t.tgs in
   Mutex.unlock t.lock;
   List.sort (fun a b -> compare a.tg_name b.tg_name) tgs
+
+let add_fault t (f : Fault.t) =
+  Mutex.lock t.lock;
+  t.flts <- f :: t.flts;
+  Mutex.unlock t.lock
+
+let faults t =
+  Mutex.lock t.lock;
+  let fs = t.flts in
+  Mutex.unlock t.lock;
+  List.sort
+    (fun (a : Fault.t) b -> compare (a.target, Fault.code a) (b.target, Fault.code b))
+    fs
 
 let stage_summary t = Obs.span_summary ~cat:"stage" t.obs
 
@@ -162,6 +177,15 @@ let to_json ?cache ?(cache_enabled = true) ?(extra = []) t =
       end;
       add " }%s\n" (if i = List.length tgs - 1 then "" else ","))
     tgs;
+  add "  ],\n";
+  (* typed per-target fault records (always present, [] when clean) *)
+  add "  \"faults\": [\n";
+  let fs = faults t in
+  List.iteri
+    (fun i f ->
+      add "    %s%s\n" (Fault.to_json f)
+        (if i = List.length fs - 1 then "" else ","))
+    fs;
   add "  ]\n";
   add "}\n";
   Buffer.contents b

@@ -44,6 +44,13 @@ val add_target :
 val targets : t -> target list
 (** Sorted by name (parallel recording order is nondeterministic). *)
 
+val add_fault : t -> Fault.t -> unit
+(** Record a typed fault (per-target or global) in the report. *)
+
+val faults : t -> Fault.t list
+(** Sorted by (target, code) — parallel recording order is
+    nondeterministic. *)
+
 val stage_summary : t -> (string * int * float) list
 (** [(stage, calls, seconds)], sorted by stage name. *)
 
@@ -58,4 +65,6 @@ val to_json :
   ?extra:(string * string) list -> t -> string
 (** The full report as a JSON object: experiment metadata ([extra],
     emitted as string fields), jobs, wall seconds, cache hit/miss
-    counters, per-stage timings, per-target records. *)
+    counters, per-stage timings, per-target records, and a ["faults"]
+    array of typed per-target fault records (empty on a clean run;
+    schema documented in docs/MANUAL.md). *)

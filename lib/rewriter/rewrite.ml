@@ -89,11 +89,20 @@ type stats = {
   jump_patches : int;
   evictions : int;          (** successor instructions displaced *)
   trap_patches : int;
+  degraded_sites : int;     (** sites downgraded Full -> Redzone by a fault *)
+  skipped_sites : int;      (** sites left uninstrumented (elimtab [skip]) *)
   text_bytes : int;
   tramp_bytes : int;
   checks_by_kind : (string * int) list;
       (** emit/elide breakdown keyed by check kind / elimination rule *)
 }
+
+type fault_policy =
+  | Abort    (** re-raise a site's fault: the whole rewrite fails *)
+  | Degrade
+      (** downgrade the faulting plan: retry with Redzone-only checks,
+          then fall back to uninstrumented with an [.elimtab] [skip]
+          record per site *)
 
 type t = {
   binary : Binfmt.Relf.t;
@@ -243,8 +252,11 @@ let jmp_len = 5
 (** [rewrite ?tramp_base opts binary]: instrument [binary].
     [tramp_base] places the trampoline section (distinct modules of one
     process need distinct trampoline areas, still within rel32 reach of
-    their text). *)
+    their text).  [fault_hook] is called at the start of every
+    emission attempt (fault injection); any exception it — or the
+    emission itself — raises is handled per [on_fault]. *)
 let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
+    ?(on_fault = Degrade) ?fault_hook
     (opts : options) (binary : Binfmt.Relf.t) : t =
   (* per-phase spans (category "rewrite") when a collector is given *)
   let sp name f =
@@ -407,6 +419,11 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
   let emit_full = ref 0 and emit_redzone = ref 0 in
   let trap_patches = ref 0 and evictions = ref 0 in
   let trampolines = ref 0 and zero_save_sites = ref 0 in
+  let degraded_sites = ref 0 and skipped_sites = ref 0 in
+  (* patch-site addresses of plans that were skipped entirely: [Dom]
+     records citing them are unjustified and downgrade to [Skip] in the
+     post-pass below *)
+  let skipped_plan_sites = Hashtbl.create 4 in
   let patch_byte addr b =
     Bytes.set text_bytes (addr - text.addr) (Char.chr b)
   in
@@ -415,17 +432,6 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
   in
   let do_plan ((first : member), (groups : (group * member list) list), _) =
     if groups <> [] then begin
-      incr trampolines;
-      List.iter
-        (fun (_, ms) ->
-          List.iter
-            (fun m ->
-              incr instrumented;
-              match variant_of m with
-              | X64.Isa.Full -> incr full_sites
-              | X64.Isa.Redzone -> incr redzone_sites)
-            ms)
-        groups;
       (* plan the patch tactic at the first member *)
       let a0, _i0, l0 = cfg.instrs.(first.mi) in
       let displaced = ref [ first.mi ] and span = ref l0 in
@@ -460,64 +466,145 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
          span := l0
        | `Jump | `Evict -> ());
       let displaced = List.rev !displaced in
-      if List.length displaced > 1 then
-        evictions := !evictions + List.length displaced - 1;
-      (* emit the trampoline *)
-      let tramp_addr = tramp_base + Buffer.length tramp in
-      let spec =
-        if opts.scratch_opt then
-          Analysis.clobbers ?live cfg ~start:first.mi ~limit:24
-        else Analysis.conservative
-      in
-      if spec.nsaves = 0 then incr zero_save_sites;
-      List.iteri
-        (fun gi ((g : group), _) ->
-          incr checks_emitted;
-          (match g.g_variant with
-           | X64.Isa.Full -> incr emit_full
-           | X64.Isa.Redzone -> incr emit_redzone);
-          let ck =
-            {
-              X64.Isa.ck_variant = g.g_variant;
-              ck_mem = { g.g_mem with disp = 0 };
-              ck_lo = g.g_lo;
-              ck_hi = g.g_hi;
-              ck_write = g.g_write;
-              ck_site = g.g_site;
-              ck_nsaves = (if gi = 0 then spec.nsaves else 0);
-              ck_save_flags = (if gi = 0 then spec.save_flags else false);
-            }
+      let plan_members = List.concat_map snd groups in
+      (* one emission attempt.  Everything fallible — the injection
+         hook, check/instruction encoding — happens against the
+         trampoline buffer and counters only; on a fault the snapshot
+         is restored and the text is untouched.  The (infallible) text
+         patch is applied by the caller on success. *)
+      let attempt ~degrade () =
+        let snap_len = Buffer.length tramp in
+        let snap =
+          ( !trampolines, !instrumented, !full_sites, !redzone_sites,
+            !checks_emitted, !emit_full, !emit_redzone, !zero_save_sites )
+        in
+        try
+          (match fault_hook with
+          | Some h ->
+            h ~stage:(if degrade then "retry" else "emit") ~site:first.addr
+          | None -> ());
+          incr trampolines;
+          List.iter
+            (fun (m : member) ->
+              incr instrumented;
+              match (if degrade then X64.Isa.Redzone else variant_of m) with
+              | X64.Isa.Full -> incr full_sites
+              | X64.Isa.Redzone -> incr redzone_sites)
+            plan_members;
+          let tramp_addr = tramp_base + Buffer.length tramp in
+          let spec =
+            if opts.scratch_opt then
+              Analysis.clobbers ?live cfg ~start:first.mi ~limit:24
+            else Analysis.conservative
           in
+          if spec.nsaves = 0 then incr zero_save_sites;
+          List.iteri
+            (fun gi ((g : group), _) ->
+              incr checks_emitted;
+              let variant = if degrade then X64.Isa.Redzone else g.g_variant in
+              (match variant with
+               | X64.Isa.Full -> incr emit_full
+               | X64.Isa.Redzone -> incr emit_redzone);
+              let ck =
+                {
+                  X64.Isa.ck_variant = variant;
+                  ck_mem = { g.g_mem with disp = 0 };
+                  ck_lo = g.g_lo;
+                  ck_hi = g.g_hi;
+                  ck_write = g.g_write;
+                  ck_site = g.g_site;
+                  ck_nsaves = (if gi = 0 then spec.nsaves else 0);
+                  ck_save_flags = (if gi = 0 then spec.save_flags else false);
+                }
+              in
+              X64.Encode.encode_at tramp
+                (tramp_base + Buffer.length tramp)
+                (X64.Isa.Check ck))
+            groups;
+          List.iter
+            (fun k ->
+              let _, ik, _ = cfg.instrs.(k) in
+              X64.Encode.encode_at tramp (tramp_base + Buffer.length tramp) ik)
+            displaced;
+          let back = a0 + !span in
           X64.Encode.encode_at tramp
             (tramp_base + Buffer.length tramp)
-            (X64.Isa.Check ck))
-        groups;
-      List.iter
-        (fun k ->
-          let _, ik, _ = cfg.instrs.(k) in
-          X64.Encode.encode_at tramp (tramp_base + Buffer.length tramp) ik)
-        displaced;
-      let back = a0 + !span in
-      X64.Encode.encode_at tramp
-        (tramp_base + Buffer.length tramp)
-        (X64.Isa.Jmp back);
-      (* apply the text patch *)
-      (match tactic with
-       | `Jump ->
-         incr jump_patches;
-         let patch = X64.Encode.encode_seq ~addr:a0 [ X64.Isa.Jmp tramp_addr ] in
-         patch_string a0 patch;
-         for off = jmp_len to !span - 1 do
-           patch_byte (a0 + off) X64.Encode.op_nop
-         done
-       | `Trap ->
-         incr trap_patches;
-         patch_byte a0 X64.Encode.op_trap;
-         traps := (a0, tramp_addr) :: !traps
-       | `Evict -> assert false)
+            (X64.Isa.Jmp back);
+          Ok tramp_addr
+        with e ->
+          Buffer.truncate tramp snap_len;
+          let t, ins, fs, rs, ce, ef, er, zs = snap in
+          trampolines := t; instrumented := ins; full_sites := fs;
+          redzone_sites := rs; checks_emitted := ce; emit_full := ef;
+          emit_redzone := er; zero_save_sites := zs;
+          Error e
+      in
+      let apply_patch tramp_addr =
+        if List.length displaced > 1 then
+          evictions := !evictions + List.length displaced - 1;
+        match tactic with
+        | `Jump ->
+          incr jump_patches;
+          let patch =
+            X64.Encode.encode_seq ~addr:a0 [ X64.Isa.Jmp tramp_addr ]
+          in
+          patch_string a0 patch;
+          for off = jmp_len to !span - 1 do
+            patch_byte (a0 + off) X64.Encode.op_nop
+          done
+        | `Trap ->
+          incr trap_patches;
+          patch_byte a0 X64.Encode.op_trap;
+          traps := (a0, tramp_addr) :: !traps
+        | `Evict -> assert false
+      in
+      match attempt ~degrade:false () with
+      | Ok tramp_addr -> apply_patch tramp_addr
+      | Error e -> (
+        match on_fault with
+        | Abort -> raise e
+        | Degrade -> (
+          match attempt ~degrade:true () with
+          | Ok tramp_addr ->
+            (* weaker but sound: every Full site of the plan is now a
+               Redzone-only check.  A dependent [Dom] record elsewhere
+               stays valid — the linter audits range and dominance of
+               the emitted check, which the downgrade preserves. *)
+            List.iter
+              (fun (m : member) ->
+                if variant_of m = X64.Isa.Full then incr degraded_sites)
+              plan_members;
+            apply_patch tramp_addr
+          | Error _ ->
+            (* uninstrumented but audited: one [skip] record per site,
+               and any [Dom] justification citing this never-emitted
+               plan is downgraded in the post-pass *)
+            skipped_sites := !skipped_sites + List.length plan_members;
+            List.iter
+              (fun (m : member) ->
+                elim_records :=
+                  (m.addr, Dataflow.Elimtab.Skip) :: !elim_records)
+              plan_members;
+            Hashtbl.replace skipped_plan_sites first.addr ()))
     end
   in
   sp "rw.emit" (fun () -> List.iter do_plan plans);
+  (* post-pass: a [Dom] record whose justifying check was never emitted
+     (its plan was skipped) is no longer a proof — downgrade it to
+     [skip] so the linter audits it as a degradation, not a soundness
+     failure *)
+  if Hashtbl.length skipped_plan_sites > 0 then begin
+    elim_records :=
+      List.map
+        (fun (a, r) ->
+          match r with
+          | Dataflow.Elimtab.Dom s when Hashtbl.mem skipped_plan_sites s ->
+            decr eliminated_global;
+            incr skipped_sites;
+            (a, Dataflow.Elimtab.Skip)
+          | _ -> (a, r))
+        !elim_records
+  end;
   let tramp_bytes = Buffer.contents tramp in
   let traps = List.rev !traps in
   (* the trap table ships inside the binary (like E9Patch's loader
@@ -559,6 +646,8 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
       ("emit.redzone", !emit_redzone);
       ("patch.jump", !jump_patches);
       ("patch.trap", !trap_patches);
+      ("degrade.redzone", !degraded_sites);
+      ("degrade.skip", !skipped_sites);
     ]
   in
   (match obs with
@@ -582,6 +671,8 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
       jump_patches = !jump_patches;
       evictions = !evictions;
       trap_patches = !trap_patches;
+      degraded_sites = !degraded_sites;
+      skipped_sites = !skipped_sites;
       text_bytes = String.length text.bytes;
       tramp_bytes = String.length tramp_bytes;
       checks_by_kind;
@@ -624,9 +715,11 @@ let pp_stats fmt (s : stats) =
      jump patches:      %d@,\
      evictions:         %d@,\
      trap patches:      %d@,\
+     degraded sites:    %d@,\
+     skipped sites:     %d@,\
      text bytes:        %d@,\
      trampoline bytes:  %d@]"
     s.instrs_total s.mem_ops s.eliminated s.eliminated_global s.instrumented
     s.full_sites s.redzone_sites s.trampolines s.checks_emitted
-    s.zero_save_sites s.jump_patches s.evictions s.trap_patches s.text_bytes
-    s.tramp_bytes
+    s.zero_save_sites s.jump_patches s.evictions s.trap_patches
+    s.degraded_sites s.skipped_sites s.text_bytes s.tramp_bytes

@@ -55,6 +55,13 @@ type stats = {
   jump_patches : int;
   evictions : int;
   trap_patches : int;
+  degraded_sites : int;
+      (** sites whose plan faulted and was downgraded to a
+          Redzone-only check (fault policy {!Degrade}) *)
+  skipped_sites : int;
+      (** sites left uninstrumented after both emission attempts
+          faulted, each recorded as an [.elimtab] [skip] entry the
+          soundness linter audits *)
   text_bytes : int;
   tramp_bytes : int;
   checks_by_kind : (string * int) list;
@@ -63,9 +70,19 @@ type stats = {
           variant), [elide.clear] (local elimination: operand provably
           never reaches the heap), [elide.dom] (global elimination:
           covered by a dominating available check),
-          [patch.jump]/[patch.trap].  Deterministic; folded into bench
-          JSON per-target counters and gated by [tools/bench_diff]. *)
+          [patch.jump]/[patch.trap], [degrade.redzone]/[degrade.skip]
+          (fault degradations).  Deterministic; folded into bench JSON
+          per-target counters and gated by [tools/bench_diff]. *)
 }
+
+type fault_policy =
+  | Abort    (** re-raise a site's fault: the whole rewrite fails *)
+  | Degrade
+      (** downgrade the faulting plan: retry with Redzone-only checks,
+          then fall back to uninstrumented with an [.elimtab] [skip]
+          record per site.  [Dom] justifications citing a skipped plan
+          are downgraded to [skip] too, so the hardened binary always
+          passes its own soundness audit. *)
 
 type t = {
   binary : Binfmt.Relf.t;    (** the hardened binary (self-contained) *)
@@ -73,12 +90,28 @@ type t = {
   stats : stats;
 }
 
-val rewrite : ?tramp_base:int -> ?obs:Obs.t -> options -> Binfmt.Relf.t -> t
+val rewrite :
+  ?tramp_base:int ->
+  ?obs:Obs.t ->
+  ?on_fault:fault_policy ->
+  ?fault_hook:(stage:string -> site:int -> unit) ->
+  options ->
+  Binfmt.Relf.t ->
+  t
 (** Instrument a binary.  [tramp_base] places the trampoline section
     (distinct modules of one process need distinct areas, each within
     rel32 reach of their text).  [obs]: record per-phase spans
     (category ["rewrite"]: collect, plan, elim, emit) and mirror the
-    per-check-kind counters ([rw.*]) into the collector. *)
+    per-check-kind counters ([rw.*]) into the collector.
+
+    [on_fault] (default {!Degrade}) governs what a faulting emission
+    does to its plan; [fault_hook ~stage ~site] is called at the start
+    of every emission attempt ([stage] is ["emit"] or ["retry"],
+    [site] the plan's patch address) — it exists for deterministic
+    fault injection, and any exception it raises takes the same
+    degradation path as a genuine emission fault.  Faults never leave
+    the text partially patched: all fallible work goes to the
+    trampoline buffer first and is rolled back on error. *)
 
 val traps_of_binary : Binfmt.Relf.t -> (int * int) list
 (** Recover the trap table from a hardened binary's [.traptab]

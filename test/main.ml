@@ -25,4 +25,5 @@ let () =
       ("pipeline", Test_pipeline.tests);
       ("engine", Test_engine.tests);
       ("obs", Test_obs.tests);
+      ("fault", Test_fault.tests);
     ]

@@ -1,0 +1,183 @@
+(* doc_check: fail the build when the documentation drifts from the
+   code.  Three checks:
+
+   1. every CLI flag declared in bin/redfat_cli.ml appears in
+      docs/MANUAL.md (and the manual doesn't document flags that no
+      longer exist);
+   2. the fault-taxonomy table embedded in docs/MANUAL.md is exactly
+      [Engine.Fault.registry_markdown ()] (what `redfat errors --list`
+      prints), and every registry code is mentioned;
+   3. every intra-repo markdown link in the top-level and docs/
+      markdown files resolves to an existing file.
+
+   Run from the repository root (make check / make doc-check / the CI
+   docs job): exits 1 listing every violation. *)
+
+let errors = ref []
+let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt
+
+let read_file path =
+  try Some (In_channel.with_open_bin path In_channel.input_all)
+  with Sys_error _ -> None
+
+let read_file_exn what path =
+  match read_file path with
+  | Some s -> s
+  | None ->
+    Printf.eprintf "doc_check: cannot read %s (%s) -- run from the repo root\n"
+      path what;
+    exit 2
+
+let contains hay needle =
+  let n = String.length needle in
+  let rec go i =
+    i + n <= String.length hay
+    && (String.sub hay i n = needle || go (i + 1))
+  in
+  go 0
+
+(* --- 1. CLI flags vs the manual ------------------------------------- *)
+
+(* scrape `info [ "o"; "output" ] ...` occurrences out of the CLI
+   source: every quoted string inside the first [...] after `info` is a
+   flag name (positional args use `info []` and contribute nothing) *)
+let cli_flags src =
+  let flags = ref [] in
+  let re = Str.regexp "info[ \n]*\\[" in
+  let i = ref 0 in
+  (try
+     while true do
+       let start = Str.search_forward re src !i in
+       let j = ref (start + String.length (Str.matched_string src)) in
+       while src.[!j] <> ']' do
+         if src.[!j] = '"' then begin
+           let k = String.index_from src (!j + 1) '"' in
+           flags := String.sub src (!j + 1) (k - !j - 1) :: !flags;
+           j := k + 1
+         end
+         else incr j
+       done;
+       i := !j
+     done
+   with Not_found -> ());
+  List.sort_uniq compare !flags
+
+let flag_syntax f = if String.length f = 1 then "-" ^ f else "--" ^ f
+
+let check_flags () =
+  let src = read_file_exn "the CLI source" "bin/redfat_cli.ml" in
+  let manual = read_file_exn "the CLI manual" "docs/MANUAL.md" in
+  let flags = cli_flags src in
+  if flags = [] then err "no flags scraped from bin/redfat_cli.ml (scraper broken?)";
+  List.iter
+    (fun f ->
+      let s = flag_syntax f in
+      if not (contains manual ("`" ^ s)) then
+        err "docs/MANUAL.md does not document CLI flag %s" s)
+    flags;
+  (* the reverse direction: every `--flag` the manual names in backticks
+     must exist in the CLI (long flags only; short aliases and grammar
+     meta-syntax are too noisy to scrape) *)
+  let re = Str.regexp "`--\\([a-z][a-z-]*\\)" in
+  let i = ref 0 in
+  (try
+     while true do
+       let p = Str.search_forward re manual !i in
+       let f = Str.matched_group 1 manual in
+       if not (List.mem f flags) then
+         err "docs/MANUAL.md documents `--%s`, which no CLI command declares" f;
+       i := p + 1
+     done
+   with Not_found -> ())
+
+(* --- 2. the fault-taxonomy table ------------------------------------- *)
+
+let check_taxonomy () =
+  let manual = read_file_exn "the CLI manual" "docs/MANUAL.md" in
+  let expected = String.trim (Engine.Fault.registry_markdown ()) in
+  let begin_mark = "<!-- BEGIN FAULT TAXONOMY" in
+  let end_mark = "<!-- END FAULT TAXONOMY -->" in
+  (match (Str.search_forward (Str.regexp_string begin_mark) manual 0,
+          Str.search_forward (Str.regexp_string end_mark) manual 0)
+   with
+  | b, e ->
+    let b = String.index_from manual b '\n' + 1 in
+    let embedded = String.trim (String.sub manual b (e - b)) in
+    if embedded <> expected then
+      err
+        "the fault-taxonomy table in docs/MANUAL.md differs from \
+         `redfat errors --list` -- regenerate it from Engine.Fault.registry"
+  | exception Not_found ->
+    err "docs/MANUAL.md is missing the FAULT TAXONOMY marker block");
+  List.iter
+    (fun (i : Engine.Fault.info) ->
+      if not (contains manual ("`" ^ i.i_code ^ "`")) then
+        err "docs/MANUAL.md does not mention fault code %s" i.i_code)
+    Engine.Fault.registry
+
+(* --- 3. intra-repo markdown links ------------------------------------ *)
+
+let md_files () =
+  let top =
+    Sys.readdir "." |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".md")
+  in
+  let docs =
+    Sys.readdir "docs" |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".md")
+    |> List.map (Filename.concat "docs")
+  in
+  top @ docs
+
+let check_links () =
+  let root = Sys.getcwd () in
+  let re = Str.regexp "\\](\\([^)# ]+\\)[#)]" in
+  List.iter
+    (fun file ->
+      let body = read_file_exn "a markdown file" file in
+      let i = ref 0 in
+      try
+        while true do
+          let p = Str.search_forward re body !i in
+          let target = Str.matched_group 1 body in
+          i := p + 1;
+          let external_ =
+            List.exists
+              (fun p ->
+                String.length target >= String.length p
+                && String.sub target 0 (String.length p) = p)
+              [ "http://"; "https://"; "mailto:" ]
+          in
+          if not external_ then begin
+            let resolved = Filename.concat (Filename.dirname file) target in
+            (* links that escape the repo (e.g. the README CI badge's
+               ../../actions/... relative to the GitHub UI) are not
+               checkable against the working tree *)
+            let escapes =
+              let rec depth parts d =
+                match parts with
+                | [] -> false
+                | ".." :: rest -> d = 0 || depth rest (d - 1)
+                | "." :: rest -> depth rest d
+                | _ :: rest -> depth rest (d + 1)
+              in
+              depth (String.split_on_char '/' resolved) 0
+            in
+            if (not escapes) && not (Sys.file_exists resolved) then
+              err "%s links to %s, which does not exist under %s" file target
+                root
+          end
+        done
+      with Not_found -> ())
+    (md_files ())
+
+let () =
+  check_flags ();
+  check_taxonomy ();
+  check_links ();
+  match List.rev !errors with
+  | [] -> print_endline "doc_check: docs/MANUAL.md and markdown links are in sync"
+  | es ->
+    List.iter (fun e -> Printf.eprintf "doc_check: %s\n" e) es;
+    Printf.eprintf "doc_check: %d problem(s)\n" (List.length es);
+    exit 1
