@@ -70,6 +70,11 @@ bench-baseline: build
 
 # everything CI runs, in one local command (mirrors .github/workflows/ci.yml)
 ci: build test lint doc-check
+	@set -e; for b in redzone lowfat temporal; do \
+	  $(REDFAT) pipeline spec:mcf uaf:CWE416_write-after-free_v0 \
+	    uaf:double-free --backend $$b --no-cache > /dev/null; \
+	  echo "backend $$b: pipeline smoke OK"; \
+	done
 	$(BENCH) fig4 --jobs 2
 	$(MAKE) bench-gate
 

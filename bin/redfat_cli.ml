@@ -41,7 +41,21 @@ let workload_names () =
       Workloads.Cve.all
   @ List.map (fun (b : Workloads.Kraken.bench) -> "kraken:" ^ b.name)
       Workloads.Kraken.all
-  @ [ "chrome"; "synth:<seed>" ]
+  @ List.map (fun (c : Workloads.Uaf.case) -> "uaf:" ^ c.id) Workloads.Uaf.all
+  @ [ "uaf:reuse"; "uaf:double-free"; "chrome"; "synth:<seed>" ]
+
+(* uaf: targets run their ATTACK input as the reference workload (like
+   cve: binaries from find_workload), so a Log-mode pipeline run shows
+   what the selected backend detects *)
+let find_uaf n : Minic.Ast.program * int list * int list =
+  match n with
+  | "reuse" -> (Workloads.Uaf.reuse_case, [], [])
+  | "double-free" -> (Workloads.Uaf.double_free_case, [ 0 ], [ 1 ])
+  | _ ->
+    let c = List.find (fun (c : Workloads.Uaf.case) -> c.id = n)
+        Workloads.Uaf.all
+    in
+    (c.program, Workloads.Uaf.benign_inputs, Workloads.Uaf.attack_inputs)
 
 let find_workload name : Binfmt.Relf.t * int list =
   match String.split_on_char ':' name with
@@ -56,6 +70,9 @@ let find_workload name : Binfmt.Relf.t * int list =
   | [ "kraken"; n ] ->
     let b = Workloads.Kraken.find n in
     (Workloads.Kraken.binary b, Workloads.Kraken.inputs b)
+  | [ "uaf"; n ] ->
+    let prog, _, attack = find_uaf n in
+    (Minic.Codegen.compile prog, attack)
   | [ "chrome" ] -> (Workloads.Chrome.binary (), [ 0; 50 ])
   | [ "synth"; seed ] ->
     ( Minic.Codegen.compile
@@ -116,6 +133,9 @@ let find_program name : Minic.Ast.program * int list list * int list =
       let b = Workloads.Kraken.find n in
       let inputs = Workloads.Kraken.inputs b in
       (Workloads.Kraken.program b, [ inputs ], inputs)
+    | [ "uaf"; n ] ->
+      let prog, benign, attack = find_uaf n in
+      (prog, [ benign ], attack)
     | [ "chrome" ] -> (Workloads.Chrome.program (), [ [ 0; 50 ] ], [ 0; 50 ])
     | [ "synth"; seed ] ->
       (Workloads.Synth.program ~seed:(int_of_string seed) (), [ [] ], [])
@@ -270,6 +290,22 @@ let no_reads =
     value & flag
     & info [ "no-reads" ] ~doc:"Instrument writes only (Table 1 -reads).")
 
+let backend_arg =
+  let backends =
+    List.map
+      (fun id -> (Backend.Check_backend.name id, id))
+      Backend.Check_backend.all
+  in
+  Arg.(
+    value
+    & opt (enum backends) Backend.Check_backend.default
+    & info [ "backend" ]
+        ~doc:"Check backend: redzone|lowfat|temporal.  lowfat is the \
+              paper's complementary (Redzone)+(LowFat) spatial design \
+              (default); redzone drops the low-fat component; temporal \
+              emits lock-and-key checks that catch use-after-free and \
+              double-free without quarantine.")
+
 let allowlist_arg =
   Arg.(
     value
@@ -280,7 +316,7 @@ let allowlist_arg =
 
 let harden_cmd =
   let doc = "Statically rewrite a binary with RedFat instrumentation." in
-  let run file out level noreads allow =
+  let run file out level noreads allow backend =
     let bin = Binfmt.Relf.load_file file in
     if Redfat.Rewrite.is_hardened bin then begin
       Printf.eprintf
@@ -293,7 +329,8 @@ let harden_cmd =
       { level with
         Redfat.Rewrite.instrument_reads =
           level.Redfat.Rewrite.instrument_reads && not noreads;
-        allowlist = Option.map Profile.Allowlist.load allow }
+        allowlist = Option.map Profile.Allowlist.load allow;
+        backend }
     in
     let hard = Redfat.harden ~opts bin in
     Binfmt.Relf.save out hard.binary;
@@ -301,7 +338,9 @@ let harden_cmd =
     Printf.printf "wrote %s\n" out
   in
   Cmd.v (Cmd.info "harden" ~doc)
-    Term.(const run $ input_file $ output $ level_arg $ no_reads $ allowlist_arg)
+    Term.(
+      const run $ input_file $ output $ level_arg $ no_reads $ allowlist_arg
+      $ backend_arg)
 
 let verify_cmd =
   let doc =
@@ -443,7 +482,8 @@ let pipeline_cmd =
                 list of POINT[:SUBSTR][@N][%PCT[~SEED]] clauses, or 'none'. \
                 Defaults to \\$REDFAT_FAULT.")
   in
-  let run names inputs jobs no_cache cache_dir trace out strict inject_spec =
+  let run names inputs jobs no_cache cache_dir trace out strict inject_spec
+      backend =
     let inject =
       match inject_spec with
       | None -> Engine.Faultinject.of_env ()
@@ -466,7 +506,8 @@ let pipeline_cmd =
       let binary_chain ~train ~inputs =
         Engine.Stage.(
           Pl.stage_profile eng ~train
-          >>> Pl.stage_harden eng ()
+          >>> Pl.stage_harden eng ~opts:{ Redfat.Rewrite.optimized with backend }
+                ()
           >>> Pl.stage_verify eng
           >>> Pl.stage_run eng ~inputs
           >>> Pl.stage_report eng)
@@ -518,7 +559,7 @@ let pipeline_cmd =
   Cmd.v (Cmd.info "pipeline" ~doc)
     Term.(
       const run $ wnames $ inputs_arg $ jobs_arg $ no_cache $ cache_dir
-      $ trace_arg $ out_arg $ strict_arg $ inject_arg)
+      $ trace_arg $ out_arg $ strict_arg $ inject_arg $ backend_arg)
 
 let env_arg =
   Arg.(
@@ -578,8 +619,10 @@ let run_cmd =
           errs
       end;
       Printf.printf
-        "coverage: %.1f%% of heap accesses under (Redzone)+(LowFat)\n"
+        "coverage: %.1f%% of heap accesses under the %s backend's primary \
+         check\n"
         (Redfat_rt.Runtime.coverage_percent hr.rt)
+        (Backend.Check_backend.name (Redfat.backend_of_binary bin))
     | `Memcheck ->
       let r, v, mc = Redfat.run_memcheck ~inputs bin in
       report r v;
@@ -622,7 +665,7 @@ let trace_cmd =
   in
   (* workflow mode: drive every engine stage with an Obs-instrumented
      engine, attach VM check accounting to the hardened run, export *)
-  let run_workflow name jobs outfile =
+  let run_workflow name jobs backend outfile =
     let prog, train, inputs =
       try find_program name
       with
@@ -639,7 +682,8 @@ let trace_cmd =
     let allow = Pl.profile eng ~test_suite:train bin in
     let hard =
       Pl.harden eng
-        ~opts:{ Redfat.Rewrite.optimized with allowlist = Some allow }
+        ~opts:
+          { Redfat.Rewrite.optimized with allowlist = Some allow; backend }
         bin
     in
     let base, _ = Pl.run_baseline eng ~inputs bin in
@@ -662,9 +706,9 @@ let trace_cmd =
     Printf.printf "wrote %s (Chrome trace-event JSON)\n" outfile;
     Pl.close eng
   in
-  let run file inputs limit jobs out =
+  let run file inputs limit jobs backend out =
     match out with
-    | Some outfile -> run_workflow file jobs outfile
+    | Some outfile -> run_workflow file jobs backend outfile
     | None ->
     let bin = Binfmt.Relf.load_file file in
     let cpu = Redfat.prepare bin in
@@ -695,7 +739,8 @@ let trace_cmd =
          (Redfat_rt.Runtime.kind_name e.kind) e.site)
   in
   Cmd.v (Cmd.info "trace" ~doc)
-    Term.(const run $ target $ inputs_arg $ limit $ jobs_arg $ out)
+    Term.(
+      const run $ target $ inputs_arg $ limit $ jobs_arg $ backend_arg $ out)
 
 let errors_cmd =
   let doc =

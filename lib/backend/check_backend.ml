@@ -1,0 +1,209 @@
+(* The pluggable check-backend interface: see check_backend.mli.
+
+   Design note: this module owns everything about a backend that is
+   *static* — planning, emission, fallback, cost, and the declarative
+   runtime contract.  The runtime *implementation* (allocator hooks,
+   lock table, verdict classification) lives in lib/redfat_rt, which
+   dispatches on [id]; keeping it there avoids a dependency cycle
+   (redfat_rt needs lib/vm, which the rewriter must not pull in). *)
+
+type id = Redzone | Lowfat | Temporal
+
+let all = [ Redzone; Lowfat; Temporal ]
+let default = Lowfat
+
+let name = function
+  | Redzone -> "redzone"
+  | Lowfat -> "lowfat"
+  | Temporal -> "temporal"
+
+let key = function Redzone -> 'r' | Lowfat -> 'l' | Temporal -> 't'
+
+exception Unknown of string
+
+let of_name = function
+  | "redzone" -> Some Redzone
+  | "lowfat" -> Some Lowfat
+  | "temporal" -> Some Temporal
+  | _ -> None
+
+let of_name_exn s =
+  match of_name s with Some b -> b | None -> raise (Unknown s)
+
+(* --- temporal pointer tagging ---------------------------------------
+
+   The simulated address space is bounded by the stack region of
+   Lowfat.Layout (region 86 at 86 * 2^35 < 2^42), so bits 44+ of a
+   pointer are always zero; the temporal backend stores an 18-bit
+   allocation key there.  Keys cycle 1..2^18-1, skipping 0 so "no key"
+   and "freed" are unambiguous.  OCaml's 63-bit ints hold tag+address
+   with bit 62 clear, so tagged pointers survive arithmetic, memory
+   round-trips and comparisons like ordinary values. *)
+
+let tag_shift = 44
+let addr_mask = (1 lsl tag_shift) - 1
+let max_key = (1 lsl 18) - 1
+let tag_of p = (p lsr tag_shift) land max_key
+let untag p = p land addr_mask
+
+type site = {
+  s_variant : X64.Isa.variant;
+  s_mem : X64.Isa.mem;
+  s_lo : int;
+  s_hi : int;
+  s_write : bool;
+  s_site : int;
+  s_nsaves : int;
+  s_save_flags : bool;
+}
+
+type contract = {
+  tags_pointers : bool;
+  uses_locks : bool;
+  detects : string list;
+}
+
+module type S = sig
+  val id : id
+  val name : string
+  val plan : profiling:bool -> allowlisted:bool option -> X64.Isa.variant
+  val fallback : X64.Isa.variant
+  val emit : site -> X64.Isa.check list
+  val static_cost : X64.Isa.variant -> int
+  val allowed_variants : X64.Isa.variant list
+  val contract : contract
+end
+
+module Cost = struct
+  let access_range = 2   (* lea LB / lea UB of the access *)
+  let lowfat_base = 5    (* idx = ptr >> 35; sizes/base table lookups *)
+  let null_test = 1      (* non-fat pointers skip the check *)
+  let metadata_load = 2  (* size/state word inside the redzone *)
+  let size_harden = 2    (* the Figure 4 lines 23-24 mitigation *)
+  let bounds_merged = 3  (* single-branch uint32-underflow form *)
+  let bounds_branchy = 5 (* two-comparison fallback *)
+  let per_save = 2       (* push+pop per clobbered register *)
+  let flags_save = 3     (* pushf/popf pair (seta materialization) *)
+  let lock_lookup = 2    (* temporal: lock-table load off the slot base *)
+  let key_check = 2      (* temporal: tag extract + key compare *)
+end
+
+(* all backends emit a single Check pseudo-instruction per site today;
+   the list return type is the seam for multi-instruction sequences *)
+let emit_one (s : site) : X64.Isa.check list =
+  [ { X64.Isa.ck_variant = s.s_variant;
+      ck_mem = s.s_mem;
+      ck_lo = s.s_lo;
+      ck_hi = s.s_hi;
+      ck_write = s.s_write;
+      ck_site = s.s_site;
+      ck_nsaves = s.s_nsaves;
+      ck_save_flags = s.s_save_flags } ]
+
+let spatial_cost (variant : X64.Isa.variant) =
+  let open Cost in
+  let base = access_range + lowfat_base + null_test + metadata_load
+             + size_harden + bounds_merged in
+  match variant with
+  | X64.Isa.Full -> base + bounds_merged (* the extra (LowFat) bounds pair *)
+  | X64.Isa.Redzone -> base
+  | X64.Isa.Temporal ->
+    access_range + lowfat_base + null_test + lock_lookup + key_check
+    + bounds_merged
+
+module Lowfat_backend = struct
+  let id = Lowfat
+  let name = "lowfat"
+
+  (* the paper's two-phase policy: full (Redzone)+(LowFat) everywhere,
+     except sites a profiling run kept off the allow-list, which get
+     redzone-only to avoid low-fat false positives (Figure 5) *)
+  let plan ~profiling ~allowlisted =
+    if profiling then X64.Isa.Full
+    else
+      match allowlisted with
+      | None | Some true -> X64.Isa.Full
+      | Some false -> X64.Isa.Redzone
+
+  let fallback = X64.Isa.Redzone
+  let emit = emit_one
+  let static_cost = spatial_cost
+  let allowed_variants = [ X64.Isa.Full; X64.Isa.Redzone ]
+
+  let contract =
+    { tags_pointers = false;
+      uses_locks = false;
+      detects =
+        [ "use-after-free"; "oob-lower"; "oob-upper"; "corrupt-meta" ] }
+end
+
+module Redzone_backend = struct
+  let id = Redzone
+  let name = "redzone"
+
+  (* redzone-only everywhere: the (LowFat) component never runs, so
+     the allow-list is irrelevant *)
+  let plan ~profiling:_ ~allowlisted:_ = X64.Isa.Redzone
+  let fallback = X64.Isa.Redzone
+  let emit = emit_one
+  let static_cost = spatial_cost
+  let allowed_variants = [ X64.Isa.Redzone ]
+
+  let contract =
+    { tags_pointers = false;
+      uses_locks = false;
+      detects =
+        [ "use-after-free"; "oob-lower"; "oob-upper"; "corrupt-meta" ] }
+end
+
+module Temporal_backend = struct
+  let id = Temporal
+  let name = "temporal"
+
+  let plan ~profiling ~allowlisted:_ =
+    (* profiling runs classify (LowFat) failures, a lowfat-workflow
+       concept; a profiling build under this backend still wants full
+       checks so executed-site coverage is recorded *)
+    if profiling then X64.Isa.Full else X64.Isa.Temporal
+
+  let fallback = X64.Isa.Redzone
+  let emit = emit_one
+  let static_cost = spatial_cost
+  let allowed_variants = [ X64.Isa.Temporal; X64.Isa.Redzone ]
+
+  let contract =
+    { tags_pointers = true;
+      uses_locks = true;
+      detects =
+        [ "use-after-free"; "key-mismatch"; "double-free"; "oob-lower";
+          "oob-upper" ] }
+end
+
+let of_id : id -> (module S) = function
+  | Redzone -> (module Redzone_backend)
+  | Lowfat -> (module Lowfat_backend)
+  | Temporal -> (module Temporal_backend)
+
+let plan b ~profiling ~allowlisted =
+  let (module B) = of_id b in
+  B.plan ~profiling ~allowlisted
+
+let fallback b =
+  let (module B) = of_id b in
+  B.fallback
+
+let emit b site =
+  let (module B) = of_id b in
+  B.emit site
+
+let static_cost b v =
+  let (module B) = of_id b in
+  B.static_cost v
+
+let allowed_variants b =
+  let (module B) = of_id b in
+  B.allowed_variants
+
+let contract b =
+  let (module B) = of_id b in
+  B.contract

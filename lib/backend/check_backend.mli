@@ -1,0 +1,145 @@
+(** The pluggable check-backend interface.
+
+    A {e backend} is everything that makes one flavour of memory-error
+    checking: the per-site instrumentation decision ({!S.plan}), the
+    trampoline check sequence it emits ({!S.emit}), the degradation
+    fallback when emission faults ({!S.fallback}), a static cost model
+    ({!S.static_cost}), and a declarative summary of its runtime
+    semantics ({!S.contract} — the allocator hooks and verdict classes
+    live in [lib/redfat_rt], dispatching on {!id}).
+
+    Three instances ship:
+
+    - [Lowfat] — the paper's complementary (Redzone)+(LowFat) design:
+      full checks by default, redzone-only off the allow-list.  The
+      default; byte-identical to the pre-backend rewriter.
+    - [Redzone] — the redzone-only ablation: every site gets the
+      redzone check, the (LowFat) component is never consulted.
+    - [Temporal] — lock-and-key temporal safety: every allocation gets
+      a fresh key stored both in a runtime lock table (keyed by the
+      low-fat slot base) and in the returned pointer's high bits;
+      [free] invalidates the lock, so a dangling dereference — even
+      after the slot is reused — fails the key comparison.  Catches
+      use-after-free, reuse-after-free and double-free without any
+      quarantine. *)
+
+type id = Redzone | Lowfat | Temporal
+
+val all : id list
+val default : id
+
+val name : id -> string
+(** ["redzone"], ["lowfat"], ["temporal"] — the CLI / [.elimtab] /
+    cache-key spelling. *)
+
+val key : id -> char
+(** One stable character for {!Rewriter.Rewrite.options_key}. *)
+
+exception Unknown of string
+(** Raised by {!of_name_exn}; classified as the [run.backend] fault at
+    the engine boundary. *)
+
+val of_name : string -> id option
+val of_name_exn : string -> id
+
+(** {2 Temporal pointer-tagging parameters}
+
+    The lock-and-key backend stores the allocation key in the pointer's
+    high bits.  The simulated address space tops out below 2^42 (the
+    stack region of {!Lowfat.Layout}), so bits [tag_shift..] are free;
+    keys are 18 bits wide and cycle, skipping 0 (0 = "no key"). *)
+
+val tag_shift : int
+val addr_mask : int
+(** [(1 lsl tag_shift) - 1]: masks a tagged pointer down to its
+    address.  The VM applies it to effective addresses ({!Vm.Cpu}
+    [addr_mask]) so tagged pointers dereference transparently. *)
+
+val max_key : int
+
+val tag_of : int -> int
+(** The key carried by a (possibly tagged) pointer; 0 if untagged. *)
+
+val untag : int -> int
+
+(** {2 The backend interface} *)
+
+type site = {
+  s_variant : X64.Isa.variant;  (** planned (or degraded-to) variant *)
+  s_mem : X64.Isa.mem;
+  s_lo : int;
+  s_hi : int;  (** covered displacement interval [lo, hi) *)
+  s_write : bool;
+  s_site : int;  (** address of the guarded instruction *)
+  s_nsaves : int;
+  s_save_flags : bool;
+}
+
+type contract = {
+  tags_pointers : bool;  (** malloc returns key-tagged pointers *)
+  uses_locks : bool;     (** runtime keeps a slot-base -> key table *)
+  detects : string list; (** error classes the backend can report *)
+}
+
+module type S = sig
+  val id : id
+  val name : string
+
+  val plan : profiling:bool -> allowlisted:bool option -> X64.Isa.variant
+  (** The per-site instrumentation decision.  [allowlisted] is [None]
+      when no allow-list is in force, [Some b] otherwise. *)
+
+  val fallback : X64.Isa.variant
+  (** The degradation ladder's second rung: what a site is retried
+      with after its primary emission faults (the third rung, audited
+      skip, is backend-independent). *)
+
+  val emit : site -> X64.Isa.check list
+  (** The trampoline check sequence for one planned site. *)
+
+  val static_cost : X64.Isa.variant -> int
+  (** Estimated micro-ops per executed check (the {!Cost} model). *)
+
+  val allowed_variants : X64.Isa.variant list
+  (** Check variants this backend can legitimately leave in a binary
+      (primary plus fallback); {!Dataflow.Verify} rejects others. *)
+
+  val contract : contract
+end
+
+module Lowfat_backend : S
+module Redzone_backend : S
+module Temporal_backend : S
+
+val of_id : id -> (module S)
+
+(** {2 Conveniences dispatching through {!of_id}} *)
+
+val plan : id -> profiling:bool -> allowlisted:bool option -> X64.Isa.variant
+val fallback : id -> X64.Isa.variant
+val emit : id -> site -> X64.Isa.check list
+val static_cost : id -> X64.Isa.variant -> int
+val allowed_variants : id -> X64.Isa.variant list
+val contract : id -> contract
+
+(** {2 Structural micro-op costs}
+
+    Shared by every backend's {!S.static_cost} and charged per executed
+    check by the runtime ([Redfat_rt.Runtime.Cost] re-exports this
+    module). *)
+module Cost : sig
+  val access_range : int
+  val lowfat_base : int
+  val null_test : int
+  val metadata_load : int
+  val size_harden : int
+  val bounds_merged : int
+  val bounds_branchy : int
+  val per_save : int
+  val flags_save : int
+  val lock_lookup : int
+  (** Temporal: lock-table load off the slot base. *)
+
+  val key_check : int
+  (** Temporal: tag extraction + key comparison. *)
+end

@@ -99,11 +99,31 @@ type hardened_run = {
   rt : Runtime.t;  (** allocator/check state: errors, coverage, ... *)
 }
 
+(** The check backend recorded in a hardened binary's [.elimtab]
+    policy line.  Hardened binaries are self-describing: the runtime
+    must speak the same backend as the instrumentation, so
+    {!run_hardened} adopts this automatically.  Unhardened (or
+    pre-backend) binaries report {!Backend.Check_backend.default};
+    a recorded name that matches no shipped backend raises
+    {!Backend.Check_backend.Unknown}. *)
+let backend_of_binary (binary : Binfmt.Relf.t) : Backend.Check_backend.id =
+  match Binfmt.Relf.find_section binary Dataflow.Elimtab.section_name with
+  | None -> Backend.Check_backend.default
+  | Some s -> (
+    match Dataflow.Elimtab.parse s.bytes with
+    | Error _ -> Backend.Check_backend.default
+    | Ok etab -> Backend.Check_backend.of_name_exn etab.backend)
+
 (** Run a hardened binary with libredfat preloaded.  [acct] attaches
-    per-site check accounting to the VM (overhead attribution). *)
+    per-site check accounting to the VM (overhead attribution).  The
+    runtime's backend is adopted from the binary's own [.elimtab]
+    record (see {!backend_of_binary}), overriding [options.backend]:
+    lock-and-key instrumentation needs the tagging allocator, and the
+    spatial backends need the untagged one. *)
 let run_hardened ?(options = Runtime.default_options) ?(profiling = false)
     ?random ?acct ?(inputs = []) ?max_steps ?(libs = [])
     (binary : Binfmt.Relf.t) : hardened_run =
+  let options = { options with Runtime.backend = backend_of_binary binary } in
   let cpu = prepare ?max_steps ~libs binary in
   cpu.acct <- acct;
   cpu.inputs <- inputs;

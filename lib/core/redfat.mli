@@ -53,6 +53,13 @@ type hardened_run = {
   rt : Runtime.t;  (** allocator/check state: errors, coverage, ... *)
 }
 
+val backend_of_binary : Binfmt.Relf.t -> Backend.Check_backend.id
+(** The check backend recorded in the binary's [.elimtab] policy line;
+    {!Backend.Check_backend.default} for unhardened or pre-backend
+    binaries.  Raises {!Backend.Check_backend.Unknown} when the
+    recorded name matches no shipped backend (the engine maps this to
+    the [run.backend] fault). *)
+
 val run_hardened :
   ?options:Runtime.options ->
   ?profiling:bool ->
@@ -67,7 +74,10 @@ val run_hardened :
     heap randomization; trap tables are recovered from every loaded
     module's [.traptab] section.  [acct] attaches per-site check
     accounting to the VM ({!Vm.Cpu.acct}): cycle and execution-count
-    attribution per guarded site, for trace exports. *)
+    attribution per guarded site, for trace exports.  The runtime
+    backend in [options] is overridden by the binary's own recorded
+    backend ({!backend_of_binary}) — hardened binaries are
+    self-describing. *)
 
 val run_memcheck :
   ?inputs:int list ->

@@ -45,12 +45,16 @@ let key_of_mem (m : X64.Isa.mem) : key =
 
 (** Does [i] justify skipping a check of [variant] over [lo, hi)?  A
     [Redzone]-only fact cannot stand in for a [Full] check (it misses
-    the low-fat bounds half of the complementary check). *)
+    the low-fat bounds half of the complementary check), and the
+    [Temporal] lock-and-key check is incomparable with both spatial
+    variants (it proves liveness of the key, not redzone bounds — and
+    vice versa), so only an equal-variant fact covers it. *)
 let covers (i : info) ~(variant : X64.Isa.variant) ~(lo : int) ~(hi : int) =
   i.lo <= lo && i.hi >= hi
   && (match (i.variant, variant) with
-     | X64.Isa.Full, _ | X64.Isa.Redzone, X64.Isa.Redzone -> true
-     | X64.Isa.Redzone, X64.Isa.Full -> false)
+     | a, b when a = b -> true
+     | X64.Isa.Full, X64.Isa.Redzone -> true
+     | _ -> false)
 
 let join (a : fact) (b : fact) : fact =
   match (a, b) with

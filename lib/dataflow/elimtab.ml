@@ -12,6 +12,11 @@
     400033 dom 400010
     400041 skip
     v}
+    A binary hardened under a non-default check backend carries a
+    [backend=NAME] token in the policy line
+    ([!policy backend=temporal reads=1 writes=1]); its absence means
+    the default [lowfat] backend, so pre-backend binaries (and the
+    default path) parse — and render — unchanged.
     [clear]: the operand satisfies the syntactic never-reaches-the-heap
     rule.  [dom a]: an equivalent or covering check is emitted by the
     patch site at address [a], which dominates this site.  [skip]: the
@@ -26,20 +31,27 @@ type reason =
   | Skip           (** degraded to uninstrumented after a site fault *)
 
 type t = {
+  backend : string;  (** check backend that hardened the binary *)
   reads : bool;   (** were reads instrumented at all? *)
   writes : bool;
   entries : (int * reason) list;  (** eliminated instruction address, reason *)
 }
 
 let section_name = ".elimtab"
+let default_backend = "lowfat"
 
-let default = { reads = true; writes = true; entries = [] }
+let default =
+  { backend = default_backend; reads = true; writes = true; entries = [] }
 
 let render (t : t) : string =
   let b = Buffer.create 256 in
   Buffer.add_string b
-    (Printf.sprintf "!policy reads=%d writes=%d\n" (Bool.to_int t.reads)
-       (Bool.to_int t.writes));
+    (if t.backend = default_backend then
+       Printf.sprintf "!policy reads=%d writes=%d\n" (Bool.to_int t.reads)
+         (Bool.to_int t.writes)
+     else
+       Printf.sprintf "!policy backend=%s reads=%d writes=%d\n" t.backend
+         (Bool.to_int t.reads) (Bool.to_int t.writes));
   List.iter
     (fun (a, r) ->
       Buffer.add_string b
@@ -58,12 +70,23 @@ let parse (s : string) : (t, string) result =
   let rec go acc pol = function
     | [] -> Ok { pol with entries = List.rev acc }
     | line :: rest -> (
-      match String.split_on_char ' ' (String.trim line) with
-      | [ "!policy"; r; w ] -> (
+      let policy ?backend r w =
         match (r, w) with
         | ("reads=0" | "reads=1"), ("writes=0" | "writes=1") ->
-          go acc { pol with reads = r = "reads=1"; writes = w = "writes=1" } rest
-        | _ -> Error (Printf.sprintf "elimtab: bad policy line %S" line))
+          let pol =
+            { pol with reads = r = "reads=1"; writes = w = "writes=1" }
+          in
+          let pol =
+            match backend with Some b -> { pol with backend = b } | None -> pol
+          in
+          go acc pol rest
+        | _ -> Error (Printf.sprintf "elimtab: bad policy line %S" line)
+      in
+      match String.split_on_char ' ' (String.trim line) with
+      | [ "!policy"; r; w ] -> policy r w
+      | [ "!policy"; b; r; w ]
+        when String.length b > 8 && String.sub b 0 8 = "backend=" ->
+        policy ~backend:(String.sub b 8 (String.length b - 8)) r w
       | [ a; "skip" ] -> (
         match hex a with
         | Some a -> go ((a, Skip) :: acc) pol rest

@@ -12,6 +12,10 @@ type reason =
           downgrade from a rewriter bug *)
 
 type t = {
+  backend : string;
+      (** check backend that hardened the binary ({!default_backend}
+          when the policy line carries no [backend=] token, so
+          pre-backend binaries parse unchanged) *)
   reads : bool;
   writes : bool;
   entries : (int * reason) list;
@@ -19,9 +23,14 @@ type t = {
 
 val section_name : string
 
+val default_backend : string
+(** ["lowfat"]: the backend assumed — and omitted from {!render} — when
+    no [backend=] token is recorded. *)
+
 val default : t
-(** reads and writes instrumented, nothing eliminated — the assumption
-    for hardened binaries predating the elimination table. *)
+(** reads and writes instrumented, nothing eliminated, default backend
+    — the assumption for hardened binaries predating the elimination
+    table. *)
 
 val render : t -> string
 val parse : string -> (t, string) result

@@ -15,6 +15,10 @@
     - excluded by the recorded instrumentation {e policy}
       (reads/writes not instrumented).
 
+    Additionally, every trampoline check's variant must be one the
+    binary's recorded check backend ([.elimtab] [backend=] token) can
+    emit — its primary plan or its degradation fallback.
+
     Anything else is reported as unaccounted and fails the lint.
 
     The audit rebuilds the original program from the hardened one: the
@@ -144,6 +148,28 @@ let run ?(allow : int list = []) ~(traps : (int * int) list)
           parse_units ~rf_addr:rf.addr ~rf_len:(String.length rf.bytes) tinstrs
         in
         failures := List.rev_append uerrs !failures;
+        (* the backend rule: every trampoline check must carry a variant
+           the recorded backend can legitimately emit (its primary plan
+           or its degradation fallback) — a temporal binary full of Full
+           checks, or vice versa, is mislabelled and unauditable *)
+        (match Backend.Check_backend.of_name etab.backend with
+         | None ->
+           fail 0
+             (Printf.sprintf ".elimtab records unknown check backend %S"
+                etab.backend)
+         | Some b ->
+           let ok_variants = Backend.Check_backend.allowed_variants b in
+           List.iter
+             (fun u ->
+               List.iter
+                 (fun (ck : X64.Isa.check) ->
+                   if not (List.mem ck.ck_variant ok_variants) then
+                     fail u.u_patch
+                       (Printf.sprintf
+                          "check variant not emittable by recorded %s backend"
+                          etab.backend))
+                 u.u_checks)
+             units);
         (* 2. validate each patch entry and restore the original text *)
         let tlen = String.length text.bytes in
         let buf = Bytes.of_string text.bytes in

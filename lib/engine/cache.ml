@@ -20,8 +20,10 @@ type t = {
    unmarshalled.  ART2: rewrite stats gained the per-check-kind
    breakdown.  ART3: rewrite stats gained degraded_sites/skipped_sites
    (the fault layer), so ART2 blobs no longer unmarshal to the current
-   types. *)
-let magic = "REDFAT-ART3\n"
+   types.  ART4: the pluggable check-backend refactor — rewrite stats
+   gained temporal_sites and Rewrite.options a backend field (itself in
+   options_key, so distinct backends also get distinct keys). *)
+let magic = "REDFAT-ART4\n"
 
 let create ?(enabled = true) ?dir ?notify () =
   {

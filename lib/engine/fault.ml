@@ -80,9 +80,12 @@ let registry =
       "target reported and skipped; rest of the batch completes";
     i "recover.cfg" Fatal "CFG recovery failed on the target's code"
       "target reported and skipped; rest of the batch completes";
-    i "rewrite.site" Degraded "a site's full check could not be emitted"
-      "site downgraded lowfat+redzone -> redzone-only; counted in \
-       stats.degraded_sites / checks_by_kind degrade.redzone";
+    i "rewrite.site" Degraded
+      "a site's primary check (per the selected backend) could not be \
+       emitted"
+      "site downgraded to the backend's fallback (redzone-only for every \
+       shipped backend); counted in stats.degraded_sites / checks_by_kind \
+       degrade.redzone";
     i "rewrite.skip" Skipped
       "a site faulted even for the redzone-only fallback"
       "site left uninstrumented, recorded as a .elimtab `skip` entry the \
@@ -109,6 +112,11 @@ let registry =
       "target reported and skipped; rest of the batch completes";
     i "run.fault" Fatal "the VM faulted while executing the target"
       "target reported and skipped; rest of the batch completes";
+    i "run.backend" Fatal
+      "a hardened binary's .elimtab records a check backend this build \
+       does not ship"
+      "target reported and skipped; re-harden the binary (the runtime \
+       cannot guess lock-table or tagging semantics)";
     i "io.read" Degraded "reading a file failed"
       "one bounded retry, then the target is reported and skipped";
     i "io.write" Degraded "writing a file failed"
@@ -182,6 +190,13 @@ let of_exn ?target (e : exn) : t =
   | Invalid_argument msg when msg = "Relf.text_exn: no .text section" ->
     v ?target (Parse { what = "nocode"; detail = "no .text section" })
   | Sys_error msg -> v ?target (Io { what = "read"; path = ""; detail = msg })
+  | Backend.Check_backend.Unknown name ->
+    v ?target
+      (Run
+         {
+           what = "backend";
+           detail = Printf.sprintf "unknown check backend %S recorded" name;
+         })
   | Failure msg -> v ?target (Run { what = "fault"; detail = msg })
   | e -> v ?target (Run { what = "fault"; detail = Printexc.to_string e })
 

@@ -195,6 +195,8 @@ let record_vm_acct t (a : Vm.Cpu.acct) =
     Obs.add o ~n:a.Vm.Cpu.acct_full "vm.check.full";
   if a.Vm.Cpu.acct_redzone > 0 then
     Obs.add o ~n:a.Vm.Cpu.acct_redzone "vm.check.redzone";
+  if a.Vm.Cpu.acct_temporal > 0 then
+    Obs.add o ~n:a.Vm.Cpu.acct_temporal "vm.check.temporal";
   if a.Vm.Cpu.acct_cycles > 0 then
     Obs.add o ~n:a.Vm.Cpu.acct_cycles "vm.check.cycles";
   List.iter
@@ -269,14 +271,30 @@ let stage_report t =
       let b = Buffer.create 256 in
       Printf.bprintf b "verdict:  %s\n"
         (Redfat.verdict_to_string hrun.Redfat.verdict);
+      (* the run stage executes in Log mode, so errors the hardening
+         caught (and skipped past) show up here, not as an abort *)
+      (match Redfat.Runtime.errors hrun.Redfat.rt with
+      | [] -> ()
+      | errs ->
+        Printf.bprintf b "detected: %d unique memory error(s)\n"
+          (List.length errs);
+        List.iter
+          (fun e ->
+            Printf.bprintf b "  - %s\n"
+              (Redfat.Runtime.explain hrun.Redfat.rt e))
+          errs);
+      Printf.bprintf b "backend:  %s\n"
+        (Backend.Check_backend.name
+           (Redfat.backend_of_binary hard.Rw.binary));
       Printf.bprintf b "baseline: %d cycles\n" base.Redfat.cycles;
       Printf.bprintf b "hardened: %d cycles (overhead %.2fx)\n"
         hrun.Redfat.run.Redfat.cycles
         (float_of_int hrun.Redfat.run.Redfat.cycles
         /. float_of_int base.Redfat.cycles);
-      Printf.bprintf b "coverage: %.1f%% of heap accesses full-checked\n"
+      Printf.bprintf b "coverage: %.1f%% of heap accesses primary-checked\n"
         (Redfat.Runtime.coverage_percent hrun.Redfat.rt);
-      Printf.bprintf b "sites:    %d full, %d redzone-only; %d trampolines"
+      Printf.bprintf b
+        "sites:    %d full, %d redzone-only, %d temporal; %d trampolines"
         hard.Rw.stats.Rw.full_sites hard.Rw.stats.Rw.redzone_sites
-        hard.Rw.stats.Rw.trampolines;
+        hard.Rw.stats.Rw.temporal_sites hard.Rw.stats.Rw.trampolines;
       Buffer.contents b)

@@ -7,7 +7,13 @@
 
 let redzone = 16
 
-type error_kind = Use_after_free | Oob_lower | Oob_upper | Corrupt_meta
+type error_kind =
+  | Use_after_free
+  | Oob_lower
+  | Oob_upper
+  | Corrupt_meta
+  | Key_mismatch   (* temporal: pointer tag does not match the live lock *)
+  | Double_free    (* temporal: freed pointer's key already invalidated *)
 type access_error = {
   site : int;          (** address of the guarded instruction *)
   kind : error_kind;
@@ -22,6 +28,8 @@ let kind_name = function
   | Oob_lower -> "out-of-bounds (lower)"
   | Oob_upper -> "out-of-bounds (upper)"
   | Corrupt_meta -> "corrupted metadata"
+  | Key_mismatch -> "key mismatch (stale pointer)"
+  | Double_free -> "double free"
 
 (** [Harden] aborts on the first error (production); [Log] records
     unique (site, kind) pairs and continues (bug finding / profiling). *)
@@ -43,11 +51,17 @@ type options = {
   check_reads : bool;  (** instrument read accesses (-reads disables) *)
   state_impl : state_impl;
   mode : mode;
+  backend : Backend.Check_backend.id;
+      (** the check backend whose runtime semantics this instance
+          provides.  [Temporal] switches the allocator to lock-and-key
+          mode: malloc returns tagged pointers and records a key in the
+          lock table, free validates and invalidates the key. *)
 }
 
 let default_options =
   { lowfat = true; size_harden = true; merged_ub = true; check_reads = true;
-    state_impl = Lowfat_meta; mode = Harden }
+    state_impl = Lowfat_meta; mode = Harden;
+    backend = Backend.Check_backend.default }
 
 type profile_entry = { mutable executed : int; mutable lowfat_failed : int }
 
@@ -62,8 +76,14 @@ type t = {
   (* dynamic coverage counters (Table 1 "coverage" column) *)
   mutable full_checks : int;
   mutable redzone_checks : int;
+  mutable temporal_checks : int;
   mutable nonfat_skips : int;
   shadow : Shadow.t;  (** only populated under [Asan_shadow] *)
+  locks : (int, int) Hashtbl.t;
+      (** temporal backend: live key per object slot base; 0 = freed.
+          The model of libredfat's lock table, invalidated on free so
+          stale tagged pointers fail their key comparison. *)
+  mutable next_key : int;  (** temporal: next allocation key (cycles) *)
 }
 
 let create ?(options = default_options) ?(profiling = false) ?random
@@ -77,28 +97,75 @@ let create ?(options = default_options) ?(profiling = false) ?random
     profile = (if profiling then Some (Hashtbl.create 256) else None);
     full_checks = 0;
     redzone_checks = 0;
+    temporal_checks = 0;
     nonfat_skips = 0;
     shadow = Shadow.create ();
+    locks = Hashtbl.create 64;
+    next_key = 1;
   }
 
 let errors t = List.rev t.errors
+
+let error t ~site ~kind ~addr =
+  let e = { site; kind; addr } in
+  match t.opts.mode with
+  | Harden -> raise (Memory_error e)
+  | Log ->
+    if not (Hashtbl.mem t.seen (site, kind)) then begin
+      Hashtbl.add t.seen (site, kind) ();
+      t.errors <- e :: t.errors
+    end
 
 (* --- the allocator wrapper (Figure 3) ------------------------------ *)
 
 (** malloc(SIZE) = lowfat_malloc(SIZE+16) + 16.  The prepended 16 bytes
     are the redzone, doubling as shadow storage for the object's
     state/size word: SIZE > 0 means Allocated, SIZE = 0 means Free
-    (the "mergeable code" encoding of §4.2). *)
+    (the "mergeable code" encoding of §4.2).
+
+    Under the [Temporal] backend the returned pointer additionally
+    carries a fresh nonzero key in its tag bits, and the key is
+    recorded in the lock table against the slot base. *)
 let malloc t n =
   let n = max n 1 in
   let base = Lowfat.Alloc.malloc t.alloc (n + redzone) in
   Vm.Mem.write t.mem ~addr:base ~len:8 n;
   if t.opts.state_impl = Asan_shadow then
     Shadow.mark_allocated t.shadow ~addr:(base + redzone) ~len:n;
-  base + redzone
+  if t.opts.backend = Backend.Check_backend.Temporal then begin
+    let key = t.next_key in
+    t.next_key <-
+      (if key >= Backend.Check_backend.max_key then 1 else key + 1);
+    Hashtbl.replace t.locks base key;
+    (base + redzone) lor (key lsl Backend.Check_backend.tag_shift)
+  end
+  else base + redzone
 
-let free t ptr =
-  if ptr = 0 then () (* free(NULL) is a no-op *)
+(** [site] is the caller's code address, used to attribute temporal
+    free errors ([Double_free]); those go through [error], so [Log]
+    mode records them and skips the free instead of aborting. *)
+let free ?(site = 0) t ptr =
+  if t.opts.backend = Backend.Check_backend.Temporal then begin
+    let key = Backend.Check_backend.tag_of ptr in
+    let p = Backend.Check_backend.untag ptr in
+    if p = 0 then () (* free(NULL) is a no-op *)
+    else begin
+      let base = p - redzone in
+      let lock =
+        match Hashtbl.find_opt t.locks base with Some k -> k | None -> -1
+      in
+      if lock <= 0 || lock <> key then
+        (* the lock is gone (freed) or belongs to a newer allocation:
+           a double free / free through a stale pointer *)
+        error t ~site ~kind:Double_free ~addr:p
+      else begin
+        Hashtbl.replace t.locks base 0;
+        Vm.Mem.write t.mem ~addr:base ~len:8 0;
+        Lowfat.Alloc.free t.alloc base
+      end
+    end
+  end
+  else if ptr = 0 then () (* free(NULL) is a no-op *)
   else begin
     let base = ptr - redzone in
     let stored =
@@ -115,29 +182,10 @@ let free t ptr =
 (* --- the check (Figure 4) ------------------------------------------ *)
 
 (** Structural micro-op costs of the check's assembly, used by the VM
-    cost model.  Each constant is the instruction count of the
-    corresponding x86-64 sequence in the real trampoline. *)
-module Cost = struct
-  let access_range = 2      (* lea LB / lea UB *)
-  let lowfat_base = 5       (* shr 35; SIZES load; reciprocal-mul mod *)
-  let null_test = 1         (* test/jz to the fallback *)
-  let metadata_load = 2     (* SIZE load (likely cache-cold) *)
-  let size_harden = 2       (* cmp against size(BASE); branch *)
-  let bounds_merged = 3     (* uint32 trunc; add; cmp+branch *)
-  let bounds_branchy = 5    (* two cmps, two branches, extra lea *)
-  let per_save = 2          (* push/pop (or TLS spill) per scratch reg *)
-  let flags_save = 3        (* seto/lahf + restore *)
-end
-
-let error t ~site ~kind ~addr =
-  let e = { site; kind; addr } in
-  match t.opts.mode with
-  | Harden -> raise (Memory_error e)
-  | Log ->
-    if not (Hashtbl.mem t.seen (site, kind)) then begin
-      Hashtbl.add t.seen (site, kind) ();
-      t.errors <- e :: t.errors
-    end
+    cost model.  The constants now live in the backend layer (they are
+    also the static cost model the planner consults); this alias keeps
+    the runtime's historical [Runtime.Cost] name working. *)
+module Cost = Backend.Check_backend.Cost
 
 let profile_entry t site =
   match t.profile with
@@ -163,6 +211,49 @@ let judge ~meta_size ~lf_size ~size_harden ~base ~lb ~ub =
   else if ub > obj + meta_size then Some Oob_upper
   else None
 
+(** The lock-and-key temporal check: recover the key from the guarded
+    pointer's tag bits and the lock from the runtime's lock table
+    (keyed by the object's slot base); the access is valid only if it
+    stays within the slot and the key still matches the live lock.
+    Freed slots hold lock 0 (never a valid key) and reallocated slots
+    hold a fresh key, so dangling pointers fail either way — no
+    quarantine needed. *)
+let check_temporal t (ck : X64.Isa.check) ~lb ~ub cost : int =
+  let key = Backend.Check_backend.tag_of lb in
+  let alb = Backend.Check_backend.untag lb in
+  let aub = Backend.Check_backend.untag ub in
+  cost := !cost + Cost.lowfat_base + Cost.null_test;
+  let slot = Lowfat.Layout.base alb in
+  if slot = 0 then begin
+    (* non-fat pointer: nothing to check *)
+    t.nonfat_skips <- t.nonfat_skips + 1;
+    !cost
+  end
+  else begin
+    t.temporal_checks <- t.temporal_checks + 1;
+    cost :=
+      !cost + Cost.lock_lookup + Cost.key_check
+      + if t.opts.merged_ub then Cost.bounds_merged else Cost.bounds_branchy;
+    let verdict =
+      (* slot-granular bounds first: an access that escapes the slot
+         would consult some other object's lock *)
+      if Lowfat.Layout.base (aub - 1) <> slot then Some Oob_upper
+      else if alb < slot + redzone then Some Oob_lower
+      else begin
+        let lock =
+          match Hashtbl.find_opt t.locks slot with Some k -> k | None -> 0
+        in
+        if lock = 0 then Some Use_after_free
+        else if lock <> key then Some Key_mismatch
+        else None
+      end
+    in
+    (match verdict with
+     | Some kind -> error t ~site:ck.ck_site ~kind ~addr:alb
+     | None -> ());
+    !cost
+  end
+
 (** Execute the Figure 4 check for payload [ck]; returns the cycle cost
     of the executed path.  Reads the guarded pointer and index straight
     from the CPU registers, exactly as the trampoline assembly does. *)
@@ -177,6 +268,8 @@ let check t (cpu : Vm.Cpu.t) (ck : X64.Isa.check) : int =
   let ub = ptr + iv + ck.ck_hi in
   let cost = ref (Cost.access_range + (Cost.per_save * ck.ck_nsaves)) in
   if ck.ck_save_flags then cost := !cost + Cost.flags_save;
+  if ck.ck_variant = X64.Isa.Temporal then check_temporal t ck ~lb ~ub cost
+  else begin
   (* Step 2: object base, from ptr first (LowFat), falling back to the
      accessed address (Redzone). *)
   let lowfat_on = t.opts.lowfat && ck.ck_variant = X64.Isa.Full in
@@ -285,18 +378,26 @@ let check t (cpu : Vm.Cpu.t) (ck : X64.Isa.check) : int =
      | None -> ());
     !cost
   end
+  end
 
 (* --- plugging into the VM ------------------------------------------ *)
 
 let vm_runtime (t : t) : Vm.Cpu.runtime =
   {
     Vm.Cpu.rt_malloc = (fun _cpu n -> malloc t n);
-    rt_free = (fun _cpu p -> free t p);
+    rt_free = (fun cpu p -> free ~site:cpu.Vm.Cpu.rip t p);
     rt_name = "libredfat";
   }
 
 let install (t : t) (cpu : Vm.Cpu.t) : Vm.Cpu.runtime =
   cpu.on_check <- Some (fun cpu ck -> check t cpu ck);
+  (* a pointer-tagging backend needs the VM to mask data accesses so
+     tagged pointers still address their untagged memory *)
+  let (module B) = Backend.Check_backend.of_id t.opts.backend in
+  cpu.addr_mask <-
+    (if B.contract.Backend.Check_backend.tags_pointers then
+       Backend.Check_backend.addr_mask
+     else -1);
   vm_runtime t
 
 (** Allow-list extraction after a profiling run: sites that executed
@@ -337,6 +438,24 @@ let lowfat_failing_sites t : int list =
     bounds, and how far outside them the access fell (what the real
     tool prints before aborting). *)
 let explain t (e : access_error) : string =
+  match e.kind with
+  | Use_after_free when t.opts.backend = Backend.Check_backend.Temporal ->
+    Printf.sprintf
+      "%s: access at %#x hits slot %#x whose lock was invalidated by \
+       free; guarded instruction at %#x"
+      (kind_name e.kind) e.addr (Lowfat.Layout.base e.addr) e.site
+  | Key_mismatch ->
+    Printf.sprintf
+      "%s: access at %#x carries a key that no longer matches slot \
+       %#x's lock (the slot was reallocated); guarded instruction at \
+       %#x"
+      (kind_name e.kind) e.addr (Lowfat.Layout.base e.addr) e.site
+  | Double_free ->
+    Printf.sprintf
+      "%s: free of %#x found slot %#x's lock already invalidated; \
+       free call at %#x"
+      (kind_name e.kind) e.addr (Lowfat.Layout.base e.addr) e.site
+  | _ ->
   let base = Lowfat.Layout.base e.addr in
   if base = 0 then
     Printf.sprintf "%s: access at %#x (non-fat memory) from site %#x"
@@ -371,6 +490,7 @@ let explain t (e : access_error) : string =
   end
 
 let coverage_percent t =
-  let total = t.full_checks + t.redzone_checks in
+  let total = t.full_checks + t.redzone_checks + t.temporal_checks in
+  let primary = t.full_checks + t.temporal_checks in
   if total = 0 then 0.0
-  else 100.0 *. float_of_int t.full_checks /. float_of_int total
+  else 100.0 *. float_of_int primary /. float_of_int total

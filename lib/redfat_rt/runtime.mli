@@ -6,7 +6,17 @@
 val redzone : int
 (** Redzone size prepended to every object (16 bytes). *)
 
-type error_kind = Use_after_free | Oob_lower | Oob_upper | Corrupt_meta
+type error_kind =
+  | Use_after_free
+  | Oob_lower
+  | Oob_upper
+  | Corrupt_meta
+  | Key_mismatch
+      (** temporal backend: the pointer's tag key does not match the
+          slot's live lock (a stale pointer into reallocated memory) *)
+  | Double_free
+      (** temporal backend: free of a pointer whose key was already
+          invalidated *)
 
 type access_error = {
   site : int;  (** address of the guarded instruction *)
@@ -36,6 +46,10 @@ type options = {
   check_reads : bool;  (** instrument reads (-reads disables) *)
   state_impl : state_impl;
   mode : mode;
+  backend : Backend.Check_backend.id;
+      (** which backend's runtime semantics to provide; [Temporal]
+          switches the allocator to lock-and-key mode (tagged pointers,
+          lock table, key validation on free) *)
 }
 
 val default_options : options
@@ -51,8 +65,12 @@ type t = {
   profile : (int, profile_entry) Hashtbl.t option;
   mutable full_checks : int;
   mutable redzone_checks : int;
+  mutable temporal_checks : int;
   mutable nonfat_skips : int;
   shadow : Shadow.t;
+  locks : (int, int) Hashtbl.t;
+      (** temporal: live key per slot base; 0 = freed *)
+  mutable next_key : int;
 }
 
 val create :
@@ -65,23 +83,19 @@ val malloc : t -> int -> int
 (** The wrapper of Figure 3: [malloc(SIZE) = lowfat_malloc(SIZE+16)+16],
     with the state/size metadata word written inside the redzone. *)
 
-val free : t -> int -> unit
+val free : ?site:int -> t -> int -> unit
 (** Marks the metadata word Free (0) and releases the slot.  Raises
-    {!Bad_free} on double/invalid free; [free 0] is a no-op. *)
+    {!Bad_free} on double/invalid free; [free 0] is a no-op.  Under the
+    [Temporal] backend, validates and invalidates the pointer's key
+    instead; a dead or mismatched key is a [Double_free] error reported
+    through the mode machinery (attributed to [site], the caller's code
+    address), so [Log] mode records it and skips the free. *)
 
 (** Structural micro-op costs of the check's assembly (the VM charges
-    these per executed check). *)
-module Cost : sig
-  val access_range : int
-  val lowfat_base : int
-  val null_test : int
-  val metadata_load : int
-  val size_harden : int
-  val bounds_merged : int
-  val bounds_branchy : int
-  val per_save : int
-  val flags_save : int
-end
+    these per executed check).  Now an alias of the backend layer's
+    static cost model, which adds the temporal constants
+    ([lock_lookup], [key_check]). *)
+module Cost = Backend.Check_backend.Cost
 
 val judge :
   meta_size:int ->
@@ -119,4 +133,6 @@ val explain : t -> access_error -> string
 
 val coverage_percent : t -> float
 (** Table 1's coverage: the percentage of dynamically-reached heap
-    accesses covered by the full (Redzone)+(LowFat) check. *)
+    accesses covered by the backend's primary check (the full
+    (Redzone)+(LowFat) check, or the lock-and-key check under the
+    temporal backend) rather than the redzone-only fallback. *)

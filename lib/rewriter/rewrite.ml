@@ -30,17 +30,23 @@ type options = {
   instrument_reads : bool;
   instrument_writes : bool;
   allowlist : int list option;
-      (** [None]: every site gets the Full (Redzone+LowFat) check.
-          [Some sites]: Full only for listed sites, Redzone otherwise
-          (the production phase of the paper §5 workflow). *)
+      (** [None]: every site gets the backend's primary check.
+          [Some sites]: under the [Lowfat] backend, Full only for
+          listed sites, Redzone otherwise (the production phase of the
+          paper §5 workflow); other backends plan independently of it *)
   profiling : bool;
       (** profiling build: per-site checks (no merging), all Full *)
+  backend : Backend.Check_backend.id;
+      (** which check backend plans and emits the instrumentation;
+          recorded in the [.elimtab] policy line so the binary is
+          self-describing (the runtime and the linter adopt it) *)
 }
 
 let unoptimized =
   { elim = false; batch = false; merge = false; global_elim = false;
     scratch_opt = false; instrument_reads = true; instrument_writes = true;
-    allowlist = None; profiling = false }
+    allowlist = None; profiling = false;
+    backend = Backend.Check_backend.default }
 
 let with_elim = { unoptimized with elim = true }
 let with_batch = { with_elim with batch = true }
@@ -62,13 +68,14 @@ let profiling_build =
 (* canonical rendering of every options field, for content-hash cache
    keys: equal keys must imply identical rewrites *)
 let options_key (o : options) =
-  Printf.sprintf "e%db%dm%dg%ds%dr%dw%dp%d|%s"
+  Printf.sprintf "e%db%dm%dg%ds%dr%dw%dp%dk%c|%s"
     (Bool.to_int o.elim) (Bool.to_int o.batch) (Bool.to_int o.merge)
     (Bool.to_int o.global_elim)
     (Bool.to_int o.scratch_opt)
     (Bool.to_int o.instrument_reads)
     (Bool.to_int o.instrument_writes)
     (Bool.to_int o.profiling)
+    (Backend.Check_backend.key o.backend)
     (match o.allowlist with
     | None -> "-"
     | Some sites ->
@@ -83,13 +90,16 @@ type stats = {
   instrumented : int;       (** sites actually guarded *)
   full_sites : int;
   redzone_sites : int;
+  temporal_sites : int;     (** sites guarded by a lock-and-key check *)
   trampolines : int;
   checks_emitted : int;     (** post-merging check count *)
   zero_save_sites : int;    (** trampolines needing no register saves *)
   jump_patches : int;
   evictions : int;          (** successor instructions displaced *)
   trap_patches : int;
-  degraded_sites : int;     (** sites downgraded Full -> Redzone by a fault *)
+  degraded_sites : int;
+      (** sites downgraded from the backend's primary check to its
+          fallback (Redzone for every shipped backend) by a fault *)
   skipped_sites : int;      (** sites left uninstrumented (elimtab [skip]) *)
   text_bytes : int;
   tramp_bytes : int;
@@ -308,12 +318,15 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
       List.iter (fun s -> Hashtbl.replace h s ()) sites;
       Some h
   in
+  (* the backend makes the per-site instrumentation decision and owns
+     the degradation fallback *)
+  let (module B) = Backend.Check_backend.of_id opts.backend in
   let variant_of (m : member) : X64.Isa.variant =
-    if opts.profiling then X64.Isa.Full
-    else
-      match allow with
-      | None -> X64.Isa.Full
-      | Some h -> if Hashtbl.mem h m.addr then X64.Isa.Full else X64.Isa.Redzone
+    B.plan ~profiling:opts.profiling
+      ~allowlisted:
+        (match allow with
+        | None -> None
+        | Some h -> Some (Hashtbl.mem h m.addr))
   in
   (* one plan per batch: the patch lands at the first member, whose
      trampoline runs the batch's (merged) checks *)
@@ -414,9 +427,9 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
   let tramp = Buffer.create 4096 in
   let traps = ref [] in
   let instrumented = ref 0 in
-  let full_sites = ref 0 and redzone_sites = ref 0 in
+  let full_sites = ref 0 and redzone_sites = ref 0 and temporal_sites = ref 0 in
   let checks_emitted = ref 0 and jump_patches = ref 0 in
-  let emit_full = ref 0 and emit_redzone = ref 0 in
+  let emit_full = ref 0 and emit_redzone = ref 0 and emit_temporal = ref 0 in
   let trap_patches = ref 0 and evictions = ref 0 in
   let trampolines = ref 0 and zero_save_sites = ref 0 in
   let degraded_sites = ref 0 and skipped_sites = ref 0 in
@@ -476,7 +489,8 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
         let snap_len = Buffer.length tramp in
         let snap =
           ( !trampolines, !instrumented, !full_sites, !redzone_sites,
-            !checks_emitted, !emit_full, !emit_redzone, !zero_save_sites )
+            !temporal_sites, !checks_emitted, !emit_full, !emit_redzone,
+            !emit_temporal, !zero_save_sites )
         in
         try
           (match fault_hook with
@@ -487,9 +501,10 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
           List.iter
             (fun (m : member) ->
               incr instrumented;
-              match (if degrade then X64.Isa.Redzone else variant_of m) with
+              match (if degrade then B.fallback else variant_of m) with
               | X64.Isa.Full -> incr full_sites
-              | X64.Isa.Redzone -> incr redzone_sites)
+              | X64.Isa.Redzone -> incr redzone_sites
+              | X64.Isa.Temporal -> incr temporal_sites)
             plan_members;
           let tramp_addr = tramp_base + Buffer.length tramp in
           let spec =
@@ -500,26 +515,31 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
           if spec.nsaves = 0 then incr zero_save_sites;
           List.iteri
             (fun gi ((g : group), _) ->
-              incr checks_emitted;
-              let variant = if degrade then X64.Isa.Redzone else g.g_variant in
-              (match variant with
-               | X64.Isa.Full -> incr emit_full
-               | X64.Isa.Redzone -> incr emit_redzone);
-              let ck =
-                {
-                  X64.Isa.ck_variant = variant;
-                  ck_mem = { g.g_mem with disp = 0 };
-                  ck_lo = g.g_lo;
-                  ck_hi = g.g_hi;
-                  ck_write = g.g_write;
-                  ck_site = g.g_site;
-                  ck_nsaves = (if gi = 0 then spec.nsaves else 0);
-                  ck_save_flags = (if gi = 0 then spec.save_flags else false);
-                }
+              let variant = if degrade then B.fallback else g.g_variant in
+              let checks =
+                B.emit
+                  {
+                    Backend.Check_backend.s_variant = variant;
+                    s_mem = { g.g_mem with disp = 0 };
+                    s_lo = g.g_lo;
+                    s_hi = g.g_hi;
+                    s_write = g.g_write;
+                    s_site = g.g_site;
+                    s_nsaves = (if gi = 0 then spec.nsaves else 0);
+                    s_save_flags = (if gi = 0 then spec.save_flags else false);
+                  }
               in
-              X64.Encode.encode_at tramp
-                (tramp_base + Buffer.length tramp)
-                (X64.Isa.Check ck))
+              List.iter
+                (fun (ck : X64.Isa.check) ->
+                  incr checks_emitted;
+                  (match ck.ck_variant with
+                   | X64.Isa.Full -> incr emit_full
+                   | X64.Isa.Redzone -> incr emit_redzone
+                   | X64.Isa.Temporal -> incr emit_temporal);
+                  X64.Encode.encode_at tramp
+                    (tramp_base + Buffer.length tramp)
+                    (X64.Isa.Check ck))
+                checks)
             groups;
           List.iter
             (fun k ->
@@ -533,10 +553,11 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
           Ok tramp_addr
         with e ->
           Buffer.truncate tramp snap_len;
-          let t, ins, fs, rs, ce, ef, er, zs = snap in
+          let t, ins, fs, rs, ts, ce, ef, er, et, zs = snap in
           trampolines := t; instrumented := ins; full_sites := fs;
-          redzone_sites := rs; checks_emitted := ce; emit_full := ef;
-          emit_redzone := er; zero_save_sites := zs;
+          redzone_sites := rs; temporal_sites := ts; checks_emitted := ce;
+          emit_full := ef; emit_redzone := er; emit_temporal := et;
+          zero_save_sites := zs;
           Error e
       in
       let apply_patch tramp_addr =
@@ -566,13 +587,14 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
         | Degrade -> (
           match attempt ~degrade:true () with
           | Ok tramp_addr ->
-            (* weaker but sound: every Full site of the plan is now a
-               Redzone-only check.  A dependent [Dom] record elsewhere
-               stays valid — the linter audits range and dominance of
-               the emitted check, which the downgrade preserves. *)
+            (* weaker but sound: every primary-variant site of the plan
+               now carries the backend's fallback check.  A dependent
+               [Dom] record elsewhere stays valid — the linter audits
+               range and dominance of the emitted check, which the
+               downgrade preserves. *)
             List.iter
               (fun (m : member) ->
-                if variant_of m = X64.Isa.Full then incr degraded_sites)
+                if variant_of m <> B.fallback then incr degraded_sites)
               plan_members;
             apply_patch tramp_addr
           | Error _ ->
@@ -618,7 +640,8 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
   let elimtab =
     Dataflow.Elimtab.render
       {
-        Dataflow.Elimtab.reads = opts.instrument_reads;
+        Dataflow.Elimtab.backend = B.name;
+        reads = opts.instrument_reads;
         writes = opts.instrument_writes;
         entries = List.sort compare !elim_records;
       }
@@ -644,6 +667,7 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
       ("elide.dom", !eliminated_global);
       ("emit.full", !emit_full);
       ("emit.redzone", !emit_redzone);
+      ("emit.temporal", !emit_temporal);
       ("patch.jump", !jump_patches);
       ("patch.trap", !trap_patches);
       ("degrade.redzone", !degraded_sites);
@@ -665,6 +689,7 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
       instrumented = !instrumented;
       full_sites = !full_sites;
       redzone_sites = !redzone_sites;
+      temporal_sites = !temporal_sites;
       trampolines = !trampolines;
       checks_emitted = !checks_emitted;
       zero_save_sites = !zero_save_sites;
@@ -708,7 +733,7 @@ let pp_stats fmt (s : stats) =
      memory operands:   %d@,\
      eliminated:        %d@,\
      eliminated global: %d@,\
-     instrumented:      %d (full %d / redzone %d)@,\
+     instrumented:      %d (full %d / redzone %d / temporal %d)@,\
      trampolines:       %d@,\
      checks emitted:    %d@,\
      zero-save sites:   %d@,\
@@ -720,6 +745,6 @@ let pp_stats fmt (s : stats) =
      text bytes:        %d@,\
      trampoline bytes:  %d@]"
     s.instrs_total s.mem_ops s.eliminated s.eliminated_global s.instrumented
-    s.full_sites s.redzone_sites s.trampolines s.checks_emitted
+    s.full_sites s.redzone_sites s.temporal_sites s.trampolines s.checks_emitted
     s.zero_save_sites s.jump_patches s.evictions s.trap_patches
     s.degraded_sites s.skipped_sites s.text_bytes s.tramp_bytes

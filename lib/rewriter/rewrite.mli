@@ -14,11 +14,18 @@ type options = {
   instrument_reads : bool;
   instrument_writes : bool;
   allowlist : int list option;
-      (** [None]: every site gets the Full check.  [Some sites]: Full
-          only for listed sites, Redzone otherwise (production phase of
-          the §5 workflow). *)
+      (** [None]: every site gets the backend's primary check.
+          [Some sites]: under the [Lowfat] backend, Full only for
+          listed sites, Redzone otherwise (production phase of the §5
+          workflow); other backends plan independently of it. *)
   profiling : bool;
       (** profiling build: per-site checks (no merging), all Full *)
+  backend : Backend.Check_backend.id;
+      (** the check backend that plans and emits the instrumentation
+          ({!Backend.Check_backend.default} = [Lowfat], the paper's
+          complementary design).  Recorded in the [.elimtab] policy
+          line, folded into {!options_key} (and thus every cache key),
+          and adopted by the runtime and the soundness linter. *)
 }
 
 val unoptimized : options
@@ -49,6 +56,7 @@ type stats = {
   instrumented : int;
   full_sites : int;
   redzone_sites : int;
+  temporal_sites : int;     (** sites guarded by a lock-and-key check *)
   trampolines : int;
   checks_emitted : int;
   zero_save_sites : int;    (** trampolines needing no register saves *)
@@ -56,8 +64,9 @@ type stats = {
   evictions : int;
   trap_patches : int;
   degraded_sites : int;
-      (** sites whose plan faulted and was downgraded to a
-          Redzone-only check (fault policy {!Degrade}) *)
+      (** sites whose plan faulted and was downgraded from the
+          backend's primary check to its fallback (fault policy
+          {!Degrade}) *)
   skipped_sites : int;
       (** sites left uninstrumented after both emission attempts
           faulted, each recorded as an [.elimtab] [skip] entry the
@@ -66,8 +75,8 @@ type stats = {
   tramp_bytes : int;
   checks_by_kind : (string * int) list;
       (** the emit/elide breakdown, keyed by check kind or elimination
-          rule: [emit.full]/[emit.redzone] (emitted checks per
-          variant), [elide.clear] (local elimination: operand provably
+          rule: [emit.full]/[emit.redzone]/[emit.temporal] (emitted
+          checks per variant), [elide.clear] (local elimination: operand provably
           never reaches the heap), [elide.dom] (global elimination:
           covered by a dominating available check),
           [patch.jump]/[patch.trap], [degrade.redzone]/[degrade.skip]
@@ -78,7 +87,8 @@ type stats = {
 type fault_policy =
   | Abort    (** re-raise a site's fault: the whole rewrite fails *)
   | Degrade
-      (** downgrade the faulting plan: retry with Redzone-only checks,
+      (** downgrade the faulting plan: retry with the backend's
+          fallback checks (Redzone for every shipped backend),
           then fall back to uninstrumented with an [.elimtab] [skip]
           record per site.  [Dom] justifications citing a skipped plan
           are downgraded to [skip] too, so the hardened binary always

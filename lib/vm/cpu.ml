@@ -35,17 +35,19 @@ type acct = {
   acct_sites : (int, site_acct) Hashtbl.t; (* ck_site -> totals *)
   mutable acct_full : int;     (* Full-variant checks executed *)
   mutable acct_redzone : int;  (* Redzone-variant checks executed *)
+  mutable acct_temporal : int; (* Temporal-variant checks executed *)
   mutable acct_cycles : int;   (* total cycles spent in checks *)
 }
 
 let new_acct () =
   { acct_sites = Hashtbl.create 64; acct_full = 0; acct_redzone = 0;
-    acct_cycles = 0 }
+    acct_temporal = 0; acct_cycles = 0 }
 
 let acct_record (a : acct) (ck : X64.Isa.check) cost =
   (match ck.X64.Isa.ck_variant with
    | X64.Isa.Full -> a.acct_full <- a.acct_full + 1
-   | X64.Isa.Redzone -> a.acct_redzone <- a.acct_redzone + 1);
+   | X64.Isa.Redzone -> a.acct_redzone <- a.acct_redzone + 1
+   | X64.Isa.Temporal -> a.acct_temporal <- a.acct_temporal + 1);
   a.acct_cycles <- a.acct_cycles + cost;
   let sa =
     match Hashtbl.find_opt a.acct_sites ck.X64.Isa.ck_site with
@@ -78,6 +80,12 @@ type t = {
   mutable on_mem : (t -> addr:int -> len:int -> write:bool -> unit) option;
   mutable dispatch_cost : int;  (** extra cycles per instruction (DBI) *)
   mutable acct : acct option;   (** per-site check accounting *)
+  mutable addr_mask : int;
+  (** Mask applied to data effective addresses before memory access;
+      [-1] (identity) by default.  The temporal backend sets it to
+      strip lock-and-key tags from pointers' high bits, so tagged
+      pointers dereference transparently.  [Lea] stays unmasked: it
+      computes pointer values, and masking there would strip tags. *)
   trap_table : (int, int) Hashtbl.t;  (** patch address -> trampoline *)
   icache : (int, X64.Isa.instr * int) Hashtbl.t;
   (* scripted I/O *)
@@ -103,6 +111,7 @@ let create ?(max_steps = 200_000_000) () =
     on_mem = None;
     dispatch_cost = 0;
     acct = None;
+    addr_mask = -1;
     trap_table = Hashtbl.create 64;
     icache = Hashtbl.create 4096;
     inputs = [];
@@ -120,6 +129,10 @@ let ea t (m : X64.Isa.mem) =
   let b = match m.base with Some r -> t.regs.(r) | None -> 0 in
   let i = match m.idx with Some r -> t.regs.(r) | None -> 0 in
   m.disp + b + (i * m.scale)
+
+(* data accesses strip pointer tags (identity unless a tagging backend
+   installed an addr_mask) *)
+let ea_data t m = ea t m land t.addr_mask
 
 let fetch t addr =
   match Hashtbl.find_opt t.icache addr with
@@ -184,19 +197,19 @@ let step t (rt : runtime) =
     t.regs.(d) <- v;
     t.rip <- next
   | Load (w, d, m) ->
-    let addr = ea t m and lenb = width_bytes w in
+    let addr = ea_data t m and lenb = width_bytes w in
     mem_access t addr lenb false;
     t.regs.(d) <- Mem.read t.mem ~addr ~len:lenb;
     t.cycles <- t.cycles + 1;
     t.rip <- next
   | Store (w, m, s) ->
-    let addr = ea t m and lenb = width_bytes w in
+    let addr = ea_data t m and lenb = width_bytes w in
     mem_access t addr lenb true;
     Mem.write t.mem ~addr ~len:lenb t.regs.(s);
     t.cycles <- t.cycles + 1;
     t.rip <- next
   | Store_i (w, m, v) ->
-    let addr = ea t m and lenb = width_bytes w in
+    let addr = ea_data t m and lenb = width_bytes w in
     mem_access t addr lenb true;
     Mem.write t.mem ~addr ~len:lenb v;
     t.cycles <- t.cycles + 1;

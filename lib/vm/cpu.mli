@@ -33,6 +33,7 @@ type acct = {
   acct_sites : (int, site_acct) Hashtbl.t;  (** ck_site -> totals *)
   mutable acct_full : int;     (** Full-variant checks executed *)
   mutable acct_redzone : int;  (** Redzone-variant checks executed *)
+  mutable acct_temporal : int; (** Temporal-variant checks executed *)
   mutable acct_cycles : int;   (** total cycles spent in checks *)
 }
 
@@ -57,6 +58,11 @@ type t = {
       (** DBI hook, called on every explicit memory access *)
   mutable dispatch_cost : int;        (** extra cycles per instruction *)
   mutable acct : acct option;         (** per-site check accounting *)
+  mutable addr_mask : int;
+      (** mask applied to data effective addresses before memory
+          access; [-1] (identity) unless a pointer-tagging backend
+          (temporal lock-and-key) installs one.  [Lea] is exempt: it
+          computes pointer {e values}, which must keep their tags *)
   trap_table : (int, int) Hashtbl.t;  (** patch address -> trampoline *)
   icache : (int, X64.Isa.instr * int) Hashtbl.t;
   mutable inputs : int list;          (** script for the Input runtime fn *)

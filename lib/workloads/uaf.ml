@@ -7,11 +7,12 @@
 
     8 patterns × 4 control-flow variants = 32 cases.  Each case takes
     one input: 0 runs the safe ordering (use before free), 1 the buggy
-    one.  One extra case — [reuse_case] — documents the known
-    limitation the paper inherits from not quarantining: if the slot is
-    reallocated (same size class) between free and use, the access hits
-    a live object and is missed, while Memcheck's quarantine still
-    catches it. *)
+    one.  Two extra cases probe what the redzone state word alone
+    cannot see: [reuse_case] (the slot is reallocated between free and
+    use, so the access hits a live object — the spatial backends miss
+    it, the lock-and-key temporal backend catches the stale key) and
+    [double_free_case] (the spatial allocator aborts; the temporal
+    backend reports a typed [Double_free]). *)
 
 open Minic.Ast
 open Minic.Build
@@ -110,9 +111,12 @@ let all : case list =
 
 let binary (c : case) = Minic.Codegen.compile c.program
 
-(** The known-limitation case: the freed slot is reallocated (same
-    class) before the use.  RedFat (no quarantine) misses it; the
-    Memcheck comparator (quarantine) catches it. *)
+(** The slot-reuse case: the freed slot is reallocated (same class)
+    before the use.  The spatial backends (no quarantine) miss it —
+    the access hits live memory; Memcheck's quarantine catches it, and
+    so does the temporal backend (the dangling pointer still carries
+    the dead allocation's key, which no longer matches the slot's
+    lock). *)
 let reuse_case : program =
   Minic.Ast.program
     [
@@ -125,6 +129,26 @@ let reuse_case : program =
           set (v "a") (i 2) (i 7); (* dangling write into b's memory *)
           print_ (idx (v "b") (i 2));
           free_ (v "b");
+          return_ (i 0);
+        ];
+    ]
+
+(** Double free, input-gated like the suite cases: input 0 frees once
+    (safe), input 1 frees the same pointer twice.  Under the spatial
+    backends the second free aborts in the allocator (a [Fault]
+    verdict, not a classified detection); the temporal backend's free
+    finds the key already invalidated and reports [Double_free]. *)
+let double_free_case : program =
+  Minic.Ast.program
+    [
+      func ~name:"main"
+        [
+          let_ "bad" Input;
+          let_ "a" (alloc_elems (i 8));
+          set (v "a") (i 0) (i 1);
+          free_ (v "a");
+          if_ (v "bad" =: i 1) [ free_ (v "a") ] [];
+          print_ (i 1);
           return_ (i 0);
         ];
     ]

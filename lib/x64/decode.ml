@@ -172,7 +172,10 @@ let decode ~(addr : int) (buf : string) (off : int) : Isa.instr * int =
         let hi = i32 c in
         let site = i32 c in
         Check
-          { ck_variant = (if flags land 1 <> 0 then Isa.Full else Isa.Redzone);
+          { ck_variant =
+              (if flags land 1 <> 0 then Isa.Full
+               else if flags land 8 <> 0 then Isa.Temporal
+               else Isa.Redzone);
             ck_mem = m;
             ck_lo = lo;
             ck_hi = hi;

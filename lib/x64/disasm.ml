@@ -78,7 +78,8 @@ let to_string (i : Isa.instr) : string =
   | Probe id -> Printf.sprintf "probe %d" id
   | Check c ->
     Printf.sprintf "check.%s%s %s lo=%d hi=%d site=%#x"
-      (match c.ck_variant with Isa.Full -> "full" | Isa.Redzone -> "rz")
+      (match c.ck_variant with
+       | Isa.Full -> "full" | Isa.Redzone -> "rz" | Isa.Temporal -> "tmp")
       (if c.ck_write then ".w" else ".r")
       (mem_to_string c.ck_mem) c.ck_lo c.ck_hi c.ck_site
 

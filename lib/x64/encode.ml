@@ -164,7 +164,10 @@ let encode_at b (addr : int) (i : Isa.instr) : unit =
    | Check c ->
      put_u8 b op_check;
      let flags =
-       (match c.ck_variant with Isa.Full -> 1 | Isa.Redzone -> 0)
+       (match c.ck_variant with
+        | Isa.Full -> 1
+        | Isa.Redzone -> 0
+        | Isa.Temporal -> 8)
        lor (if c.ck_write then 2 else 0)
        lor (if c.ck_save_flags then 4 else 0)
      in

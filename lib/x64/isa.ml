@@ -84,8 +84,10 @@ type rtfn = Malloc | Free | Input | Print | Exit
 (** Check variants, paper Figure 4.  [Full] is the complementary
     (Redzone)+(LowFat) check: the object base is derived from the
     *pointer register* first, falling back to the accessed address.
-    [Redzone] derives the base from the accessed address only. *)
-type variant = Full | Redzone
+    [Redzone] derives the base from the accessed address only.
+    [Temporal] is the lock-and-key temporal check: the pointer's
+    high-bit key must match the slot's lock-table entry. *)
+type variant = Full | Redzone | Temporal
 
 (** Payload of the instrumentation pseudo-instruction placed in
     trampolines by the rewriter.  One [Check] may guard several merged

@@ -15,6 +15,7 @@ let () =
       ("fuzzer", Test_fuzzer.tests);
       ("e9afl", Test_e9afl.tests);
       ("uaf", Test_uaf.tests);
+      ("backend", Test_backend.tests);
       ("cli", Test_cli.tests);
       ("memcheck", Test_memcheck.tests);
       ("workloads", Test_workloads.tests);

@@ -133,7 +133,7 @@ let prop_stats_invariants =
       let bin = program_of accs in
       let r = Redfat.harden bin in
       let s = r.stats in
-      s.instrumented = s.full_sites + s.redzone_sites
+      s.instrumented = s.full_sites + s.redzone_sites + s.temporal_sites
       && s.trampolines = s.jump_patches + s.trap_patches
       && s.checks_emitted <= s.instrumented (* merging only reduces *)
       && s.eliminated + s.instrumented <= s.mem_ops

@@ -1,0 +1,185 @@
+(* The pluggable Check_backend architecture: parity of the refactored
+   spatial backends with the pre-refactor behaviour, cache-key
+   separation, self-describing binaries, and the temporal lock-and-key
+   backend's detection guarantees. *)
+
+module Rw = Rewriter.Rewrite
+module CB = Backend.Check_backend
+
+let kernels () =
+  List.map
+    (fun (b : Workloads.Spec.bench) -> (b.name, Workloads.Spec.binary b))
+    Workloads.Spec.all
+
+let section_bytes binary name =
+  match Binfmt.Relf.find_section binary name with
+  | Some s -> s.bytes
+  | None -> Alcotest.failf "section %s missing" name
+
+(* --- spatial parity ------------------------------------------------- *)
+
+(* The default-backend path must stay byte-identical to the seed: the
+   Lowfat backend records no [backend=] token, so a binary hardened
+   with the pre-refactor rewriter and one hardened through the
+   Check_backend dispatch serialize to the same bytes. *)
+let test_default_path_is_seed_shaped () =
+  List.iter
+    (fun (name, bin) ->
+      let implicit = Redfat.harden ~opts:Rw.optimized bin in
+      let explicit_ =
+        Redfat.harden ~opts:{ Rw.optimized with backend = CB.Lowfat } bin
+      in
+      Alcotest.(check string) (name ^ " bytes")
+        (Binfmt.Relf.serialize implicit.binary)
+        (Binfmt.Relf.serialize explicit_.binary);
+      Alcotest.(check bool) (name ^ " stats") true
+        (implicit.stats = explicit_.stats);
+      let etab = section_bytes implicit.binary Dataflow.Elimtab.section_name in
+      Alcotest.(check bool) (name ^ " no backend token") false
+        (let re = "backend=" in
+         let n = String.length re in
+         let rec has i =
+           i + n <= String.length etab
+           && (String.sub etab i n = re || has (i + 1))
+         in
+         has 0);
+      Alcotest.(check bool) (name ^ " adopts lowfat") true
+        (Redfat.backend_of_binary implicit.binary = CB.Lowfat))
+    (kernels ())
+
+(* The Redzone backend is the Lowfat backend with an empty allowlist:
+   same plans, same emission, so .text and .redfat agree byte for byte
+   (the .elimtab differs only by the recorded policy). *)
+let test_redzone_equals_demoted_lowfat () =
+  List.iter
+    (fun (name, bin) ->
+      let demoted =
+        Redfat.harden
+          ~opts:{ Rw.optimized with allowlist = Some []; backend = CB.Lowfat }
+          bin
+      in
+      let redzone =
+        Redfat.harden ~opts:{ Rw.optimized with backend = CB.Redzone } bin
+      in
+      Alcotest.(check string) (name ^ " .text")
+        (section_bytes demoted.binary ".text")
+        (section_bytes redzone.binary ".text");
+      Alcotest.(check string) (name ^ " .redfat")
+        (section_bytes demoted.binary ".redfat")
+        (section_bytes redzone.binary ".redfat");
+      Alcotest.(check int) (name ^ " no full sites") 0
+        redzone.stats.full_sites;
+      Alcotest.(check bool) (name ^ " adopts redzone") true
+        (Redfat.backend_of_binary redzone.binary = CB.Redzone))
+    (kernels ())
+
+(* --- cache-key separation ------------------------------------------- *)
+
+let test_options_key_separates_backends () =
+  let keys =
+    List.map (fun b -> Rw.options_key { Rw.optimized with backend = b }) CB.all
+  in
+  Alcotest.(check int) "pairwise distinct" (List.length CB.all)
+    (List.length (List.sort_uniq compare keys));
+  Alcotest.(check string) "default = explicit lowfat"
+    (Rw.options_key Rw.optimized)
+    (Rw.options_key { Rw.optimized with backend = CB.Lowfat })
+
+(* --- every backend is self-describing and runs clean ---------------- *)
+
+let test_backends_run_clean () =
+  let b = Workloads.Spec.find "mcf" in
+  let bin = Workloads.Spec.binary b in
+  List.iter
+    (fun id ->
+      let hard = Redfat.harden ~opts:{ Rw.optimized with backend = id } bin in
+      Alcotest.(check bool) (CB.name id ^ " self-describing") true
+        (Redfat.backend_of_binary hard.binary = id);
+      let r =
+        Redfat.run_hardened ~inputs:(Workloads.Spec.ref_inputs b) hard.binary
+      in
+      match r.verdict with
+      | Redfat.Finished 0 -> ()
+      | v ->
+        Alcotest.failf "%s: expected clean run, got %s" (CB.name id)
+          (Redfat.verdict_to_string v))
+    CB.all
+
+(* --- the temporal backend's detection guarantees -------------------- *)
+
+let temporal_harden bin =
+  Redfat.harden ~opts:{ Rw.optimized with backend = CB.Temporal } bin
+
+let test_temporal_detects_suite () =
+  List.iter
+    (fun (c : Workloads.Uaf.case) ->
+      let hard = temporal_harden (Workloads.Uaf.binary c) in
+      let b =
+        Redfat.run_hardened ~inputs:Workloads.Uaf.benign_inputs hard.binary
+      in
+      (match b.verdict with
+       | Redfat.Finished 0 -> ()
+       | v -> Alcotest.failf "%s benign: %s" c.id (Redfat.verdict_to_string v));
+      let a =
+        Redfat.run_hardened ~inputs:Workloads.Uaf.attack_inputs hard.binary
+      in
+      match a.verdict with
+      | Redfat.Detected e ->
+        Alcotest.(check string) (c.id ^ " kind") "use-after-free"
+          (Redfat_rt.Runtime.kind_name e.kind)
+      | v -> Alcotest.failf "%s attack: %s" c.id (Redfat.verdict_to_string v))
+    Workloads.Uaf.all
+
+(* Slot reuse defeats the spatial backends (the dangling access hits a
+   live object); the stale key does not match the recycled slot's
+   fresh lock. *)
+let test_temporal_detects_reuse () =
+  let bin = Minic.Codegen.compile Workloads.Uaf.reuse_case in
+  let hard = temporal_harden bin in
+  match (Redfat.run_hardened hard.binary).verdict with
+  | Redfat.Detected e ->
+    Alcotest.(check string) "kind" "key mismatch (stale pointer)"
+      (Redfat_rt.Runtime.kind_name e.kind)
+  | v -> Alcotest.failf "expected detection, got %s" (Redfat.verdict_to_string v)
+
+(* A double free is a typed detection under the temporal backend, not
+   an allocator abort. *)
+let test_temporal_detects_double_free () =
+  let bin = Minic.Codegen.compile Workloads.Uaf.double_free_case in
+  let hard = temporal_harden bin in
+  let safe = Redfat.run_hardened ~inputs:[ 0 ] hard.binary in
+  (match safe.verdict with
+   | Redfat.Finished 0 -> ()
+   | v -> Alcotest.failf "safe ordering: %s" (Redfat.verdict_to_string v));
+  match (Redfat.run_hardened ~inputs:[ 1 ] hard.binary).verdict with
+  | Redfat.Detected e ->
+    Alcotest.(check string) "kind" "double free"
+      (Redfat_rt.Runtime.kind_name e.kind)
+  | v -> Alcotest.failf "expected detection, got %s" (Redfat.verdict_to_string v)
+
+(* An unrecognized backend name in .elimtab is the typed [run.backend]
+   fault, not a silent fallback to some other backend's semantics. *)
+let test_unknown_backend_faults () =
+  (try ignore (CB.of_name_exn "quarantine") ;
+     Alcotest.fail "of_name_exn accepted an unknown backend"
+   with CB.Unknown n -> Alcotest.(check string) "name" "quarantine" n);
+  let f = Engine.Fault.of_exn (CB.Unknown "quarantine") in
+  Alcotest.(check string) "fault code" "run.backend" (Engine.Fault.code f)
+
+let tests =
+  [
+    Alcotest.test_case "default path seed-shaped" `Quick
+      test_default_path_is_seed_shaped;
+    Alcotest.test_case "redzone = demoted lowfat" `Quick
+      test_redzone_equals_demoted_lowfat;
+    Alcotest.test_case "options_key separates backends" `Quick
+      test_options_key_separates_backends;
+    Alcotest.test_case "all backends run clean" `Quick
+      test_backends_run_clean;
+    Alcotest.test_case "temporal detects the suite" `Slow
+      test_temporal_detects_suite;
+    Alcotest.test_case "temporal detects slot reuse" `Quick
+      test_temporal_detects_reuse;
+    Alcotest.test_case "temporal detects double free" `Quick
+      test_temporal_detects_double_free;
+  ]

@@ -223,16 +223,22 @@ let test_canon_operand () =
 let test_elimtab_roundtrip () =
   let t =
     {
-      Df.Elimtab.reads = true;
+      Df.Elimtab.backend = Df.Elimtab.default_backend;
+      reads = true;
       writes = false;
       entries =
         [ (0x400010, Df.Elimtab.Clear); (0x400020, Df.Elimtab.Dom 0x400008) ];
     }
   in
-  match Df.Elimtab.parse (Df.Elimtab.render t) with
+  (match Df.Elimtab.parse (Df.Elimtab.render t) with
   | Error e -> Alcotest.fail e
-  | Ok t' ->
-    Alcotest.(check bool) "round-trips" true (t = t')
+  | Ok t' -> Alcotest.(check bool) "round-trips" true (t = t'));
+  (* a non-default backend survives the round-trip via its policy token *)
+  let t2 = { t with Df.Elimtab.backend = "temporal" } in
+  match Df.Elimtab.parse (Df.Elimtab.render t2) with
+  | Error e -> Alcotest.fail e
+  | Ok t2' ->
+    Alcotest.(check bool) "backend token round-trips" true (t2 = t2')
 
 (* --- options cache keys --------------------------------------------- *)
 

@@ -86,7 +86,9 @@ let test_check_roundtrip () =
   check_roundtrip
     (Isa.Check
        { ck with ck_variant = Isa.Redzone; ck_write = false;
-         ck_nsaves = 0; ck_save_flags = false })
+         ck_nsaves = 0; ck_save_flags = false });
+  check_roundtrip
+    (Isa.Check { ck with ck_variant = Isa.Temporal; ck_nsaves = 1 })
 
 let test_jmp_is_5_bytes () =
   (* the whole patching problem rests on this *)

@@ -9,9 +9,10 @@
        than the threshold (default 10%);
      - any overhead ratio (unopt/elim/batch/merge/...) grew by more
        than the threshold;
-     - the emitted-check counters went up: checks_emitted or any
-       per-check-kind emit.* counter (more emitted checks means the
-       eliminators lost ground).
+     - the emitted-check counters went up: checks_emitted, any
+       per-check-kind emit.* counter, or any per-backend backend.*
+       counter (more emitted checks means the eliminators lost
+       ground, under any backend).
 
    New targets and improvements are fine.  wall_seconds is ignored
    everywhere: it is the only machine-dependent field; cycles come
@@ -116,6 +117,7 @@ let check_target name base fresh =
       let gated =
         k = "checks_emitted"
         || (String.length k >= 5 && String.sub k 0 5 = "emit.")
+        || (String.length k >= 8 && String.sub k 0 8 = "backend.")
       in
       if gated then
         match List.assoc_opt k fresh_counters with
