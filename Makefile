@@ -17,8 +17,9 @@ build:
 test:
 	dune runtest
 
-# harden every MiniC example and audit it with the rewrite-soundness
-# linter: zero unaccounted memory accesses or the build fails
+# harden every MiniC example — with and without loop hoisting — and
+# audit both with the rewrite-soundness linter: zero unaccounted
+# memory accesses and zero unprovable hoists, or the build fails
 lint: build
 	@mkdir -p _build/lint
 	@set -e; for src in $(EXAMPLES); do \
@@ -26,6 +27,8 @@ lint: build
 	  $(REDFAT) compile $$src -o $$out.relf >/dev/null; \
 	  $(REDFAT) harden $$out.relf -o $$out.hard.relf >/dev/null; \
 	  $(REDFAT) verify --quiet $$out.hard.relf; \
+	  $(REDFAT) harden $$out.relf --hoist -o $$out.hoist.relf >/dev/null; \
+	  $(REDFAT) verify --quiet $$out.hoist.relf; \
 	done
 
 # the docs-sync gate: CLI flags and the fault taxonomy in
@@ -74,6 +77,11 @@ ci: build test lint doc-check
 	  $(REDFAT) pipeline spec:mcf uaf:CWE416_write-after-free_v0 \
 	    uaf:double-free --backend $$b --no-cache > /dev/null; \
 	  echo "backend $$b: pipeline smoke OK"; \
+	done
+	@set -e; for b in redzone lowfat temporal; do \
+	  $(REDFAT) pipeline spec:mcf spec:bzip2 --hoist --backend $$b \
+	    --no-cache > /dev/null; \
+	  echo "backend $$b: hoist pipeline smoke OK"; \
 	done
 	$(BENCH) fig4 --jobs 2
 	$(MAKE) bench-gate

@@ -290,6 +290,17 @@ let no_reads =
     value & flag
     & info [ "no-reads" ] ~doc:"Instrument writes only (Table 1 -reads).")
 
+let hoist_arg =
+  Arg.(
+    value & flag
+    & info [ "hoist" ]
+        ~doc:"Hoist checks out of counted loops: one widened check over \
+              the loop's access hull in the preheader replaces the \
+              per-iteration checks, each covered site recorded as a \
+              proof-carrying .elimtab hoist entry that the soundness \
+              linter re-derives and audits.  Backends that cannot widen \
+              (temporal) decline and keep per-iteration checks.")
+
 let backend_arg =
   let backends =
     List.map
@@ -316,7 +327,7 @@ let allowlist_arg =
 
 let harden_cmd =
   let doc = "Statically rewrite a binary with RedFat instrumentation." in
-  let run file out level noreads allow backend =
+  let run file out level noreads allow backend hoist =
     let bin = Binfmt.Relf.load_file file in
     if Redfat.Rewrite.is_hardened bin then begin
       Printf.eprintf
@@ -330,7 +341,8 @@ let harden_cmd =
         Redfat.Rewrite.instrument_reads =
           level.Redfat.Rewrite.instrument_reads && not noreads;
         allowlist = Option.map Profile.Allowlist.load allow;
-        backend }
+        backend;
+        hoist = level.Redfat.Rewrite.hoist || hoist }
     in
     let hard = Redfat.harden ~opts bin in
     Binfmt.Relf.save out hard.binary;
@@ -340,7 +352,7 @@ let harden_cmd =
   Cmd.v (Cmd.info "harden" ~doc)
     Term.(
       const run $ input_file $ output $ level_arg $ no_reads $ allowlist_arg
-      $ backend_arg)
+      $ backend_arg $ hoist_arg)
 
 let verify_cmd =
   let doc =
@@ -483,7 +495,7 @@ let pipeline_cmd =
                 Defaults to \\$REDFAT_FAULT.")
   in
   let run names inputs jobs no_cache cache_dir trace out strict inject_spec
-      backend =
+      backend hoist =
     let inject =
       match inject_spec with
       | None -> Engine.Faultinject.of_env ()
@@ -506,7 +518,8 @@ let pipeline_cmd =
       let binary_chain ~train ~inputs =
         Engine.Stage.(
           Pl.stage_profile eng ~train
-          >>> Pl.stage_harden eng ~opts:{ Redfat.Rewrite.optimized with backend }
+          >>> Pl.stage_harden eng
+                ~opts:{ Redfat.Rewrite.optimized with backend; hoist }
                 ()
           >>> Pl.stage_verify eng
           >>> Pl.stage_run eng ~inputs
@@ -559,7 +572,8 @@ let pipeline_cmd =
   Cmd.v (Cmd.info "pipeline" ~doc)
     Term.(
       const run $ wnames $ inputs_arg $ jobs_arg $ no_cache $ cache_dir
-      $ trace_arg $ out_arg $ strict_arg $ inject_arg $ backend_arg)
+      $ trace_arg $ out_arg $ strict_arg $ inject_arg $ backend_arg
+      $ hoist_arg)
 
 let env_arg =
   Arg.(
@@ -665,7 +679,7 @@ let trace_cmd =
   in
   (* workflow mode: drive every engine stage with an Obs-instrumented
      engine, attach VM check accounting to the hardened run, export *)
-  let run_workflow name jobs backend outfile =
+  let run_workflow name jobs backend hoist outfile =
     let prog, train, inputs =
       try find_program name
       with
@@ -683,7 +697,10 @@ let trace_cmd =
     let hard =
       Pl.harden eng
         ~opts:
-          { Redfat.Rewrite.optimized with allowlist = Some allow; backend }
+          { Redfat.Rewrite.optimized with
+            allowlist = Some allow;
+            backend;
+            hoist }
         bin
     in
     let base, _ = Pl.run_baseline eng ~inputs bin in
@@ -706,9 +723,9 @@ let trace_cmd =
     Printf.printf "wrote %s (Chrome trace-event JSON)\n" outfile;
     Pl.close eng
   in
-  let run file inputs limit jobs backend out =
+  let run file inputs limit jobs backend hoist out =
     match out with
-    | Some outfile -> run_workflow file jobs backend outfile
+    | Some outfile -> run_workflow file jobs backend hoist outfile
     | None ->
     let bin = Binfmt.Relf.load_file file in
     let cpu = Redfat.prepare bin in
@@ -740,7 +757,8 @@ let trace_cmd =
   in
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(
-      const run $ target $ inputs_arg $ limit $ jobs_arg $ backend_arg $ out)
+      const run $ target $ inputs_arg $ limit $ jobs_arg $ backend_arg
+      $ hoist_arg $ out)
 
 let errors_cmd =
   let doc =

@@ -67,6 +67,7 @@ module type S = sig
   val id : id
   val name : string
   val plan : profiling:bool -> allowlisted:bool option -> X64.Isa.variant
+  val widen : X64.Isa.variant -> X64.Isa.variant option
   val fallback : X64.Isa.variant
   val emit : site -> X64.Isa.check list
   val static_cost : X64.Isa.variant -> int
@@ -125,6 +126,13 @@ module Lowfat_backend = struct
       | None | Some true -> X64.Isa.Full
       | Some false -> X64.Isa.Redzone
 
+  (* spatial checks judge a displacement range against one object's
+     bounds, so widening the range to a loop's access hull keeps
+     exactly the same failure condition — both variants widen as-is *)
+  let widen = function
+    | (X64.Isa.Full | X64.Isa.Redzone) as v -> Some v
+    | X64.Isa.Temporal -> None
+
   let fallback = X64.Isa.Redzone
   let emit = emit_one
   let static_cost = spatial_cost
@@ -144,6 +152,11 @@ module Redzone_backend = struct
   (* redzone-only everywhere: the (LowFat) component never runs, so
      the allow-list is irrelevant *)
   let plan ~profiling:_ ~allowlisted:_ = X64.Isa.Redzone
+
+  let widen = function
+    | X64.Isa.Redzone -> Some X64.Isa.Redzone
+    | _ -> None
+
   let fallback = X64.Isa.Redzone
   let emit = emit_one
   let static_cost = spatial_cost
@@ -166,6 +179,13 @@ module Temporal_backend = struct
        checks so executed-site coverage is recorded *)
     if profiling then X64.Isa.Full else X64.Isa.Temporal
 
+  (* a lock-and-key check proves the key matches *at this iteration*;
+     one preheader execution cannot stand in for per-iteration key
+     tests (the object could be freed mid-loop by another thread in a
+     real binary), so this backend declines widening and keeps the
+     per-iteration checks *)
+  let widen _ = None
+
   let fallback = X64.Isa.Redzone
   let emit = emit_one
   let static_cost = spatial_cost
@@ -187,6 +207,10 @@ let of_id : id -> (module S) = function
 let plan b ~profiling ~allowlisted =
   let (module B) = of_id b in
   B.plan ~profiling ~allowlisted
+
+let widen b v =
+  let (module B) = of_id b in
+  B.widen v
 
 let fallback b =
   let (module B) = of_id b in

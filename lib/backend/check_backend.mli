@@ -89,6 +89,16 @@ module type S = sig
   (** The per-site instrumentation decision.  [allowlisted] is [None]
       when no allow-list is in force, [Some b] otherwise. *)
 
+  val widen : X64.Isa.variant -> X64.Isa.variant option
+  (** Can a check of this variant be widened to a loop's access hull
+      and hoisted to the preheader, executing once for the whole loop?
+      [Some v'] gives the variant of the hoisted check; [None]
+      declines, keeping per-iteration checks.  Spatial variants widen
+      as themselves (the failure condition — range outside one
+      object's bounds — is unchanged by widening the range); the
+      temporal backend always declines, because one key test at loop
+      entry cannot stand in for per-iteration tests. *)
+
   val fallback : X64.Isa.variant
   (** The degradation ladder's second rung: what a site is retried
       with after its primary emission faults (the third rung, audited
@@ -116,6 +126,7 @@ val of_id : id -> (module S)
 (** {2 Conveniences dispatching through {!of_id}} *)
 
 val plan : id -> profiling:bool -> allowlisted:bool option -> X64.Isa.variant
+val widen : id -> X64.Isa.variant -> X64.Isa.variant option
 val fallback : id -> X64.Isa.variant
 val emit : id -> site -> X64.Isa.check list
 val static_cost : id -> X64.Isa.variant -> int

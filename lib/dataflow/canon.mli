@@ -7,6 +7,27 @@
     applies the same function, keeping its proof obligations in sync
     with the optimizer. *)
 
+type state = {
+  copy : int option array;
+      (** register -> canonical register holding the same value *)
+  konst : int option array;  (** register -> known constant value *)
+}
+(** Per-register knowledge at a program point.  Exposed so loop
+    analysis ({!Loops}) can evaluate the same copy/constant lattice
+    over instruction ranges that are not the prefix of a member's own
+    block (preheaders, guard blocks). *)
+
+val fresh : unit -> state
+(** The empty state: nothing known about any register. *)
+
+val canon_reg : state -> X64.Isa.reg -> X64.Isa.reg
+(** The oldest register provably holding the same value, or the
+    register itself. *)
+
+val step : state -> X64.Isa.instr -> unit
+(** Advance the state across one instruction ([mov] chains propagate
+    copies and constants; any other definition invalidates). *)
+
 val operand : Graph.t -> int -> X64.Isa.mem -> X64.Isa.mem
 (** [operand g index m]: the canonical form of [m] as seen by
     instruction [index].  Evaluates to the same address as [m] at that

@@ -83,3 +83,22 @@ let dominates_instr t ~(def : int) ~(use : int) =
   let bd = Graph.block_of_instr t.graph def
   and bu = Graph.block_of_instr t.graph use in
   if bd = bu then def <= use else dominates t bd bu
+
+(** [is_back_edge t ~src ~dst]: the edge [src -> dst] closes a natural
+    loop (its target dominates its source).  An irreducible cycle —
+    one entered other than through a single dominating header — has no
+    back edge under this definition, so loop clients see no loop there
+    instead of a mis-identified one. *)
+let is_back_edge t ~(src : int) ~(dst : int) = dominates t dst src
+
+(** All back edges [(latch, header)], sorted.  Derived once from the
+    dominator tree instead of per-edge by every client. *)
+let back_edges t : (int * int) list =
+  let edges = ref [] in
+  Array.iter
+    (fun u ->
+      List.iter
+        (fun s -> if is_back_edge t ~src:u ~dst:s then edges := (u, s) :: !edges)
+        (Graph.block t.graph u).Graph.succs)
+    (Graph.rpo t.graph);
+  List.sort compare !edges

@@ -19,3 +19,15 @@ val dominates : t -> int -> int -> bool
 val dominates_instr : t -> def:int -> use:int -> bool
 (** Instruction-index dominance: program order within a block, block
     dominance across blocks. *)
+
+val is_back_edge : t -> src:int -> dst:int -> bool
+(** [is_back_edge t ~src ~dst]: the edge [src -> dst] closes a natural
+    loop, i.e. [dst] dominates [src].  Irreducible cycles (entered
+    other than through a single dominating header) have no back edge,
+    so loop analyses fall back to "no loop" rather than mis-identifying
+    one. *)
+
+val back_edges : t -> (int * int) list
+(** All back edges as sorted [(latch, header)] pairs — the explicit
+    query loop clients build natural loops from (rather than re-deriving
+    dominance per edge). *)

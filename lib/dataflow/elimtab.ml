@@ -11,6 +11,7 @@
     40001c clear
     400033 dom 400010
     400041 skip
+    400055 hoist 40004e 0 4096
     v}
     A binary hardened under a non-default check backend carries a
     [backend=NAME] token in the policy line
@@ -23,12 +24,21 @@
     rewriter faulted while emitting this site's check and degraded it
     to uninstrumented under its graceful-degradation policy — weaker
     but recorded, so the linter can tell an audited downgrade from a
-    rewriter bug. *)
+    rewriter bug.  [hoist s lo hi]: covered by a widened loop-preheader
+    check emitted at patch address [s] over the displacement hull
+    [lo, hi) (decimal, possibly negative) — the proof-carrying variant,
+    which the linter only accepts after independently re-deriving the
+    hull and showing the recorded one subsumes it. *)
 
 type reason =
   | Clear          (** syntactic rule: operand cannot reach the heap *)
   | Dom of int     (** covered by the check at this patch address *)
   | Skip           (** degraded to uninstrumented after a site fault *)
+  | Hoist of int * int * int
+      (** [Hoist (site, lo, hi)]: covered by a widened loop-preheader
+          check at patch address [site] over the hull [lo, hi) — the
+          linter re-derives the hull and fails unless the recorded one
+          subsumes it *)
 
 type t = {
   backend : string;  (** check backend that hardened the binary *)
@@ -58,7 +68,8 @@ let render (t : t) : string =
         (match r with
         | Clear -> Printf.sprintf "%x clear\n" a
         | Dom s -> Printf.sprintf "%x dom %x\n" a s
-        | Skip -> Printf.sprintf "%x skip\n" a))
+        | Skip -> Printf.sprintf "%x skip\n" a
+        | Hoist (s, lo, hi) -> Printf.sprintf "%x hoist %x %d %d\n" a s lo hi))
     t.entries;
   Buffer.contents b
 
@@ -99,6 +110,11 @@ let parse (s : string) : (t, string) result =
         match (hex a, hex s) with
         | Some a, Some s -> go ((a, Dom s) :: acc) pol rest
         | _ -> Error (Printf.sprintf "elimtab: bad address in %S" line))
+      | [ a; "hoist"; s; lo; hi ] -> (
+        match (hex a, hex s, int_of_string_opt lo, int_of_string_opt hi) with
+        | Some a, Some s, Some lo, Some hi ->
+          go ((a, Hoist (s, lo, hi)) :: acc) pol rest
+        | _ -> Error (Printf.sprintf "elimtab: bad hoist entry %S" line))
       | _ -> Error (Printf.sprintf "elimtab: unrecognized line %S" line))
   in
   go [] default lines

@@ -10,6 +10,13 @@ type reason =
       (** degraded to uninstrumented after a site fault: weaker but
           sound, and recorded so the linter can tell an audited
           downgrade from a rewriter bug *)
+  | Hoist of int * int * int
+      (** [Hoist (site, lo, hi)]: covered by a widened loop-preheader
+          check at patch address [site] whose hull spans displacements
+          [lo, hi) relative to the widened operand.  Proof-carrying:
+          the linter re-derives the hull with {!Loops.member_hoist}
+          and rejects the binary unless the recorded hull subsumes the
+          derived one and the covering check is really available. *)
 
 type t = {
   backend : string;

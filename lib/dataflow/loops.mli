@@ -1,0 +1,59 @@
+(** Natural-loop forest and loop-aware value-range analysis.
+
+    Finds the natural loops of the recovered CFG (back edges via
+    {!Dom.back_edges}), their nesting forest and preheaders, and —
+    the payload — derives for a memory access inside a counted loop
+    the convex hull of every address it touches across the loop's
+    iterations ({!member_hoist}).  The rewriter uses the hull to hoist
+    one widened check into the preheader; the soundness linter re-runs
+    the identical derivation to prove the hoisted check subsumes every
+    per-iteration check it replaced.
+
+    Irreducible cycles have no back edge and therefore no natural
+    loop: analysis of such CFGs degrades to "no hoisting" — never a
+    crash, never a wrong hull. *)
+
+type loop = {
+  header : int;         (** header block id *)
+  latches : int list;   (** back-edge sources, sorted *)
+  body : int list;      (** member block ids (header included), sorted *)
+  parent : int option;  (** index of the innermost enclosing loop *)
+  depth : int;          (** nesting depth; outermost = 1 *)
+  preheader : int option;
+      (** unique out-of-loop predecessor falling through into the
+          header (single successor, dominates the header); the block
+          whose last instruction hosts hoisted checks *)
+}
+
+type t = {
+  graph : Graph.t;
+  dom : Dom.t;
+  loops : loop array;     (** sorted by header block id *)
+  innermost : int array;  (** block id -> innermost loop index, or -1 *)
+}
+
+val analyze : Graph.t -> Dom.t -> t
+(** Build the loop nesting forest.  Pure function of the graph and its
+    dominator tree; the rewriter and the linter call it on the same
+    recovered program and obtain the same forest. *)
+
+val innermost_loop : t -> int -> int option
+(** Index into [loops] of the innermost loop containing a block. *)
+
+type hoist = {
+  h_index : int;  (** instruction index of the preheader patch site *)
+  h_addr : int;   (** its address (the hoisted check's site) *)
+  h_mem : X64.Isa.mem;  (** widened canonical operand ([disp = 0]) *)
+  h_lo : int;     (** inclusive low end of the access hull *)
+  h_hi : int;     (** exclusive high end of the access hull *)
+}
+
+val member_hoist : t -> index:int -> mem:X64.Isa.mem -> bytes:int -> hoist option
+(** [member_hoist t ~index ~mem ~bytes]: if the access [mem] (in
+    canonical form) of width [bytes] at instruction [index] sits in a
+    counted loop whose guard, induction variable, increment and body
+    structure satisfy every hoisting proof obligation, return the
+    preheader patch point and the convex hull [[h_lo, h_hi)] (relative
+    to [h_mem]) of all addresses the access touches across the loop's
+    iterations.  Deterministic and side-effect free — the rewriter
+    plans from it and {!Verify} independently re-derives with it. *)

@@ -10,7 +10,11 @@
     - {e eliminated with a recorded justification} — the [.elimtab]
       entry's rule re-verifies ([clear]: the syntactic
       never-reaches-the-heap rule; [dom]: an available dominating
-      check);
+      check; [hoist]: a proof-carrying loop hoist — the linter
+      re-derives the access hull with the same {!Loops.member_hoist}
+      the rewriter planned from, and requires the recorded hull to
+      subsume the derived one {e and} the widened covering check to be
+      genuinely available from the recorded preheader site);
     - {e allow-listed} — explicitly accepted by the caller; or
     - excluded by the recorded instrumentation {e policy}
       (reads/writes not instrumented).
@@ -36,6 +40,7 @@ type status =
   | Covered of int          (** covering patch-site address *)
   | Eliminated_clear
   | Eliminated_dom of int   (** justifying patch-site address *)
+  | Eliminated_hoist of int (** justifying preheader patch-site address *)
   | Policy_skipped
   | Degraded                (** recorded [skip] downgrade after a site fault *)
   | Allowlisted
@@ -48,6 +53,7 @@ type report = {
   covered : int;
   elim_clear : int;
   elim_dom : int;
+  elim_hoist : int;         (** proved loop-hoist subsumptions *)
   policy_skipped : int;
   degraded : int;           (** recorded [skip] downgrades *)
   allowlisted : int;
@@ -256,6 +262,9 @@ let run ?(allow : int list = []) ~(traps : (int * int) list)
           units;
         let gen i = Option.value (Hashtbl.find_opt gen_tbl i) ~default:[] in
         let avail = Avail.solve graph ~gen in
+        (* the loop forest, for re-deriving recorded hoist hulls; lazy
+           so binaries without hoist records pay nothing *)
+        let loops = lazy (Loops.analyze graph dom) in
         let elims = Hashtbl.create 16 in
         List.iter (fun (a, r) -> Hashtbl.replace elims a r) etab.entries;
         let allowed = Hashtbl.create 16 in
@@ -287,9 +296,54 @@ let run ?(allow : int list = []) ~(traps : (int * int) list)
         in
         let total = ref 0 in
         let checked = ref 0 and covered = ref 0 in
-        let elim_clear = ref 0 and elim_dom = ref 0 in
+        let elim_clear = ref 0 and elim_dom = ref 0 and elim_hoist = ref 0 in
         let policy_skipped = ref 0 and allowlisted = ref 0 in
         let degraded = ref 0 in
+        (* the proof obligation of a recorded [hoist s lo hi] entry:
+           (1) this access re-derives as hoistable (same shared
+           [Loops.member_hoist] the rewriter planned from); (2) the
+           recorded hull subsumes the independently derived hull — a
+           tampered (narrowed) hull fails here; (3) a check over the
+           widened operand covering the recorded hull is genuinely
+           available from site [s], which dominates the access.  [s]
+           is the preheader check, or — when global elimination
+           dropped that check as itself covered — the dominating
+           covering site.  (1)+(2)+(3) chain into: an emitted widened
+           check covers every address this access touches across the
+           loop. *)
+        let audit_hoist a idx (m : X64.Isa.mem) ~bytes s rl rh =
+          match Loops.member_hoist (Lazy.force loops) ~index:idx ~mem:m ~bytes with
+          | None ->
+            fail a
+              (Printf.sprintf
+                 "recorded hoist at %#x cannot be re-derived as a provable \
+                  loop hoist"
+                 s)
+          | Some d ->
+            if not (rl <= d.Loops.h_lo && rh >= d.Loops.h_hi) then
+              fail a
+                (Printf.sprintf
+                   "recorded hoist hull [%d,%d) does not subsume the derived \
+                    access hull [%d,%d)"
+                   rl rh d.Loops.h_lo d.Loops.h_hi)
+            else
+              match
+                Avail.find
+                  (Avail.available_before avail idx)
+                  (Avail.key_of_mem d.Loops.h_mem)
+              with
+              | Some info
+                when info.Avail.lo <= rl && info.hi >= rh
+                     && site_addr info.site = s
+                     && Dom.dominates_instr dom ~def:info.site ~use:idx ->
+                incr elim_hoist
+              | _ ->
+                fail a
+                  (Printf.sprintf
+                     "hoisted covering check at %#x is not available at the \
+                      access"
+                     s)
+        in
         Array.iteri
           (fun idx (a, instr, _len) ->
             match X64.Isa.mem_operand instr with
@@ -304,37 +358,45 @@ let run ?(allow : int list = []) ~(traps : (int * int) list)
               let wanted = if write then etab.writes else etab.reads in
               if not wanted then incr policy_skipped
               else
-                let in_unit =
-                  match Hashtbl.find_opt displaced_at a with
-                  | Some u when unit_checks_cover u m ~bytes -> true
-                  | _ -> false
-                in
-                if in_unit then incr checked
-                else
-                  match covered_by idx m ~bytes with
-                  | Some _site -> (
-                    match Hashtbl.find_opt elims a with
-                    | Some (Elimtab.Dom s) ->
-                      incr elim_dom;
-                      ignore s
-                    | _ -> incr covered)
-                  | None -> (
-                    match Hashtbl.find_opt elims a with
-                    | Some Elimtab.Clear ->
-                      if clear_rule m ~bytes then incr elim_clear
-                      else
+                match Hashtbl.find_opt elims a with
+                | Some (Elimtab.Hoist (s, rl, rh)) ->
+                  (* a hoist record is always audited in full — being
+                     incidentally covered by some other check would not
+                     prove the recorded justification *)
+                  audit_hoist a idx m ~bytes s rl rh
+                | record -> (
+                  let in_unit =
+                    match Hashtbl.find_opt displaced_at a with
+                    | Some u when unit_checks_cover u m ~bytes -> true
+                    | _ -> false
+                  in
+                  if in_unit then incr checked
+                  else
+                    match covered_by idx m ~bytes with
+                    | Some _site -> (
+                      match record with
+                      | Some (Elimtab.Dom s) ->
+                        incr elim_dom;
+                        ignore s
+                      | _ -> incr covered)
+                    | None -> (
+                      match record with
+                      | Some Elimtab.Clear ->
+                        if clear_rule m ~bytes then incr elim_clear
+                        else
+                          fail a
+                            "recorded 'clear' elimination fails the syntactic \
+                             rule"
+                      | Some (Elimtab.Dom s) ->
                         fail a
-                          "recorded 'clear' elimination fails the syntactic \
-                           rule"
-                    | Some (Elimtab.Dom s) ->
-                      fail a
-                        (Printf.sprintf
-                           "recorded dominating check at %#x is not available"
-                           s)
-                    | Some Elimtab.Skip -> incr degraded
-                    | None ->
-                      if Hashtbl.mem allowed a then incr allowlisted
-                      else fail a "unaccounted memory access")))
+                          (Printf.sprintf
+                             "recorded dominating check at %#x is not available"
+                             s)
+                      | Some Elimtab.Skip -> incr degraded
+                      | Some (Elimtab.Hoist _) -> assert false (* handled above *)
+                      | None ->
+                        if Hashtbl.mem allowed a then incr allowlisted
+                        else fail a "unaccounted memory access"))))
           instrs;
         Ok
           {
@@ -343,6 +405,7 @@ let run ?(allow : int list = []) ~(traps : (int * int) list)
             covered = !covered;
             elim_clear = !elim_clear;
             elim_dom = !elim_dom;
+            elim_hoist = !elim_hoist;
             policy_skipped = !policy_skipped;
             degraded = !degraded;
             allowlisted = !allowlisted;
@@ -357,11 +420,12 @@ let pp_report fmt (r : report) =
      covered by dom:    %d@,\
      eliminated clear:  %d@,\
      eliminated dom:    %d@,\
+     eliminated hoist:  %d@,\
      policy skipped:    %d@,\
      degraded (skip):   %d@,\
      allow-listed:      %d@,\
      trampoline units:  %d@,\
      unaccounted:       %d@]"
-    r.total r.checked r.covered r.elim_clear r.elim_dom r.policy_skipped
-    r.degraded r.allowlisted r.units
+    r.total r.checked r.covered r.elim_clear r.elim_dom r.elim_hoist
+    r.policy_skipped r.degraded r.allowlisted r.units
     (List.length r.failures)

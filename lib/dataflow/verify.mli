@@ -13,6 +13,11 @@ type status =
   | Covered of int          (** covering patch-site address *)
   | Eliminated_clear
   | Eliminated_dom of int   (** justifying patch-site address *)
+  | Eliminated_hoist of int
+      (** proof-carrying loop hoist: the recorded hull re-derived
+          (same {!Loops.member_hoist} as the rewriter), shown to
+          subsume the independent derivation, and the widened covering
+          check proven available from this preheader patch address *)
   | Policy_skipped
   | Degraded
       (** recorded [skip] entry: the rewriter faulted at this site and
@@ -28,6 +33,7 @@ type report = {
   covered : int;
   elim_clear : int;
   elim_dom : int;
+  elim_hoist : int;         (** proved loop-hoist subsumptions *)
   policy_skipped : int;
   degraded : int;           (** recorded [skip] downgrades *)
   allowlisted : int;

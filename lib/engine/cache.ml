@@ -22,8 +22,11 @@ type t = {
    (the fault layer), so ART2 blobs no longer unmarshal to the current
    types.  ART4: the pluggable check-backend refactor — rewrite stats
    gained temporal_sites and Rewrite.options a backend field (itself in
-   options_key, so distinct backends also get distinct keys). *)
-let magic = "REDFAT-ART4\n"
+   options_key, so distinct backends also get distinct keys).  ART5:
+   loop-aware check hoisting — rewrite stats gained
+   hoisted_checks/widened_span_bytes and Rewrite.options a hoist field
+   (also in options_key). *)
+let magic = "REDFAT-ART5\n"
 
 let create ?(enabled = true) ?dir ?notify () =
   {

@@ -34,6 +34,13 @@ type options = {
           [Some sites]: under the [Lowfat] backend, Full only for
           listed sites, Redzone otherwise (the production phase of the
           paper §5 workflow); other backends plan independently of it *)
+  hoist : bool;
+      (** hoist checks out of counted loops: a member whose access
+          range across a loop's iterations has a derivable convex hull
+          ({!Dataflow.Loops.member_hoist}) and whose backend can widen
+          its variant gets one widened check in the loop preheader
+          instead of a per-iteration check; every covered site is
+          recorded in [.elimtab] as a proof-carrying [hoist] entry *)
   profiling : bool;
       (** profiling build: per-site checks (no merging), all Full *)
   backend : Backend.Check_backend.id;
@@ -45,7 +52,7 @@ type options = {
 let unoptimized =
   { elim = false; batch = false; merge = false; global_elim = false;
     scratch_opt = false; instrument_reads = true; instrument_writes = true;
-    allowlist = None; profiling = false;
+    allowlist = None; hoist = false; profiling = false;
     backend = Backend.Check_backend.default }
 
 let with_elim = { unoptimized with elim = true }
@@ -58,6 +65,10 @@ let optimized =
 
 let production ~allowlist = { optimized with allowlist = Some allowlist }
 
+(** [optimized] plus loop-aware check hoisting ([--hoist]); opt-in, so
+    the default path stays byte-identical to the pre-hoist rewriter. *)
+let with_hoist = { optimized with hoist = true }
+
 (* profiling needs one observable check per site, so global elimination
    is off: an eliminated site would never report to the profiler and
    would be (safely but wastefully) excluded from the allow-list *)
@@ -68,12 +79,13 @@ let profiling_build =
 (* canonical rendering of every options field, for content-hash cache
    keys: equal keys must imply identical rewrites *)
 let options_key (o : options) =
-  Printf.sprintf "e%db%dm%dg%ds%dr%dw%dp%dk%c|%s"
+  Printf.sprintf "e%db%dm%dg%ds%dr%dw%dh%dp%dk%c|%s"
     (Bool.to_int o.elim) (Bool.to_int o.batch) (Bool.to_int o.merge)
     (Bool.to_int o.global_elim)
     (Bool.to_int o.scratch_opt)
     (Bool.to_int o.instrument_reads)
     (Bool.to_int o.instrument_writes)
+    (Bool.to_int o.hoist)
     (Bool.to_int o.profiling)
     (Backend.Check_backend.key o.backend)
     (match o.allowlist with
@@ -101,6 +113,12 @@ type stats = {
       (** sites downgraded from the backend's primary check to its
           fallback (Redzone for every shipped backend) by a fault *)
   skipped_sites : int;      (** sites left uninstrumented (elimtab [skip]) *)
+  hoisted_checks : int;
+      (** widened checks emitted in loop preheaders (one per hoist
+          group), each standing in for the per-iteration checks of the
+          sites it covers *)
+  widened_span_bytes : int;
+      (** total hull width (hi - lo) over emitted hoisted checks *)
   text_bytes : int;
   tramp_bytes : int;
   checks_by_kind : (string * int) list;
@@ -328,6 +346,109 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
         | None -> None
         | Some h -> Some (Hashtbl.mem h m.addr))
   in
+  (* 1.5 loop hoisting: a member inside a counted loop whose iteration
+     access hull is derivable — and whose backend agrees to widen the
+     planned variant — leaves the per-iteration stream.  All hoisted
+     members sharing a preheader patch point, widened operand and
+     variant become one group checked once per loop entry, over the
+     union of their hulls.  Each covered site gets a proof-carrying
+     [.elimtab] [hoist] record; the linter re-derives the hull with the
+     same [Loops.member_hoist] and rejects the binary if the recorded
+     hull does not subsume it.  Profiling builds keep per-iteration
+     checks observable, like global elimination. *)
+  let hoist_enabled = opts.hoist && not opts.profiling in
+  let hoisted_members = ref 0 in
+  (* (preheader index, widened operand key) -> covered member
+     addresses.  The [hoist] records are written after global
+     elimination, which may drop a hoisted check that is itself
+     covered by a dominating available check — the members then cite
+     the covering site instead of the dropped preheader check. *)
+  let hoist_members = Hashtbl.create 8 in
+  let members, hoist_plans =
+    if not hoist_enabled then (members, [])
+    else
+      sp "rw.hoist" @@ fun () ->
+      let dom = Dataflow.Dom.compute cfg.graph in
+      let loops = Dataflow.Loops.analyze cfg.graph dom in
+      if Array.length loops.Dataflow.Loops.loops = 0 then (members, [])
+      else begin
+        let table = Hashtbl.create 8 and order = ref [] in
+        let kept =
+          List.filter
+            (fun (m : member) ->
+              match B.widen (variant_of m) with
+              | None -> true
+              | Some wv -> (
+                match
+                  Dataflow.Loops.member_hoist loops ~index:m.mi ~mem:m.m
+                    ~bytes:m.bytes
+                with
+                | None -> true
+                | Some h ->
+                  (* one group per (preheader, widened operand): mixed
+                     variants join to Full (which covers Redzone), so a
+                     key never carries two competing hoisted checks *)
+                  let key =
+                    (h.Dataflow.Loops.h_index,
+                     operand_key h.Dataflow.Loops.h_mem)
+                  in
+                  (match Hashtbl.find_opt table key with
+                   | None ->
+                     Hashtbl.add table key
+                       (ref (h, h.Dataflow.Loops.h_lo,
+                             h.Dataflow.Loops.h_hi, m.write, wv, [ m ]));
+                     order := key :: !order
+                   | Some r ->
+                     let h0, lo, hi, w, v, ms = !r in
+                     r :=
+                       ( h0,
+                         min lo h.Dataflow.Loops.h_lo,
+                         max hi h.Dataflow.Loops.h_hi,
+                         w || m.write,
+                         (if v = X64.Isa.Full || wv = X64.Isa.Full then
+                            X64.Isa.Full
+                          else v),
+                         m :: ms ));
+                  false))
+            members
+        in
+        let hoist_plans =
+          List.rev_map
+            (fun key ->
+              let (h : Dataflow.Loops.hoist), lo, hi, w, wv, ms =
+                !(Hashtbl.find table key)
+              in
+              hoisted_members := !hoisted_members + List.length ms;
+              Hashtbl.replace hoist_members key
+                (List.rev_map (fun (m : member) -> m.addr) ms);
+              let first =
+                {
+                  mi = h.Dataflow.Loops.h_index;
+                  addr = h.Dataflow.Loops.h_addr;
+                  m = h.Dataflow.Loops.h_mem;
+                  bytes = hi - lo;
+                  write = w;
+                }
+              in
+              let group =
+                {
+                  g_variant = wv;
+                  g_mem = h.Dataflow.Loops.h_mem;
+                  g_lo = lo;
+                  g_hi = hi;
+                  g_write = w;
+                  g_site = h.Dataflow.Loops.h_addr;
+                }
+              in
+              (* the empty member list marks a hoist group: its covered
+                 sites live in [hoist_members], and site accounting has
+                 nothing to add *)
+              (first, (group, ([] : member list))))
+            !order
+        in
+        (kept, hoist_plans)
+      end
+  in
   (* one plan per batch: the patch lands at the first member, whose
      trampoline runs the batch's (merged) checks *)
   let plans = sp "rw.plan" @@ fun () ->
@@ -338,6 +459,41 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
         | first :: _ as batch ->
           Some (first, make_groups opts ~variant_of batch))
       batches
+  in
+  (* merge hoisted groups into the plan stream: onto an existing plan
+     patching the same instruction if there is one (the preheader's
+     last instruction may itself be a planned member), as a plan of
+     their own otherwise *)
+  let plans =
+    if hoist_plans = [] then plans
+    else begin
+      let extra = Hashtbl.create 8 in
+      List.iter
+        (fun ((first : member), g) ->
+          Hashtbl.replace extra first.mi
+            (match Hashtbl.find_opt extra first.mi with
+             | None -> (first, [ g ])
+             | Some (f, gs) -> (f, g :: gs)))
+        hoist_plans;
+      let plans =
+        List.map
+          (fun ((first : member), groups) ->
+            match Hashtbl.find_opt extra first.mi with
+            | None -> (first, groups)
+            | Some (_, gs) ->
+              Hashtbl.remove extra first.mi;
+              (first, groups @ List.rev gs))
+          plans
+      in
+      let rest =
+        Hashtbl.fold
+          (fun _ (f, gs) acc -> (f, List.rev gs) :: acc)
+          extra []
+      in
+      List.sort
+        (fun ((a : member), _) ((b : member), _) -> compare a.mi b.mi)
+        (plans @ rest)
+    end
   in
   let patch_starts = Hashtbl.create 64 in
   List.iter (fun (first, _) -> Hashtbl.replace patch_starts first.mi ()) plans;
@@ -382,7 +538,7 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
           let facts = Dataflow.Avail.available_before avail first.mi in
           let emitted, dropped =
             List.partition
-              (fun ((g : group), _) ->
+              (fun ((g : group), (_ : member list)) ->
                 match
                   Dataflow.Avail.find facts (Dataflow.Avail.key_of_mem g.g_mem)
                 with
@@ -405,16 +561,48 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
                 in
                 let site_addr, _, _ = cfg.instrs.(info.Dataflow.Avail.site) in
                 incr eliminated_global;
-                List.map
-                  (fun (m : member) ->
-                    (m.addr, Dataflow.Elimtab.Dom site_addr))
-                  ms)
+                match ms with
+                | [] ->
+                  (* a hoisted check that is itself covered: the loop's
+                     members cite the covering site; the hull stays the
+                     group hull, which the covering fact subsumes *)
+                  List.map
+                    (fun addr ->
+                      (addr,
+                       Dataflow.Elimtab.Hoist (site_addr, g.g_lo, g.g_hi)))
+                    (Option.value
+                       (Hashtbl.find_opt hoist_members
+                          (first.mi, operand_key g.g_mem))
+                       ~default:[])
+                | ms ->
+                  List.map
+                    (fun (m : member) ->
+                      (m.addr, Dataflow.Elimtab.Dom site_addr))
+                    ms)
               dropped
           in
           (first, emitted, records))
         plans
     end
   in
+  (* the surviving hoisted checks' covered sites cite the emitted
+     preheader check *)
+  List.iter
+    (fun ((first : member), emitted, _) ->
+      List.iter
+        (fun ((g : group), (ms : member list)) ->
+          if ms = [] then
+            List.iter
+              (fun addr ->
+                elim_records :=
+                  (addr, Dataflow.Elimtab.Hoist (first.addr, g.g_lo, g.g_hi))
+                  :: !elim_records)
+              (Option.value
+                 (Hashtbl.find_opt hoist_members
+                    (first.mi, operand_key g.g_mem))
+                 ~default:[]))
+        emitted)
+    plans;
   List.iter
     (fun (_, _, records) ->
       elim_records := List.rev_append records !elim_records)
@@ -433,6 +621,7 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
   let trap_patches = ref 0 and evictions = ref 0 in
   let trampolines = ref 0 and zero_save_sites = ref 0 in
   let degraded_sites = ref 0 and skipped_sites = ref 0 in
+  let hoisted_checks = ref 0 and widened_span_bytes = ref 0 in
   (* patch-site addresses of plans that were skipped entirely: [Dom]
      records citing them are unjustified and downgrade to [Skip] in the
      post-pass below *)
@@ -561,6 +750,13 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
           Error e
       in
       let apply_patch tramp_addr =
+        List.iter
+          (fun ((g : group), (ms : member list)) ->
+            if ms = [] then begin
+              incr hoisted_checks;
+              widened_span_bytes := !widened_span_bytes + (g.g_hi - g.g_lo)
+            end)
+          groups;
         if List.length displaced > 1 then
           evictions := !evictions + List.length displaced - 1;
         match tactic with
@@ -624,6 +820,13 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
             decr eliminated_global;
             incr skipped_sites;
             (a, Dataflow.Elimtab.Skip)
+          | Dataflow.Elimtab.Hoist (s, _, _)
+            when Hashtbl.mem skipped_plan_sites s ->
+            (* the widened covering check was never emitted: the site
+               is uninstrumented, audit it as a degradation *)
+            decr hoisted_members;
+            incr skipped_sites;
+            (a, Dataflow.Elimtab.Skip)
           | _ -> (a, r))
         !elim_records
   end;
@@ -665,6 +868,7 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
     [
       ("elide.clear", !eliminated);
       ("elide.dom", !eliminated_global);
+      ("elide.hoist", !hoisted_members);
       ("emit.full", !emit_full);
       ("emit.redzone", !emit_redzone);
       ("emit.temporal", !emit_temporal);
@@ -698,6 +902,8 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
       trap_patches = !trap_patches;
       degraded_sites = !degraded_sites;
       skipped_sites = !skipped_sites;
+      hoisted_checks = !hoisted_checks;
+      widened_span_bytes = !widened_span_bytes;
       text_bytes = String.length text.bytes;
       tramp_bytes = String.length tramp_bytes;
       checks_by_kind;
@@ -742,9 +948,11 @@ let pp_stats fmt (s : stats) =
      trap patches:      %d@,\
      degraded sites:    %d@,\
      skipped sites:     %d@,\
+     hoisted checks:    %d (hull %d bytes)@,\
      text bytes:        %d@,\
      trampoline bytes:  %d@]"
     s.instrs_total s.mem_ops s.eliminated s.eliminated_global s.instrumented
     s.full_sites s.redzone_sites s.temporal_sites s.trampolines s.checks_emitted
     s.zero_save_sites s.jump_patches s.evictions s.trap_patches
-    s.degraded_sites s.skipped_sites s.text_bytes s.tramp_bytes
+    s.degraded_sites s.skipped_sites s.hoisted_checks s.widened_span_bytes
+    s.text_bytes s.tramp_bytes

@@ -18,6 +18,17 @@ type options = {
           [Some sites]: under the [Lowfat] backend, Full only for
           listed sites, Redzone otherwise (production phase of the §5
           workflow); other backends plan independently of it. *)
+  hoist : bool;
+      (** loop-aware check hoisting: a member of a counted loop whose
+          access hull is derivable ({!Dataflow.Loops.member_hoist})
+          and whose variant the backend can widen
+          ({!Backend.Check_backend.S.widen}) is covered by one widened
+          check in the loop preheader instead of a per-iteration
+          check.  Every covered site is recorded in [.elimtab] as a
+          proof-carrying [hoist] entry that {!Dataflow.Verify}
+          re-derives and checks for subsumption.  Off in every preset
+          except {!with_hoist}, keeping default outputs byte-identical
+          to the pre-hoist rewriter. *)
   profiling : bool;
       (** profiling build: per-site checks (no merging), all Full *)
   backend : Backend.Check_backend.id;
@@ -39,6 +50,9 @@ val optimized : options
     elimination and liveness-driven save specialization. *)
 
 val production : allowlist:int list -> options
+
+val with_hoist : options
+(** {!optimized} plus loop-aware check hoisting (the CLI's [--hoist]). *)
 
 val profiling_build : options
 (** Per-site observable checks; global elimination is forced off (an
@@ -71,6 +85,11 @@ type stats = {
       (** sites left uninstrumented after both emission attempts
           faulted, each recorded as an [.elimtab] [skip] entry the
           soundness linter audits *)
+  hoisted_checks : int;
+      (** widened checks emitted in loop preheaders, each standing in
+          for the per-iteration checks of every site it covers *)
+  widened_span_bytes : int;
+      (** total hull width (hi - lo) across emitted hoisted checks *)
   text_bytes : int;
   tramp_bytes : int;
   checks_by_kind : (string * int) list;
@@ -78,7 +97,8 @@ type stats = {
           rule: [emit.full]/[emit.redzone]/[emit.temporal] (emitted
           checks per variant), [elide.clear] (local elimination: operand provably
           never reaches the heap), [elide.dom] (global elimination:
-          covered by a dominating available check),
+          covered by a dominating available check), [elide.hoist]
+          (sites covered by a widened loop-preheader check),
           [patch.jump]/[patch.trap], [degrade.redzone]/[degrade.skip]
           (fault degradations).  Deterministic; folded into bench JSON
           per-target counters and gated by [tools/bench_diff]. *)

@@ -10,6 +10,7 @@ let () =
       ("parser", Test_parser.tests);
       ("rewriter", Test_rewriter.tests);
       ("dataflow", Test_dataflow.tests);
+      ("hoist", Test_hoist.tests);
       ("shared-objects", Test_shared_objects.tests);
       ("profile", Test_profile.tests);
       ("fuzzer", Test_fuzzer.tests);

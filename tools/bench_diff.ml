@@ -10,9 +10,12 @@
      - any overhead ratio (unopt/elim/batch/merge/...) grew by more
        than the threshold;
      - the emitted-check counters went up: checks_emitted, any
-       per-check-kind emit.* counter, or any per-backend backend.*
-       counter (more emitted checks means the eliminators lost
-       ground, under any backend).
+       per-check-kind emit.* counter, any per-backend backend.*
+       counter, or hoist.checks_emitted (more emitted checks means
+       the eliminators lost ground, under any backend or with loop
+       hoisting enabled);
+     - the hoisted_checks counter went down (the loop hoister proved
+       fewer loops than before: lost static-analysis ground).
 
    New targets and improvements are fine.  wall_seconds is ignored
    everywhere: it is the only machine-dependent field; cycles come
@@ -115,7 +118,7 @@ let check_target name base fresh =
   List.iter
     (fun (k, b) ->
       let gated =
-        k = "checks_emitted"
+        k = "checks_emitted" || k = "hoist.checks_emitted"
         || (String.length k >= 5 && String.sub k 0 5 = "emit.")
         || (String.length k >= 8 && String.sub k 0 8 = "backend.")
       in
@@ -123,6 +126,14 @@ let check_target name base fresh =
         match List.assoc_opt k fresh_counters with
         | Some f when f > b ->
           fail "%s: counter %s increased (%.0f -> %.0f)" name k b f
+        | Some _ -> ()
+        | None -> fail "%s: counter %s missing from fresh report" name k
+      (* hoisted checks are a gain: losing some means the hoister
+         stopped proving loops it used to prove *)
+      else if k = "hoisted_checks" then
+        match List.assoc_opt k fresh_counters with
+        | Some f when f < b ->
+          fail "%s: counter %s decreased (%.0f -> %.0f)" name k b f
         | Some _ -> ()
         | None -> fail "%s: counter %s missing from fresh report" name k)
     (table "counters" base)
