@@ -7,7 +7,7 @@ EXAMPLES := $(wildcard examples/*.mc)
 BENCH_DIFF := _build/default/tools/bench_diff.exe
 
 .PHONY: all build test check lint doc-check bench bench-json bench-gate \
-	bench-baseline ci clean
+	bench-baseline serve-smoke bench-serve-gate bench-serve-baseline ci clean
 
 all: build
 
@@ -71,6 +71,43 @@ bench-baseline: build
 	$(BENCH) table1 --jobs 2 --out bench/baseline.json > /dev/null
 	@echo "wrote bench/baseline.json -- commit it with the explaining change"
 
+# serving-tier smoke: start the daemon on a Unix socket, drive a
+# scripted request mix through the client on every backend, assert a
+# nonzero hot-tier hit count, then check clean SIGTERM shutdown
+serve-smoke: build
+	@set -e; for b in redzone lowfat temporal; do \
+	  sock=/tmp/redfat-serve-smoke-$$b.sock; \
+	  printf '%s\n' \
+	    '{"id":"h1","op":"harden","target":"spec:mcf","backend":"'$$b'"}' \
+	    '{"id":"h2","op":"harden","target":"spec:mcf","backend":"'$$b'"}' \
+	    '{"id":"h3","op":"harden","target":"spec:mcf","backend":"'$$b'"}' \
+	    '{"id":"v1","op":"verify","target":"spec:mcf","backend":"'$$b'"}' \
+	    '{"id":"t1","op":"trace","target":"uaf:double-free","backend":"'$$b'"}' \
+	    '{"id":"s1","op":"stats"}' \
+	    > _build/serve-smoke-$$b.jsonl; \
+	  $(REDFAT) serve --socket $$sock --no-cache \
+	    > _build/serve-smoke-$$b.log & pid=$$!; \
+	  $(REDFAT) serve --socket $$sock --send _build/serve-smoke-$$b.jsonl \
+	    > _build/serve-smoke-$$b.out; \
+	  grep -q '"serve.cache.hits": [1-9]' _build/serve-smoke-$$b.out; \
+	  kill -TERM $$pid; wait $$pid; \
+	  test ! -e $$sock; \
+	  echo "backend $$b: serve smoke OK"; \
+	done
+
+# the serving-tier regression gate: the Zipf traffic simulation through
+# the daemon's request path; gates the warm-phase hit rate
+# (serve.warm.hit_permille must not decrease) and the emitted-check
+# counters.  Throughput and latency are reported but never gated.
+bench-serve-gate: build
+	$(BENCH) serve --out BENCH_serve.json > /dev/null
+	$(BENCH_DIFF) bench/serve_baseline.json BENCH_serve.json
+
+# after an INTENTIONAL serving/cache change: refresh the fleet baseline
+bench-serve-baseline: build
+	$(BENCH) serve --out bench/serve_baseline.json > /dev/null
+	@echo "wrote bench/serve_baseline.json -- commit it with the explaining change"
+
 # everything CI runs, in one local command (mirrors .github/workflows/ci.yml)
 ci: build test lint doc-check
 	@set -e; for b in redzone lowfat temporal; do \
@@ -85,6 +122,8 @@ ci: build test lint doc-check
 	done
 	$(BENCH) fig4 --jobs 2
 	$(MAKE) bench-gate
+	$(MAKE) serve-smoke
+	$(MAKE) bench-serve-gate
 
 clean:
 	dune clean

@@ -3,7 +3,7 @@
    argument for everything, or with one of:
 
      table1 table2 table2x fig1 fig2 fig3 fig4 fig5 fig67 fig8
-     fps detected uaf stats sec74 ablation bechamel
+     fps detected uaf stats sec74 ablation serve bechamel
 
    Flags (anywhere on the command line):
 
@@ -17,7 +17,8 @@
                    trace-event JSON (Perfetto-loadable)
 
    Output is byte-identical for any --jobs value (modulo fig8's
-   measured wall-clock rewrite-time line): workers never print;
+   measured wall-clock rewrite-time line and serve's throughput/
+   latency lines): workers never print;
    results are collected in deterministic order, then rendered.
    See EXPERIMENTS.md for paper-vs-measured. *)
 
@@ -990,6 +991,140 @@ let bechamel () =
     merged
 
 (* ------------------------------------------------------------------ *)
+(* serve: synthetic-fleet traffic through the hardening daemon         *)
+(* ------------------------------------------------------------------ *)
+
+(* Zipf-distributed request stream over the Table-1 targets plus the
+   example MiniC sources, processed sequentially through
+   Serve.Server.handle so the hit/miss classification -- and therefore
+   the gated serve.warm.hit_permille counter -- is identical on every
+   run.  Wall-clock figures (throughput, latency percentiles) are
+   reported but never gated. *)
+
+let serve () =
+  hr "serve: synthetic-fleet traffic simulation (Zipf over Table-1 targets)";
+  let t0 = wall () in
+  let srv = Serve.Server.create eng in
+  (* deterministic 48-bit LCG (java.util.Random constants) *)
+  let state = ref 0x5DEECE66D in
+  let rand () =
+    state := ((!state * 0x5DEECE66D) + 0xB) land 0xFFFF_FFFF_FFFF;
+    !state lsr 16
+  in
+  let fleet =
+    Array.of_list
+      (List.map
+         (fun (b : Workloads.Spec.bench) -> "spec:" ^ b.name)
+         Workloads.Spec.all
+      @ List.filter Sys.file_exists
+          [
+            "examples/victim.mc"; "examples/interp.mc";
+            "examples/fortran_idiom.mc";
+          ])
+  in
+  let n = Array.length fleet in
+  (* Zipf(1.0): weight of rank i is 1/(i+1); fleet order = rank order *)
+  let cum = Array.make n 0.0 in
+  let total = ref 0.0 in
+  Array.iteri
+    (fun i _ ->
+      total := !total +. (1.0 /. float (i + 1));
+      cum.(i) <- !total)
+    fleet;
+  let pick () =
+    let u = float (rand ()) /. 4294967296.0 *. !total in
+    let rec find i = if i >= n - 1 || cum.(i) >= u then i else find (i + 1) in
+    fleet.(find 0)
+  in
+  let request ~id ~op ~tgt =
+    Printf.sprintf "{\"id\": %S, \"op\": %S, \"target\": %S}" id op tgt
+  in
+  let field name line =
+    match Obs.Json.parse line with
+    | Error _ -> None
+    | Ok j -> Obs.Json.member name j
+  in
+  let int_field name line =
+    match Option.bind (field name line) Obs.Json.to_num with
+    | Some x -> int_of_float x
+    | None -> 0
+  in
+  (* cold phase: every target hardened once (first touch only ghosts,
+     so the hot tier admits on the warm phase's second touch) *)
+  let checks = ref 0 and cold_failed = ref 0 in
+  Array.iteri
+    (fun i tgt ->
+      let resp, ok =
+        Serve.Server.handle srv
+          (request ~id:(Printf.sprintf "c%d" i) ~op:"harden" ~tgt)
+      in
+      if ok then checks := !checks + int_field "checks_emitted" resp
+      else incr cold_failed)
+    fleet;
+  let cold_s = wall () -. t0 in
+  (* warm phase: Zipf-distributed fleet traffic, 80/15/5 op mix *)
+  let warm_n = 2000 in
+  let lat = Array.make warm_n 0.0 in
+  let warm_hits = ref 0 and warm_failed = ref 0 in
+  let t_warm = wall () in
+  for i = 0 to warm_n - 1 do
+    let tgt = pick () in
+    let op =
+      let r = rand () mod 100 in
+      if r < 80 then "harden" else if r < 95 then "verify" else "trace"
+    in
+    let t1 = wall () in
+    let resp, ok =
+      Serve.Server.handle srv (request ~id:(Printf.sprintf "w%d" i) ~op ~tgt)
+    in
+    lat.(i) <- (wall () -. t1) *. 1e6;
+    if not ok then incr warm_failed
+    else if
+      Option.bind (field "cache" resp) Obs.Json.to_str = Some "hit"
+    then incr warm_hits
+  done;
+  let warm_s = wall () -. t_warm in
+  Array.sort compare lat;
+  let percentile p =
+    let i = int_of_float (Float.ceil (p /. 100.0 *. float warm_n)) - 1 in
+    lat.(max 0 (min (warm_n - 1) i))
+  in
+  let p50 = percentile 50.0
+  and p95 = percentile 95.0
+  and p99 = percentile 99.0 in
+  let rps = float warm_n /. warm_s in
+  let st = Serve.Lru.stats (Serve.Server.lru srv) in
+  let permille = !warm_hits * 1000 / warm_n in
+  pf "cold:  %d targets in %.2fs (%d checks emitted, %d failed)\n" n cold_s
+    !checks !cold_failed;
+  pf "warm:  %d requests in %.2fs = %.0f req/s (wall-clock: not gated)\n"
+    warm_n warm_s rps;
+  pf "       hit rate %d/%d = %.1f%% (acceptance floor: 90%%)\n" !warm_hits
+    warm_n (float permille /. 10.0);
+  pf "       latency p50 %.0fus  p95 %.0fus  p99 %.0fus\n" p50 p95 p99;
+  pf
+    "hot tier: %d hit / %d miss / %d coalesced; %d admitted, %d evicted, %d \
+     bytes\n"
+    st.Serve.Lru.hits st.misses st.coalesced st.admitted st.evictions st.bytes;
+  target "serve:fleet"
+    ~counters:
+      [
+        ("serve.requests", n + warm_n);
+        ("serve.warm.requests", warm_n);
+        ("serve.warm.hits", !warm_hits);
+        ("serve.warm.hit_permille", permille);
+        ("serve.failed", !cold_failed + !warm_failed);
+        ("checks_emitted", !checks);
+        ("serve.hot.admitted", st.admitted);
+        ("serve.hot.evictions", st.evictions);
+        ("serve.p50_us", int_of_float p50);
+        ("serve.p95_us", int_of_float p95);
+        ("serve.p99_us", int_of_float p99);
+        ("serve.throughput_rps", int_of_float rps);
+      ]
+    t0
+
+(* ------------------------------------------------------------------ *)
 
 let all () =
   fig2 ();
@@ -1008,6 +1143,7 @@ let all () =
   stats ();
   sec74 ();
   ablation ();
+  serve ();
   bechamel ()
 
 let () =
@@ -1028,6 +1164,7 @@ let () =
   | "sec74" -> sec74 ()
   | "uaf" -> uaf ()
   | "stats" -> stats ()
+  | "serve" -> serve ()
   | "bechamel" -> bechamel ()
   | "all" -> all ()
   | other ->

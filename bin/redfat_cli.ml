@@ -32,120 +32,12 @@ let parse_inputs s =
                         "input script %S is not comma-separated integers" s;
                   }))
 
-(* --- workload registry ---------------------------------------------- *)
+(* --- workload registry (one resolver shared with the serve daemon
+   and the traffic bench: lib/serve/targets.ml) ----------------------- *)
 
-let workload_names () =
-  List.map (fun (b : Workloads.Spec.bench) -> "spec:" ^ b.name)
-    Workloads.Spec.all
-  @ List.map (fun (c : Workloads.Cve.case) -> "cve:" ^ c.name)
-      Workloads.Cve.all
-  @ List.map (fun (b : Workloads.Kraken.bench) -> "kraken:" ^ b.name)
-      Workloads.Kraken.all
-  @ List.map (fun (c : Workloads.Uaf.case) -> "uaf:" ^ c.id) Workloads.Uaf.all
-  @ [ "uaf:reuse"; "uaf:double-free"; "chrome"; "synth:<seed>" ]
-
-(* uaf: targets run their ATTACK input as the reference workload (like
-   cve: binaries from find_workload), so a Log-mode pipeline run shows
-   what the selected backend detects *)
-let find_uaf n : Minic.Ast.program * int list * int list =
-  match n with
-  | "reuse" -> (Workloads.Uaf.reuse_case, [], [])
-  | "double-free" -> (Workloads.Uaf.double_free_case, [ 0 ], [ 1 ])
-  | _ ->
-    let c = List.find (fun (c : Workloads.Uaf.case) -> c.id = n)
-        Workloads.Uaf.all
-    in
-    (c.program, Workloads.Uaf.benign_inputs, Workloads.Uaf.attack_inputs)
-
-let find_workload name : Binfmt.Relf.t * int list =
-  match String.split_on_char ':' name with
-  | [ "spec"; n ] ->
-    let b = Workloads.Spec.find n in
-    (Workloads.Spec.binary b, Workloads.Spec.ref_inputs b)
-  | [ "cve"; n ] ->
-    let c = List.find (fun (c : Workloads.Cve.case) -> c.name = n)
-        Workloads.Cve.all
-    in
-    (Workloads.Cve.binary c, c.attack_inputs)
-  | [ "kraken"; n ] ->
-    let b = Workloads.Kraken.find n in
-    (Workloads.Kraken.binary b, Workloads.Kraken.inputs b)
-  | [ "uaf"; n ] ->
-    let prog, _, attack = find_uaf n in
-    (Minic.Codegen.compile prog, attack)
-  | [ "chrome" ] -> (Workloads.Chrome.binary (), [ 0; 50 ])
-  | [ "synth"; seed ] ->
-    ( Minic.Codegen.compile
-        (Workloads.Synth.program ~seed:(int_of_string seed) ()),
-      [] )
-  | _ ->
-    Fault.fail
-      (Fault.Input
-         {
-           what = "target";
-           detail = "unknown workload " ^ name ^ " (try: redfat list)";
-         })
-
-(* Resolve a workflow target to (program, train suite, ref inputs).
-   Accepts the built-in workload names and MiniC source paths
-   (examples/victim.mc style), so the staged commands work on user
-   programs too. *)
-let find_program name : Minic.Ast.program * int list list * int list =
-  if Filename.check_suffix name ".mc" then begin
-    if not (Sys.file_exists name) then
-      Fault.fail
-        (Fault.Io { what = "read"; path = name; detail = "no such file" });
-    let src = In_channel.with_open_text name In_channel.input_all in
-    match Minic.Parser.parse_program src with
-    | prog -> (prog, [ [] ], [])
-    | exception Minic.Parser.Parse_error (msg, pos) ->
-      Fault.fail
-        (Fault.Parse
-           {
-             what = "source";
-             detail =
-               Printf.sprintf "%s:%d:%d: parse error: %s" name pos.line
-                 pos.col msg;
-           })
-    | exception Minic.Lexer.Lex_error (msg, pos) ->
-      Fault.fail
-        (Fault.Parse
-           {
-             what = "source";
-             detail =
-               Printf.sprintf "%s:%d:%d: lex error: %s" name pos.line pos.col
-                 msg;
-           })
-  end
-  else
-    match String.split_on_char ':' name with
-    | [ "spec"; n ] ->
-      let b = Workloads.Spec.find n in
-      ( Workloads.Spec.program b,
-        [ Workloads.Spec.train_inputs b ],
-        Workloads.Spec.ref_inputs b )
-    | [ "cve"; n ] ->
-      let c = List.find (fun (c : Workloads.Cve.case) -> c.name = n)
-          Workloads.Cve.all
-      in
-      (c.program, [ c.benign_inputs ], c.benign_inputs)
-    | [ "kraken"; n ] ->
-      let b = Workloads.Kraken.find n in
-      let inputs = Workloads.Kraken.inputs b in
-      (Workloads.Kraken.program b, [ inputs ], inputs)
-    | [ "uaf"; n ] ->
-      let prog, benign, attack = find_uaf n in
-      (prog, [ benign ], attack)
-    | [ "chrome" ] -> (Workloads.Chrome.program (), [ [ 0; 50 ] ], [ 0; 50 ])
-    | [ "synth"; seed ] ->
-      (Workloads.Synth.program ~seed:(int_of_string seed) (), [ [] ], [])
-    | _ ->
-      Fault.fail
-        (Fault.Input
-           {
-             what = "target";
-             detail = "unknown workload " ^ name ^ " (try: redfat list)";
-           })
+let workload_names = Serve.Targets.workload_names
+let find_workload = Serve.Targets.find_workload
+let find_program = Serve.Targets.find_program
 
 (* --- commands -------------------------------------------------------- *)
 
@@ -548,9 +440,11 @@ let pipeline_cmd =
       names results;
     Format.printf "%a@." Engine.Report.pp (Pl.report eng);
     let st = Pl.cache_stats eng in
-    Printf.printf "cache: %s, %d hits / %d misses / %d stores\n"
+    Printf.printf
+      "cache: %s, %d hits (%d mem / %d disk) / %d misses / %d stores\n"
       (if Pl.cache_enabled eng then "enabled" else "disabled")
-      st.Engine.Cache.hits st.Engine.Cache.misses st.Engine.Cache.stores;
+      st.Engine.Cache.hits st.Engine.Cache.hits_mem st.Engine.Cache.hits_disk
+      st.Engine.Cache.misses st.Engine.Cache.stores;
     (match out with
     | Some f ->
       Out_channel.with_open_text f (fun oc ->
@@ -760,6 +654,172 @@ let trace_cmd =
       const run $ target $ inputs_arg $ limit $ jobs_arg $ backend_arg
       $ hoist_arg $ out)
 
+let serve_cmd =
+  let doc =
+    "Run the hardening-as-a-service daemon: a stream of line-delimited \
+     JSON harden/verify/trace requests answered from a size-bounded \
+     shared LRU hot cache (admission on second touch, eviction by bytes, \
+     single-flight deduplication) layered above the engine's artifact \
+     cache, with per-request fault isolation — a poisoned request \
+     answers ok:false with its typed fault and the daemon keeps \
+     serving.  Three transports: $(b,--socket) listens on a \
+     Unix-domain socket until SIGTERM or a shutdown request (clean \
+     exit 0); $(b,--script) handles a request file in-process and \
+     exits 2 if any request failed (deterministic testing); \
+     $(b,--socket) with $(b,--send) is the client, streaming a request \
+     file to a running daemon and printing each response."
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on this Unix-domain socket (daemon mode); with \
+                $(b,--send), connect to it instead (client mode).")
+  in
+  let script_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "script" ] ~docv:"FILE"
+          ~doc:"Handle the request lines of FILE in-process and print each \
+                response (batch mode; exclusive with --socket).")
+  in
+  let send_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "send" ] ~docv:"FILE"
+          ~doc:"Client mode (requires --socket): stream FILE's request \
+                lines to the daemon and print each response; exit 2 if \
+                any response is not ok.")
+  in
+  let mem_arg =
+    Arg.(
+      value
+      & opt int (64 * 1024 * 1024)
+      & info [ "mem-bytes" ] ~docv:"N"
+          ~doc:"Byte capacity of the shared LRU hot cache (default 64 MiB).")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:"Disable the engine's content-addressed artifact cache \
+                underneath the hot tier.")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:"Persist engine artifacts on disk so daemon restarts start \
+                warm.")
+  in
+  let inject_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject" ] ~docv:"SPEC"
+          ~doc:"Deterministic fault injection (testing), as in \
+                $(b,redfat pipeline --inject); the canonical spec is part \
+                of every hot-cache key.  Defaults to \\$REDFAT_FAULT.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"On exit, write the serving report (serve.req.*/\
+                serve.cache.* counters, latency histogram, spans, faults) \
+                as JSON.")
+  in
+  let read_lines file =
+    In_channel.with_open_text file In_channel.input_all
+    |> String.split_on_char '\n'
+  in
+  let run socket script send mem_bytes jobs no_cache cache_dir inject_spec out
+      =
+    let inject =
+      match inject_spec with
+      | None -> Engine.Faultinject.of_env ()
+      | Some s -> (
+        match Engine.Faultinject.parse s with
+        | Ok t -> t
+        | Error e ->
+          Fault.fail (Fault.Input { what = "script"; detail = "--inject: " ^ e }))
+    in
+    match (socket, script, send) with
+    | Some sock, None, Some file ->
+      (* client: no engine on this side *)
+      let failed =
+        Serve.Server.send ~socket:sock ~lines:(read_lines file)
+          ~emit:print_endline
+      in
+      if failed > 0 then begin
+        Printf.eprintf "serve: %d request(s) failed\n" failed;
+        exit 2
+      end
+    | None, _, Some _ ->
+      Fault.fail
+        (Fault.Input { what = "script"; detail = "--send requires --socket" })
+    | Some _, Some _, None ->
+      Fault.fail
+        (Fault.Input
+           { what = "script"; detail = "--socket and --script are exclusive" })
+    | None, None, None ->
+      Fault.fail
+        (Fault.Input
+           { what = "script"; detail = "need --socket or --script" })
+    | _ ->
+      let eng =
+        Engine.Pipeline.create ~jobs ~cache:(not no_cache) ?cache_dir ~inject
+          ()
+      in
+      let srv = Serve.Server.create ~mem_bytes eng in
+      let write_out () =
+        match out with
+        | Some f ->
+          Out_channel.with_open_text f (fun oc ->
+              Out_channel.output_string oc (Engine.Pipeline.emit_json eng ()));
+          Printf.printf "wrote %s (serving report JSON)\n" f
+        | None -> ()
+      in
+      let failed =
+        match (socket, script) with
+        | Some sock, None ->
+          let stop _ = Serve.Server.request_stop srv in
+          Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+          Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+          Printf.printf "serving on %s (%d job(s), %d MiB hot cache)\n%!"
+            sock jobs
+            (mem_bytes / (1024 * 1024));
+          Serve.Server.listen srv ~socket:sock;
+          print_endline "serve: shutting down";
+          0
+        | None, Some file ->
+          Serve.Server.run_script srv ~lines:(read_lines file)
+            ~emit:print_endline
+        | _ -> assert false
+      in
+      let ls = Serve.Lru.stats (Serve.Server.lru srv) in
+      Printf.printf
+        "serve: %d hit / %d miss / %d coalesced; %d admitted, %d evicted, \
+         %d bytes hot\n"
+        ls.Serve.Lru.hits ls.Serve.Lru.misses ls.Serve.Lru.coalesced
+        ls.Serve.Lru.admitted ls.Serve.Lru.evictions ls.Serve.Lru.bytes;
+      write_out ();
+      Engine.Pipeline.close eng;
+      if failed > 0 then begin
+        Printf.eprintf "serve: %d request(s) failed\n" failed;
+        exit 2
+      end
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ socket_arg $ script_arg $ send_arg $ mem_arg $ jobs_arg
+      $ no_cache $ cache_dir $ inject_arg $ out_arg)
+
 let errors_cmd =
   let doc =
     "Print the typed fault taxonomy (stable codes, severities, meanings, \
@@ -792,7 +852,7 @@ let main_cmd =
   Cmd.group info
     [ list_cmd; workload_cmd; compile_cmd; disasm_cmd; harden_cmd;
       verify_cmd; profile_cmd; pipeline_cmd; fuzz_cmd; run_cmd; trace_cmd;
-      errors_cmd ]
+      serve_cmd; errors_cmd ]
 
 (* every command runs under the fault boundary: an escaping exception
    is classified into the typed taxonomy and printed as one stable

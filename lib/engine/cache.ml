@@ -1,5 +1,7 @@
 type stats = {
   mutable hits : int;
+  mutable hits_mem : int;
+  mutable hits_disk : int;
   mutable misses : int;
   mutable stores : int;
   mutable stale : int;
@@ -34,8 +36,8 @@ let create ?(enabled = true) ?dir ?notify () =
     mem = Hashtbl.create 64;
     dir = (if enabled then dir else None);
     on = enabled;
-    st = { hits = 0; misses = 0; stores = 0; stale = 0; corrupt = 0;
-           retries = 0 };
+    st = { hits = 0; hits_mem = 0; hits_disk = 0; misses = 0; stores = 0;
+           stale = 0; corrupt = 0; retries = 0 };
     notify;
   }
 
@@ -104,12 +106,14 @@ let disk_store dir k blob =
 let memo (type a) t ~key (compute : unit -> a) : a =
   if not t.on then compute ()
   else begin
+    (* track which tier satisfied the lookup so hits can be attributed
+       (memory hit = no IO, disk hit = read + unmarshal + promotion) *)
     let cached =
       Mutex.lock t.lock;
       let hit = Hashtbl.find_opt t.mem key in
       Mutex.unlock t.lock;
       match hit with
-      | Some blob -> Some blob
+      | Some blob -> Some (blob, `Mem)
       | None -> (
         match t.dir with
         | None -> None
@@ -119,7 +123,7 @@ let memo (type a) t ~key (compute : unit -> a) : a =
             Mutex.lock t.lock;
             Hashtbl.replace t.mem key blob;
             Mutex.unlock t.lock;
-            Some blob
+            Some (blob, `Disk)
           | Absent -> None
           | Stale ->
             Mutex.lock t.lock;
@@ -137,12 +141,12 @@ let memo (type a) t ~key (compute : unit -> a) : a =
     let unmarshalled =
       match cached with
       | None -> None
-      | Some blob -> (
+      | Some (blob, tier) -> (
         (* a blob with the right magic can still be truncated by a torn
            write predating the tmp+rename discipline, or bit-rotted:
            treat an unmarshal failure as Corrupt and recompute *)
         match (Marshal.from_string blob 0 : a) with
-        | v -> Some v
+        | v -> Some (v, tier)
         | exception _ ->
           Mutex.lock t.lock;
           t.st.corrupt <- t.st.corrupt + 1;
@@ -155,11 +159,14 @@ let memo (type a) t ~key (compute : unit -> a) : a =
           None)
     in
     match unmarshalled with
-    | Some v ->
+    | Some (v, tier) ->
       Mutex.lock t.lock;
       t.st.hits <- t.st.hits + 1;
+      (match tier with
+      | `Mem -> t.st.hits_mem <- t.st.hits_mem + 1
+      | `Disk -> t.st.hits_disk <- t.st.hits_disk + 1);
       Mutex.unlock t.lock;
-      notify t "hit";
+      notify t (match tier with `Mem -> "hit.mem" | `Disk -> "hit.disk");
       v
     | None ->
       let v = compute () in

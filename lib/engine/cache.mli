@@ -13,7 +13,9 @@
     mutable state between worker domains. *)
 
 type stats = {
-  mutable hits : int;
+  mutable hits : int;       (** total hits, [hits_mem + hits_disk] *)
+  mutable hits_mem : int;   (** served by the in-memory table (no IO) *)
+  mutable hits_disk : int;  (** read from the disk tier (and promoted) *)
   mutable misses : int;
   mutable stores : int;   (** artifacts written to the disk tier *)
   mutable stale : int;    (** artifacts rejected for an old format magic *)
@@ -28,9 +30,10 @@ val create :
 (** [dir]: enable the disk tier in that directory (created on
     demand).  [enabled = false] turns the cache into a pass-through
     that counts every lookup as a miss.  [notify]: called with
-    ["hit"], ["miss"], ["store"], ["stale"], ["corrupt"], or
-    ["store-failed"] per lookup outcome (outside the cache lock, from
-    the calling domain — e.g. to bump lock-free [Obs] counters). *)
+    ["hit.mem"], ["hit.disk"], ["miss"], ["store"], ["stale"],
+    ["corrupt"], or ["store-failed"] per lookup outcome (outside the
+    cache lock, from the calling domain — e.g. to bump lock-free [Obs]
+    counters). *)
 
 val enabled : t -> bool
 val stats : t -> stats

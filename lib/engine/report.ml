@@ -112,9 +112,9 @@ let to_json ?cache ?(cache_enabled = true) ?(extra = []) t =
   (match cache with
   | Some (c : Cache.stats) ->
     add
-      "  \"cache\": { \"enabled\": %b, \"hits\": %d, \"misses\": %d, \
-       \"stores\": %d },\n"
-      cache_enabled c.hits c.misses c.stores
+      "  \"cache\": { \"enabled\": %b, \"hits\": %d, \"hits_mem\": %d, \
+       \"hits_disk\": %d, \"misses\": %d, \"stores\": %d },\n"
+      cache_enabled c.hits c.hits_mem c.hits_disk c.misses c.stores
   | None -> ());
   add "  \"stages\": {\n";
   let stages = stage_summary t in

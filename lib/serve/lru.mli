@@ -1,0 +1,68 @@
+(** The shared hot tier of the serving daemon: a size-bounded,
+    mutex-guarded LRU cache of marshalled artifact blobs, layered above
+    the engine's content-addressed {!Engine.Cache} (whose memory table
+    is unbounded and whose disk tier pays an unmarshal-plus-IO round
+    trip per hit).
+
+    Three properties distinguish it from a plain memo table:
+
+    - {e admission on second touch}: a key's first computation is
+      remembered only in a bounded ghost set; the blob itself is
+      admitted to the cache when the key is touched again (or when a
+      concurrent burst proves it hot).  One-shot requests therefore
+      never displace the working set.
+    - {e eviction by bytes}: admission accounts the blob's size and
+      evicts least-recently-used entries until the configured byte
+      capacity holds.  A blob larger than the whole capacity is never
+      admitted (and evicts nothing).  Evicted keys fall back into the
+      ghost set, so a re-touched victim re-admits on its next
+      computation.
+    - {e single-flight}: concurrent [get]s of the same absent key run
+      the computation once; the others block on a condition variable
+      and share the result (a raising computation re-raises in every
+      waiter, and nothing is admitted).
+
+    Values are immutable [string] blobs (by convention [Marshal]
+    output), so cached artifacts are never shared mutable state
+    between worker domains — like {!Engine.Cache}, every consumer
+    unmarshals its own copy. *)
+
+type stats = {
+  mutable hits : int;       (** blob served from the hot tier *)
+  mutable misses : int;     (** computation ran (single-flight leader) *)
+  mutable coalesced : int;  (** waited on another request's computation *)
+  mutable admitted : int;   (** blobs inserted (second touch reached) *)
+  mutable evictions : int;  (** blobs evicted to respect the byte bound *)
+  mutable oversize : int;   (** blobs larger than the whole capacity *)
+  mutable bytes : int;      (** resident blob bytes (≤ capacity) *)
+}
+
+type t
+
+val create :
+  ?cap_bytes:int -> ?ghost_cap:int -> ?notify:(string -> unit) -> unit -> t
+(** [cap_bytes] (default 64 MiB): resident-blob byte bound.
+    [ghost_cap] (default 4096): keys remembered as touched-once.
+    [notify]: called outside the lock with ["hits"], ["misses"],
+    ["coalesced"], ["admitted"], ["evictions"] or ["oversize"] per
+    event — e.g. to bump lock-free [Obs] counters. *)
+
+val cap_bytes : t -> int
+val stats : t -> stats
+
+type outcome = Hit | Miss | Coalesced
+
+val outcome_name : outcome -> string
+(** ["hit"], ["miss"], ["coalesced"]. *)
+
+val get : t -> key:string -> (unit -> string) -> string * outcome
+(** [get t ~key compute]: the blob for [key] — from the cache ([Hit]),
+    from another in-flight request's computation ([Coalesced]), or by
+    running [compute] ([Miss]).  [compute] runs outside the lock; its
+    exception propagates to the leader and every coalesced waiter. *)
+
+val mem : t -> string -> bool
+(** Residency probe: no stats effect, no recency update (tests). *)
+
+val keys_mru : t -> string list
+(** Resident keys, most-recently-used first (tests). *)

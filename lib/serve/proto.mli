@@ -1,0 +1,56 @@
+(** The serving wire protocol: one JSON object per line, in both
+    directions.  Requests are parsed with the in-tree {!Obs.Json}
+    reader (unknown fields ignored); responses are rendered as
+    single-line JSON.
+
+    Request schema (see docs/MANUAL.md, "redfat serve"):
+    {v
+    {"id": "r1", "op": "harden", "target": "spec:mcf",
+     "backend": "lowfat", "hoist": false}
+    v}
+
+    [op] is required; [target] is required for [harden]/[verify]/
+    [trace]; [id] defaults to ["-"]; [backend] defaults to the
+    engine default; [hoist] defaults to [false].
+
+    A malformed line is a {e data} error: it yields one
+    [{"id":..., "ok": false, "error": ...}] response and the
+    connection (and daemon) keeps serving. *)
+
+type op = Harden | Verify | Trace | Stats | Ping | Shutdown
+
+val op_name : op -> string
+val op_of_name : string -> op option
+val ops : op list
+
+type request = {
+  rq_id : string;
+  rq_op : op;
+  rq_target : string;  (** [""] for target-less ops *)
+  rq_backend : Backend.Check_backend.id;
+  rq_hoist : bool;
+}
+
+val needs_target : op -> bool
+val parse_request : string -> (request, string) result
+
+(** {2 Response rendering} *)
+
+type field =
+  | B of bool
+  | I of int
+  | F of float
+  | S of string
+  | R of string  (** pre-rendered JSON, embedded verbatim *)
+
+val obj : (string * field) list -> string
+(** One-line JSON object. *)
+
+val response : id:string -> op:op -> ok:bool -> (string * field) list -> string
+(** [{"id":..., "op":..., "ok":...}] plus the given fields. *)
+
+val error_response : id:string -> detail:string -> string
+(** The parse-failure response (no op to echo). *)
+
+val response_ok : string -> bool
+(** Client-side: does this response line carry ["ok": true]? *)

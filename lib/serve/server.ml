@@ -1,0 +1,318 @@
+module Pl = Engine.Pipeline
+module Fault = Engine.Fault
+module Rw = Redfat.Rewrite
+
+type t = {
+  eng : Pl.t;
+  lru : Lru.t;
+  stop : bool Atomic.t;
+}
+
+let obs t = Pl.obs t.eng
+
+let create ?(mem_bytes = 64 * 1024 * 1024) eng =
+  let o = Pl.obs eng in
+  {
+    eng;
+    lru =
+      Lru.create ~cap_bytes:mem_bytes
+        ~notify:(fun ev -> Obs.add o ("serve.cache." ^ ev))
+        ();
+    stop = Atomic.make false;
+  }
+
+let engine t = t.eng
+let lru t = t.lru
+let stop_requested t = Atomic.get t.stop
+let request_stop t = Atomic.set t.stop true
+
+(* --- the served artifact --------------------------------------------- *)
+
+(* everything a harden/verify/trace response needs, computed once per
+   (target, backend, hoist) and held in the hot tier as a marshal blob.
+   The hardened binary rides along serialized, so a trace request on a
+   hot key replays the hardened run without recompiling or rewriting;
+   the baseline run happens at compute time for the same reason. *)
+type artifact = {
+  a_target : string;
+  a_backend : string;
+  a_hoist : bool;
+  a_binary : string;  (* Binfmt.Relf.serialize of the hardened binary *)
+  a_inputs : int list;
+  a_base_cycles : int;
+  a_checks_emitted : int;
+  a_trampolines : int;
+  a_code_bytes : int;
+  a_hoisted : int;
+}
+
+let artifact_key t (rq : Proto.request) =
+  Engine.Cache.key ~kind:"serve"
+    [
+      rq.rq_target;
+      Backend.Check_backend.name rq.rq_backend;
+      (if rq.rq_hoist then "hoist" else "nohoist");
+      (* injected runs must never share artifacts with clean runs *)
+      Engine.Faultinject.to_string (Pl.inject t.eng);
+    ]
+
+(* the full Figure-5 workflow; each primitive below goes through the
+   engine's own two-tier artifact cache, so a hot-tier miss still reuses
+   any compile/profile/harden artifacts the disk tier holds *)
+let compute_artifact t (rq : Proto.request) : artifact =
+  let prog, train, inputs = Targets.find_program rq.rq_target in
+  let bin = Pl.compile t.eng prog in
+  let allow = Pl.profile t.eng ~test_suite:train bin in
+  let opts =
+    { Rw.optimized with
+      allowlist = Some allow;
+      backend = rq.rq_backend;
+      hoist = rq.rq_hoist }
+  in
+  let hard = Pl.harden t.eng ~opts bin in
+  (match Pl.verify t.eng hard.Rw.binary with
+  | Error e -> Fault.fail (Fault.Verify { unaccounted = 0; detail = e })
+  | Ok r ->
+    if not (Redfat.Verify.ok r) then
+      Fault.fail
+        (Fault.Verify
+           {
+             unaccounted = List.length r.Redfat.Verify.failures;
+             detail = "soundness audit failed";
+           }));
+  let base, bv = Pl.run_baseline t.eng ~inputs bin in
+  (match bv with
+  | Redfat.Finished _ -> ()
+  | v ->
+    Fault.fail
+      (Fault.Run { what = "baseline"; detail = Redfat.verdict_to_string v }));
+  {
+    a_target = rq.rq_target;
+    a_backend = Backend.Check_backend.name rq.rq_backend;
+    a_hoist = rq.rq_hoist;
+    a_binary = Binfmt.Relf.serialize hard.Rw.binary;
+    a_inputs = inputs;
+    a_base_cycles = base.Redfat.cycles;
+    a_checks_emitted = hard.Rw.stats.Rw.checks_emitted;
+    a_trampolines = hard.Rw.stats.Rw.trampolines;
+    a_code_bytes = hard.Rw.stats.Rw.text_bytes + hard.Rw.stats.Rw.tramp_bytes;
+    a_hoisted = hard.Rw.stats.Rw.hoisted_checks;
+  }
+
+let artifact t (rq : Proto.request) : artifact * Lru.outcome =
+  let blob, outcome =
+    Lru.get t.lru ~key:(artifact_key t rq) (fun () ->
+        Marshal.to_string (compute_artifact t rq) [])
+  in
+  ((Marshal.from_string blob 0 : artifact), outcome)
+
+(* --- per-op responses ------------------------------------------------ *)
+
+let artifact_fields (a : artifact) (outcome : Lru.outcome) =
+  [
+    ("target", Proto.S a.a_target);
+    ("backend", Proto.S a.a_backend);
+    ("hoist", Proto.B a.a_hoist);
+    ("cache", Proto.S (Lru.outcome_name outcome));
+    ("checks_emitted", Proto.I a.a_checks_emitted);
+    ("trampolines", Proto.I a.a_trampolines);
+    ("code_bytes", Proto.I a.a_code_bytes);
+    ("hoisted_checks", Proto.I a.a_hoisted);
+    ("baseline_cycles", Proto.I a.a_base_cycles);
+  ]
+
+let run_op t (rq : Proto.request) : (string * Proto.field) list =
+  match rq.rq_op with
+  | Proto.Ping -> [ ("pong", Proto.B true) ]
+  | Proto.Shutdown ->
+    request_stop t;
+    [ ("stopping", Proto.B true) ]
+  | Proto.Stats ->
+    let ls = Lru.stats t.lru in
+    let cs = Pl.cache_stats t.eng in
+    [
+      ("serve.cache.hits", Proto.I ls.Lru.hits);
+      ("serve.cache.misses", Proto.I ls.Lru.misses);
+      ("serve.cache.coalesced", Proto.I ls.Lru.coalesced);
+      ("serve.cache.admitted", Proto.I ls.Lru.admitted);
+      ("serve.cache.evictions", Proto.I ls.Lru.evictions);
+      ("serve.cache.bytes", Proto.I ls.Lru.bytes);
+      ("serve.cache.cap_bytes", Proto.I (Lru.cap_bytes t.lru));
+      ("cache.hit.mem", Proto.I cs.Engine.Cache.hits_mem);
+      ("cache.hit.disk", Proto.I cs.Engine.Cache.hits_disk);
+      ("cache.miss", Proto.I cs.Engine.Cache.misses);
+    ]
+  | Proto.Harden ->
+    let a, outcome = artifact t rq in
+    artifact_fields a outcome
+  | Proto.Verify -> (
+    let a, outcome = artifact t rq in
+    let bin = Binfmt.Relf.parse a.a_binary in
+    match Pl.verify t.eng bin with
+    | Error e -> Fault.fail (Fault.Verify { unaccounted = 0; detail = e })
+    | Ok r ->
+      let failures = List.length r.Redfat.Verify.failures in
+      if not (Redfat.Verify.ok r) then
+        Fault.fail
+          (Fault.Verify { unaccounted = failures; detail = "audit failed" });
+      [
+        ("target", Proto.S a.a_target);
+        ("backend", Proto.S a.a_backend);
+        ("cache", Proto.S (Lru.outcome_name outcome));
+        ("verified", Proto.B true);
+        ("accounted", Proto.I r.Redfat.Verify.total);
+      ])
+  | Proto.Trace ->
+    let a, outcome = artifact t rq in
+    let bin = Binfmt.Relf.parse a.a_binary in
+    let hrun =
+      Pl.run_hardened t.eng
+        ~options:{ Redfat.Runtime.default_options with mode = Log }
+        ~inputs:a.a_inputs bin
+    in
+    let cycles = hrun.Redfat.run.Redfat.cycles in
+    [
+      ("target", Proto.S a.a_target);
+      ("backend", Proto.S a.a_backend);
+      ("cache", Proto.S (Lru.outcome_name outcome));
+      ("verdict", Proto.S (Redfat.verdict_to_string hrun.Redfat.verdict));
+      ("baseline_cycles", Proto.I a.a_base_cycles);
+      ("hardened_cycles", Proto.I cycles);
+      ( "overhead",
+        Proto.F (float_of_int cycles /. float_of_int (max 1 a.a_base_cycles))
+      );
+      ( "detected",
+        Proto.I (List.length (Redfat.Runtime.errors hrun.Redfat.rt)) );
+    ]
+
+(* --- the request boundary -------------------------------------------- *)
+
+(* one request line in, one response line out.  The engine's protect
+   boundary isolates the request: a poisoned target (bad name, parse
+   fault, injected fault, failed audit, crashing run) answers ok:false
+   with the typed fault attached — the daemon, and even the connection,
+   keep serving. *)
+let handle t line : string * bool =
+  let o = obs t in
+  match Proto.parse_request line with
+  | Error e ->
+    Obs.add o "serve.req.badline";
+    (Proto.error_response ~id:"-" ~detail:e, false)
+  | Ok rq ->
+    let opn = Proto.op_name rq.rq_op in
+    Obs.add o ("serve.req." ^ opn);
+    let t0 = Unix.gettimeofday () in
+    let label = if rq.rq_target = "" then "serve:" ^ opn else rq.rq_target in
+    let resp =
+      Obs.span o ~cat:"serve" ("serve." ^ opn) (fun () ->
+          match Pl.protect t.eng ~target:label (fun () -> run_op t rq) with
+          | Ok fields ->
+            Proto.response ~id:rq.rq_id ~op:rq.rq_op ~ok:true fields
+          | Error f ->
+            Obs.add o "serve.fault";
+            Proto.response ~id:rq.rq_id ~op:rq.rq_op ~ok:false
+              [ ("fault", Proto.R (Fault.to_json f)) ])
+    in
+    Obs.observe o "serve.latency_us"
+      (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6));
+    (resp, Proto.response_ok resp)
+
+(* --- transports ------------------------------------------------------ *)
+
+(* script mode: a request file in, responses to [emit], number of
+   failed requests out — the deterministic-test transport *)
+let run_script t ~lines ~emit =
+  let failed = ref 0 in
+  List.iter
+    (fun line ->
+      if String.trim line <> "" && not (stop_requested t) then begin
+        let resp, ok = handle t line in
+        if not ok then incr failed;
+        emit resp
+      end)
+    lines;
+  !failed
+
+let serve_conn t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (try
+     let rec loop () =
+       if not (stop_requested t) then
+         match In_channel.input_line ic with
+         | None -> ()
+         | Some line ->
+           if String.trim line <> "" then begin
+             let resp, _ok = handle t line in
+             Out_channel.output_string oc (resp ^ "\n");
+             Out_channel.flush oc
+           end;
+           loop ()
+     in
+     loop ()
+   with _ -> ());
+  (try Out_channel.flush oc with Sys_error _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ())
+
+(* accept loop: select with a short timeout so the stop flag (SIGTERM
+   handler, or a Shutdown request on any connection) is polled between
+   accepts; one domain per connection, joined before returning so a
+   clean shutdown never drops an in-flight response *)
+let listen t ~socket =
+  (try Sys.remove socket with Sys_error _ -> ());
+  let srv = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close srv with Unix.Unix_error _ -> ());
+      try Sys.remove socket with Sys_error _ -> ())
+  @@ fun () ->
+  Unix.bind srv (ADDR_UNIX socket);
+  Unix.listen srv 16;
+  let conns = ref [] in
+  while not (stop_requested t) do
+    match Unix.select [ srv ] [] [] 0.25 with
+    | [], _, _ -> ()
+    | _ -> (
+      match Unix.accept srv with
+      | fd, _ ->
+        Obs.add (obs t) "serve.conn";
+        conns := Domain.spawn (fun () -> serve_conn t fd) :: !conns
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  List.iter Domain.join !conns
+
+(* client mode: stream a request file to a running daemon and print
+   each response; returns the number of not-ok responses.  Retries the
+   connect briefly so `daemon & client` races in scripts just work. *)
+let send ~socket ~lines ~emit =
+  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  let rec connect attempt =
+    match Unix.connect fd (ADDR_UNIX socket) with
+    | () -> ()
+    | exception Unix.Unix_error ((ENOENT | ECONNREFUSED), _, _)
+      when attempt < 100 ->
+      Unix.sleepf 0.1;
+      connect (attempt + 1)
+  in
+  connect 0;
+  let oc = Unix.out_channel_of_descr fd in
+  List.iter
+    (fun line ->
+      if String.trim line <> "" then Out_channel.output_string oc (line ^ "\n"))
+    lines;
+  Out_channel.flush oc;
+  Unix.shutdown fd SHUTDOWN_SEND;
+  let ic = Unix.in_channel_of_descr fd in
+  let failed = ref 0 in
+  let rec read () =
+    match In_channel.input_line ic with
+    | None -> ()
+    | Some resp ->
+      if not (Proto.response_ok resp) then incr failed;
+      emit resp;
+      read ()
+  in
+  read ();
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  !failed

@@ -1,0 +1,114 @@
+module Fault = Engine.Fault
+
+let workload_names () =
+  List.map (fun (b : Workloads.Spec.bench) -> "spec:" ^ b.name)
+    Workloads.Spec.all
+  @ List.map (fun (c : Workloads.Cve.case) -> "cve:" ^ c.name)
+      Workloads.Cve.all
+  @ List.map (fun (b : Workloads.Kraken.bench) -> "kraken:" ^ b.name)
+      Workloads.Kraken.all
+  @ List.map (fun (c : Workloads.Uaf.case) -> "uaf:" ^ c.id) Workloads.Uaf.all
+  @ [ "uaf:reuse"; "uaf:double-free"; "chrome"; "synth:<seed>" ]
+
+(* uaf: targets run their ATTACK input as the reference workload (like
+   cve: binaries from find_workload), so a Log-mode pipeline run shows
+   what the selected backend detects *)
+let find_uaf n : Minic.Ast.program * int list * int list =
+  match n with
+  | "reuse" -> (Workloads.Uaf.reuse_case, [], [])
+  | "double-free" -> (Workloads.Uaf.double_free_case, [ 0 ], [ 1 ])
+  | _ ->
+    let c = List.find (fun (c : Workloads.Uaf.case) -> c.id = n)
+        Workloads.Uaf.all
+    in
+    (c.program, Workloads.Uaf.benign_inputs, Workloads.Uaf.attack_inputs)
+
+let find_workload name : Binfmt.Relf.t * int list =
+  match String.split_on_char ':' name with
+  | [ "spec"; n ] ->
+    let b = Workloads.Spec.find n in
+    (Workloads.Spec.binary b, Workloads.Spec.ref_inputs b)
+  | [ "cve"; n ] ->
+    let c = List.find (fun (c : Workloads.Cve.case) -> c.name = n)
+        Workloads.Cve.all
+    in
+    (Workloads.Cve.binary c, c.attack_inputs)
+  | [ "kraken"; n ] ->
+    let b = Workloads.Kraken.find n in
+    (Workloads.Kraken.binary b, Workloads.Kraken.inputs b)
+  | [ "uaf"; n ] ->
+    let prog, _, attack = find_uaf n in
+    (Minic.Codegen.compile prog, attack)
+  | [ "chrome" ] -> (Workloads.Chrome.binary (), [ 0; 50 ])
+  | [ "synth"; seed ] ->
+    ( Minic.Codegen.compile
+        (Workloads.Synth.program ~seed:(int_of_string seed) ()),
+      [] )
+  | _ ->
+    Fault.fail
+      (Fault.Input
+         {
+           what = "target";
+           detail = "unknown workload " ^ name ^ " (try: redfat list)";
+         })
+
+(* Resolve a workflow target to (program, train suite, ref inputs).
+   Accepts the built-in workload names and MiniC source paths
+   (examples/victim.mc style), so the staged commands work on user
+   programs too. *)
+let find_program name : Minic.Ast.program * int list list * int list =
+  if Filename.check_suffix name ".mc" then begin
+    if not (Sys.file_exists name) then
+      Fault.fail
+        (Fault.Io { what = "read"; path = name; detail = "no such file" });
+    let src = In_channel.with_open_text name In_channel.input_all in
+    match Minic.Parser.parse_program src with
+    | prog -> (prog, [ [] ], [])
+    | exception Minic.Parser.Parse_error (msg, pos) ->
+      Fault.fail
+        (Fault.Parse
+           {
+             what = "source";
+             detail =
+               Printf.sprintf "%s:%d:%d: parse error: %s" name pos.line
+                 pos.col msg;
+           })
+    | exception Minic.Lexer.Lex_error (msg, pos) ->
+      Fault.fail
+        (Fault.Parse
+           {
+             what = "source";
+             detail =
+               Printf.sprintf "%s:%d:%d: lex error: %s" name pos.line pos.col
+                 msg;
+           })
+  end
+  else
+    match String.split_on_char ':' name with
+    | [ "spec"; n ] ->
+      let b = Workloads.Spec.find n in
+      ( Workloads.Spec.program b,
+        [ Workloads.Spec.train_inputs b ],
+        Workloads.Spec.ref_inputs b )
+    | [ "cve"; n ] ->
+      let c = List.find (fun (c : Workloads.Cve.case) -> c.name = n)
+          Workloads.Cve.all
+      in
+      (c.program, [ c.benign_inputs ], c.benign_inputs)
+    | [ "kraken"; n ] ->
+      let b = Workloads.Kraken.find n in
+      let inputs = Workloads.Kraken.inputs b in
+      (Workloads.Kraken.program b, [ inputs ], inputs)
+    | [ "uaf"; n ] ->
+      let prog, benign, attack = find_uaf n in
+      (prog, [ benign ], attack)
+    | [ "chrome" ] -> (Workloads.Chrome.program (), [ [ 0; 50 ] ], [ 0; 50 ])
+    | [ "synth"; seed ] ->
+      (Workloads.Synth.program ~seed:(int_of_string seed) (), [ [] ], [])
+    | _ ->
+      Fault.fail
+        (Fault.Input
+           {
+             what = "target";
+             detail = "unknown workload " ^ name ^ " (try: redfat list)";
+           })

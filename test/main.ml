@@ -28,4 +28,5 @@ let () =
       ("engine", Test_engine.tests);
       ("obs", Test_obs.tests);
       ("fault", Test_fault.tests);
+      ("serve", Test_serve.tests);
     ]

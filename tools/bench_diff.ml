@@ -15,7 +15,9 @@
        the eliminators lost ground, under any backend or with loop
        hoisting enabled);
      - the hoisted_checks counter went down (the loop hoister proved
-       fewer loops than before: lost static-analysis ground).
+       fewer loops than before: lost static-analysis ground);
+     - any *hit_permille counter went down (a cache tier -- e.g. the
+       serving hot tier's warm-phase hit rate -- lost ground).
 
    New targets and improvements are fine.  wall_seconds is ignored
    everywhere: it is the only machine-dependent field; cycles come
@@ -100,6 +102,10 @@ let check_ratio ~target ~what ~base ~fresh =
     fail "%s: %s regressed %.1f%% (%.4g -> %.4g, threshold %.0f%%)" target
       what (pct_over fresh base) base fresh max_regress
 
+let has_suffix s suf =
+  let ls = String.length s and lf = String.length suf in
+  ls >= lf && String.sub s (ls - lf) lf = suf
+
 let check_target name base fresh =
   (match (num_field "baseline_cycles" base, num_field "baseline_cycles" fresh)
    with
@@ -128,9 +134,10 @@ let check_target name base fresh =
           fail "%s: counter %s increased (%.0f -> %.0f)" name k b f
         | Some _ -> ()
         | None -> fail "%s: counter %s missing from fresh report" name k
-      (* hoisted checks are a gain: losing some means the hoister
-         stopped proving loops it used to prove *)
-      else if k = "hoisted_checks" then
+      (* hoisted checks and hit rates are gains: losing some means the
+         hoister stopped proving loops it used to prove, or a cache
+         tier stopped hitting where it used to hit *)
+      else if k = "hoisted_checks" || has_suffix k "hit_permille" then
         match List.assoc_opt k fresh_counters with
         | Some f when f < b ->
           fail "%s: counter %s decreased (%.0f -> %.0f)" name k b f

@@ -1,5 +1,5 @@
 (* doc_check: fail the build when the documentation drifts from the
-   code.  Three checks:
+   code.  Four checks:
 
    1. every CLI flag declared in bin/redfat_cli.ml appears in
       docs/MANUAL.md (and the manual doesn't document flags that no
@@ -8,7 +8,10 @@
       [Engine.Fault.registry_markdown ()] (what `redfat errors --list`
       prints), and every registry code is mentioned;
    3. every intra-repo markdown link in the top-level and docs/
-      markdown files resolves to an existing file.
+      markdown files resolves to an existing file;
+   4. every CLI subcommand has a `### `redfat NAME`` section in
+      docs/MANUAL.md, and the manual documents no verb the CLI does
+      not declare.
 
    Run from the repository root (make check / make doc-check / the CI
    docs job): exits 1 listing every violation. *)
@@ -86,6 +89,47 @@ let check_flags () =
        let f = Str.matched_group 1 manual in
        if not (List.mem f flags) then
          err "docs/MANUAL.md documents `--%s`, which no CLI command declares" f;
+       i := p + 1
+     done
+   with Not_found -> ())
+
+(* --- 4. CLI verbs vs the manual -------------------------------------- *)
+
+(* scrape `Cmd.info "NAME"` subcommand declarations out of the CLI
+   source (the group's own "redfat" info is not a verb) *)
+let cli_verbs src =
+  let re = Str.regexp "Cmd\\.info \"\\([a-z][a-z-]*\\)\"" in
+  let i = ref 0 and verbs = ref [] in
+  (try
+     while true do
+       let p = Str.search_forward re src !i in
+       let v = Str.matched_group 1 src in
+       if v <> "redfat" then verbs := v :: !verbs;
+       i := p + 1
+     done
+   with Not_found -> ());
+  List.sort_uniq compare !verbs
+
+let check_verbs () =
+  let src = read_file_exn "the CLI source" "bin/redfat_cli.ml" in
+  let manual = read_file_exn "the CLI manual" "docs/MANUAL.md" in
+  let verbs = cli_verbs src in
+  if verbs = [] then
+    err "no subcommands scraped from bin/redfat_cli.ml (scraper broken?)";
+  List.iter
+    (fun v ->
+      if not (contains manual (Printf.sprintf "### `redfat %s`" v)) then
+        err "docs/MANUAL.md has no `### `redfat %s`` section" v)
+    verbs;
+  let re = Str.regexp "### `redfat \\([a-z][a-z-]*\\)`" in
+  let i = ref 0 in
+  (try
+     while true do
+       let p = Str.search_forward re manual !i in
+       let v = Str.matched_group 1 manual in
+       if not (List.mem v verbs) then
+         err "docs/MANUAL.md documents `redfat %s`, which the CLI does not \
+              declare" v;
        i := p + 1
      done
    with Not_found -> ())
@@ -173,6 +217,7 @@ let check_links () =
 
 let () =
   check_flags ();
+  check_verbs ();
   check_taxonomy ();
   check_links ();
   match List.rev !errors with
