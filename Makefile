@@ -7,7 +7,8 @@ EXAMPLES := $(wildcard examples/*.mc)
 BENCH_DIFF := _build/default/tools/bench_diff.exe
 
 .PHONY: all build test check lint doc-check bench bench-json bench-gate \
-	bench-baseline serve-smoke bench-serve-gate bench-serve-baseline ci clean
+	bench-baseline serve-smoke bench-serve-gate bench-serve-baseline \
+	rebuild-smoke bench-rebuild-gate bench-rebuild-baseline ci clean
 
 all: build
 
@@ -108,6 +109,27 @@ bench-serve-baseline: build
 	$(BENCH) serve --out bench/serve_baseline.json > /dev/null
 	@echo "wrote bench/serve_baseline.json -- commit it with the explaining change"
 
+# incremental-reuse smoke: harden a small fleet cold, perturb one
+# function, re-harden.  Fails unless blueprints were shared on the
+# cold pass, >= 900 permille of per-function artifacts were reused,
+# and every incremental result is byte-identical (binary, .elimtab,
+# verify verdict) to a cold monolithic rewrite on every backend
+rebuild-smoke: build
+	$(BENCH) rebuild --benches perlbench,gcc,calculix --nights 1 \
+	  --min-reuse 900
+
+# the incremental-rebuild regression gate: the full 29-kernel nightly
+# scenario; gates rebuild.fns_reused_permille (may never decrease).
+# Wall-clock rebuild times are reported but never gated.
+bench-rebuild-gate: build
+	$(BENCH) rebuild --out BENCH_rebuild.json > /dev/null
+	$(BENCH_DIFF) bench/rebuild_baseline.json BENCH_rebuild.json
+
+# after an INTENTIONAL partition/cache-key change: refresh the baseline
+bench-rebuild-baseline: build
+	$(BENCH) rebuild --out bench/rebuild_baseline.json > /dev/null
+	@echo "wrote bench/rebuild_baseline.json -- commit it with the explaining change"
+
 # everything CI runs, in one local command (mirrors .github/workflows/ci.yml)
 ci: build test lint doc-check
 	@set -e; for b in redzone lowfat temporal; do \
@@ -124,6 +146,8 @@ ci: build test lint doc-check
 	$(MAKE) bench-gate
 	$(MAKE) serve-smoke
 	$(MAKE) bench-serve-gate
+	$(MAKE) rebuild-smoke
+	$(MAKE) bench-rebuild-gate
 
 clean:
 	dune clean

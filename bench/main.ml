@@ -3,7 +3,7 @@
    argument for everything, or with one of:
 
      table1 table2 table2x fig1 fig2 fig3 fig4 fig5 fig67 fig8
-     fps detected uaf stats sec74 ablation serve bechamel
+     fps detected uaf stats sec74 ablation serve rebuild bechamel
 
    Flags (anywhere on the command line):
 
@@ -15,6 +15,13 @@
                    time, cache hit/miss, jobs) to F.json
      --trace F     write the run's spans and counters as Chrome
                    trace-event JSON (Perfetto-loadable)
+
+   rebuild-only flags:
+
+     --benches CSV   restrict the rebuild fleet to these SPEC kernels
+     --nights N      number of perturb-and-re-harden rounds (default 2)
+     --min-reuse P   fail when any night reuses fewer than P permille
+                     of the fleet's per-function artifacts (default 900)
 
    Output is byte-identical for any --jobs value (modulo fig8's
    measured wall-clock rewrite-time line and serve's throughput/
@@ -32,16 +39,26 @@ let pf fmt = Printf.printf fmt
 
 (* --- command line + the engine -------------------------------------- *)
 
-let experiment, opt_jobs, opt_cache, opt_out, opt_trace =
+let ( experiment,
+      opt_jobs,
+      opt_cache,
+      opt_out,
+      opt_trace,
+      opt_benches,
+      opt_nights,
+      opt_min_reuse ) =
   let exp = ref None
   and jobs = ref 1
   and cache = ref true
   and out = ref None
-  and trace = ref None in
+  and trace = ref None
+  and benches = ref None
+  and nights = ref 2
+  and min_reuse = ref 900 in
   let usage () =
     prerr_endline
       "usage: main.exe [experiment] [--jobs N] [--no-cache] [--out FILE] \
-       [--trace FILE]";
+       [--trace FILE] [--benches CSV] [--nights N] [--min-reuse PERMILLE]";
     exit 1
   in
   let rec parse = function
@@ -59,6 +76,19 @@ let experiment, opt_jobs, opt_cache, opt_out, opt_trace =
       parse rest
     | "--trace" :: f :: rest ->
       trace := Some f;
+      parse rest
+    | "--benches" :: csv :: rest ->
+      benches := Some (String.split_on_char ',' csv);
+      parse rest
+    | "--nights" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n >= 1 -> nights := n
+      | _ -> usage ());
+      parse rest
+    | "--min-reuse" :: p :: rest ->
+      (match int_of_string_opt p with
+      | Some p when p >= 0 && p <= 1000 -> min_reuse := p
+      | _ -> usage ());
       parse rest
     | x :: _ when String.length x > 0 && x.[0] = '-' -> usage ()
     | x :: rest when !exp = None ->
@@ -78,7 +108,14 @@ let experiment, opt_jobs, opt_cache, opt_out, opt_trace =
           exit 1)
       | None -> ())
     [ ("--out", out); ("--trace", trace) ];
-  (Option.value !exp ~default:"all", !jobs, !cache, !out, !trace)
+  ( Option.value !exp ~default:"all",
+    !jobs,
+    !cache,
+    !out,
+    !trace,
+    !benches,
+    !nights,
+    !min_reuse )
 
 let eng =
   Pl.create ~jobs:opt_jobs ~cache:opt_cache
@@ -1124,6 +1161,225 @@ let serve () =
       ]
     t0
 
+(* --- rebuild: function-granular incremental re-hardening ------------ *)
+
+(* The nightly-rebuild scenario: harden a fleet of SPEC kernels cold,
+   then simulate N "nights" in which exactly one function of one
+   binary changes (a length-preserving immediate bump, so the
+   perturbation is small the way a real nightly delta is) and the
+   whole fleet is re-hardened against the warm function-granular
+   cache.  Reports the worst-night artifact reuse rate
+   (rebuild.fns_reused_permille, gated: may never decrease) and the
+   rewrite time saved; every incremental result is checked
+   byte-identical -- binary, .elimtab and verify verdict -- to a cold
+   monolithic rewrite under every backend, and any divergence fails
+   the run. *)
+
+let rebuild_wipe_dir dir =
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir)
+
+(* A deterministic one-function perturbation: bump the last in-text
+   [Mov_ri] immediate that stays small, out of code-pointer range and
+   in the same encoded length, and splice the re-encoded instruction
+   over the old bytes.  Returns the perturbed binary and the site. *)
+let rebuild_perturb (bin : Binfmt.Relf.t) : (Binfmt.Relf.t * int) option =
+  let text = Binfmt.Relf.text_exn bin in
+  let text_end = text.addr + String.length text.bytes in
+  let in_text v = v >= text.addr && v < text_end in
+  let eligible =
+    List.filter_map
+      (fun (a, ins, len) ->
+        match ins with
+        | X64.Isa.Mov_ri (r, v)
+          when v >= 0 && v < 0x10000
+               && (not (in_text v))
+               && (not (in_text (v + 1)))
+               && X64.Encode.length (X64.Isa.Mov_ri (r, v + 1)) = len ->
+          Some (a, r, v, len)
+        | _ -> None)
+      (X64.Disasm.sweep ~addr:text.addr text.bytes)
+  in
+  match List.rev eligible with
+  | [] -> None
+  | (a, r, v, len) :: _ ->
+    let enc = X64.Encode.encode_seq ~addr:a [ X64.Isa.Mov_ri (r, v + 1) ] in
+    if String.length enc <> len then None
+    else begin
+      let by = Bytes.of_string text.bytes in
+      Bytes.blit_string enc 0 by (a - text.addr) len;
+      let sections =
+        List.map
+          (fun (s : Binfmt.Relf.section) ->
+            if s.name = ".text" then { s with bytes = Bytes.to_string by }
+            else s)
+          bin.Binfmt.Relf.sections
+      in
+      Some ({ bin with sections }, a)
+    end
+
+let rebuild () =
+  hr "rebuild (function-granular incremental re-hardening)";
+  let t0 = wall () in
+  let dir = Filename.concat "_redfat_cache" "rebuild" in
+  (* a fresh cache dir: the reuse counters must measure this run alone *)
+  rebuild_wipe_dir dir;
+  let eng2 = Pl.create ~jobs:1 ~cache:true ~cache_dir:dir () in
+  Fun.protect ~finally:(fun () -> Pl.close eng2) @@ fun () ->
+  let names =
+    match opt_benches with
+    | Some ns -> ns
+    | None -> List.map (fun (b : Workloads.Spec.bench) -> b.name) Workloads.Spec.all
+  in
+  let fleet =
+    Array.of_list
+      (List.map
+         (fun n ->
+           let sp = Workloads.Spec.find n in
+           (n, ref (Pl.compile eng2 (Workloads.Spec.program sp))))
+         names)
+  in
+  let counter name =
+    Option.value ~default:0
+      (List.assoc_opt name (Obs.counters (Pl.obs eng2)))
+  in
+  (* cold: the whole fleet, nothing reusable *)
+  let tc = wall () in
+  Array.iter (fun (_, rbin) -> ignore (Pl.harden eng2 !rbin)) fleet;
+  let cold_s = wall () -. tc in
+  (* identical functions at identical placements alias across
+     binaries, so even the cold pass can reuse a few artifacts *)
+  let fns_total = counter "harden.fn.miss" + counter "harden.fn.hit" in
+  pf "cold:  %d binaries / %d functions hardened in %.2fs (%d aliased)\n"
+    (Array.length fleet) fns_total cold_s
+    (counter "harden.fn.hit");
+  pf "blueprints: %d hit / %d miss / %d unique shapes\n"
+    (counter "blueprint.hit") (counter "blueprint.miss")
+    (counter "blueprint.unique");
+  (* identically shaped functions (e.g. a kernel and its ref-only
+     clone) must share one planning pass even cold *)
+  if counter "blueprint.hit" = 0 then begin
+    pf "rebuild: no blueprint sharing observed on the cold pass\n";
+    exit 1
+  end;
+  let worst = ref 1000
+  and warm_last = ref 0.0
+  and failures = ref 0 in
+  for night = 0 to opt_nights - 1 do
+    (* pick tonight's perturbation target round-robin, skipping
+       binaries with no eligible immediate *)
+    let nfleet = Array.length fleet in
+    let rec pick k tries =
+      if tries = nfleet then None
+      else
+        let _, rbin = fleet.(k) in
+        match rebuild_perturb !rbin with
+        | Some (bin', site) -> Some (k, bin', site)
+        | None -> pick ((k + 1) mod nfleet) (tries + 1)
+    in
+    match pick (night mod nfleet) 0 with
+    | None ->
+      prerr_endline "rebuild: no perturbable benchmark in the fleet";
+      exit 1
+    | Some (k, bin', site) ->
+      let name, rbin = fleet.(k) in
+      rbin := bin';
+      let h0 = counter "harden.fn.hit" and m0 = counter "harden.fn.miss" in
+      let tw = wall () in
+      let warm_perturbed = ref 0.0 in
+      Array.iteri
+        (fun i (_, rb) ->
+          let t = wall () in
+          ignore (Pl.harden eng2 !rb);
+          if i = k then warm_perturbed := wall () -. t)
+        fleet;
+      warm_last := wall () -. tw;
+      let hits = counter "harden.fn.hit" - h0
+      and misses = counter "harden.fn.miss" - m0 in
+      let permille =
+        if hits + misses = 0 then 0 else hits * 1000 / (hits + misses)
+      in
+      worst := min !worst permille;
+      (* the incremental artifact must be indistinguishable from a
+         cold monolithic rewrite, under every backend *)
+      let cold_direct = ref 0.0 in
+      List.iter
+        (fun backend ->
+          let opts = { Rw.optimized with Rw.backend } in
+          let inc = Pl.harden eng2 ~opts !rbin in
+          let t = wall () in
+          let cold = Rw.rewrite opts !rbin in
+          if backend = Backend.Check_backend.default then
+            cold_direct := wall () -. t;
+          let ser (r : Rw.t) = Binfmt.Relf.serialize r.Rw.binary in
+          let tab (r : Rw.t) =
+            match
+              Binfmt.Relf.find_section r.Rw.binary
+                Dataflow.Elimtab.section_name
+            with
+            | Some s -> s.bytes
+            | None -> ""
+          in
+          let verdict (r : Rw.t) =
+            match Rw.verify r.Rw.binary with
+            | Ok rep -> Redfat.Verify.ok rep
+            | Error _ -> false
+          in
+          let bname = Backend.Check_backend.name backend in
+          if ser inc <> ser cold then begin
+            incr failures;
+            pf "night %d: %s [%s] FAIL: incremental binary differs from cold\n"
+              night name bname
+          end
+          else if tab inc <> tab cold then begin
+            incr failures;
+            pf "night %d: %s [%s] FAIL: .elimtab differs from cold\n" night
+              name bname
+          end
+          else if not (verdict inc && verdict cold) then begin
+            incr failures;
+            pf "night %d: %s [%s] FAIL: soundness audit failed\n" night name
+              bname
+          end)
+        Backend.Check_backend.all;
+      pf
+        "night %d: %s perturbed @0x%x -- %d/%d functions reused (%d \
+         permille)\n"
+        night name site hits (hits + misses) permille;
+      pf "         fleet re-hardened in %.1f ms vs %.1f ms cold"
+        (!warm_last *. 1000.) (cold_s *. 1000.);
+      if !warm_last > 0.0 then pf " (%.1fx faster)" (cold_s /. !warm_last);
+      pf "\n";
+      pf "         perturbed target alone: incremental %.1f ms vs %.1f ms \
+          cold monolithic\n"
+        (!warm_perturbed *. 1000.) (!cold_direct *. 1000.)
+  done;
+  if !failures > 0 then begin
+    pf "rebuild: %d equivalence failure(s)\n" !failures;
+    exit 1
+  end;
+  pf "reuse: worst night %d permille (acceptance floor %d)\n" !worst
+    opt_min_reuse;
+  if !worst < opt_min_reuse then begin
+    pf "rebuild: artifact reuse below the %d permille floor\n" opt_min_reuse;
+    exit 1
+  end;
+  target "rebuild:fleet"
+    ~counters:
+      [
+        ("rebuild.nights", opt_nights);
+        ("rebuild.fns_total", fns_total);
+        ("rebuild.fns_reused_permille", !worst);
+        ("rebuild.blueprint_hits", counter "blueprint.hit");
+        ("rebuild.blueprint_unique", counter "blueprint.unique");
+        (* wall-clock facts: reported, never gated *)
+        ("rebuild.cold_ms", int_of_float (cold_s *. 1000.));
+        ("rebuild.warm_ms", int_of_float (!warm_last *. 1000.));
+      ]
+    t0
+
 (* ------------------------------------------------------------------ *)
 
 let all () =
@@ -1144,6 +1400,7 @@ let all () =
   sec74 ();
   ablation ();
   serve ();
+  rebuild ();
   bechamel ()
 
 let () =
@@ -1165,6 +1422,7 @@ let () =
   | "uaf" -> uaf ()
   | "stats" -> stats ()
   | "serve" -> serve ()
+  | "rebuild" -> rebuild ()
   | "bechamel" -> bechamel ()
   | "all" -> all ()
   | other ->

@@ -16,6 +16,7 @@
     cycles_baseline]. *)
 
 module Rewrite = Rewriter.Rewrite
+module Shard = Rewriter.Shard
 module Runtime = Redfat_rt.Runtime
 module Allowlist = Profile.Allowlist
 module Verify = Dataflow.Verify

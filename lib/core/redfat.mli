@@ -13,6 +13,7 @@
     model, so overheads are [cycles_hardened / cycles_baseline]. *)
 
 module Rewrite = Rewriter.Rewrite
+module Shard = Rewriter.Shard
 module Runtime = Redfat_rt.Runtime
 module Allowlist = Profile.Allowlist
 module Verify = Dataflow.Verify

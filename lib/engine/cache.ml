@@ -27,8 +27,11 @@ type t = {
    options_key, so distinct backends also get distinct keys).  ART5:
    loop-aware check hoisting — rewrite stats gained
    hoisted_checks/widened_span_bytes and Rewrite.options a hoist field
-   (also in options_key). *)
-let magic = "REDFAT-ART5\n"
+   (also in options_key).  ART6: function-granular incremental
+   hardening — Harden artifacts are now a binary-level manifest plus
+   per-function rewrite parts ([find_opt]/[put] tiered API), so ART5
+   whole-binary blobs no longer describe the current layout. *)
+let magic = "REDFAT-ART6\n"
 
 let create ?(enabled = true) ?dir ?notify () =
   {
@@ -103,8 +106,8 @@ let disk_store dir k blob =
       cleanup ();
       false)
 
-let memo (type a) t ~key (compute : unit -> a) : a =
-  if not t.on then compute ()
+let find_opt (type a) t ~key : a option =
+  if not t.on then None
   else begin
     (* track which tier satisfied the lookup so hits can be attributed
        (memory hit = no IO, disk hit = read + unmarshal + promotion) *)
@@ -167,29 +170,44 @@ let memo (type a) t ~key (compute : unit -> a) : a =
       | `Disk -> t.st.hits_disk <- t.st.hits_disk + 1);
       Mutex.unlock t.lock;
       notify t (match tier with `Mem -> "hit.mem" | `Disk -> "hit.disk");
-      v
+      Some v
     | None ->
-      let v = compute () in
-      let blob = Marshal.to_string v [] in
       Mutex.lock t.lock;
       t.st.misses <- t.st.misses + 1;
-      Hashtbl.replace t.mem key blob;
-      (match t.dir with
-      | Some _ -> t.st.stores <- t.st.stores + 1
-      | None -> ());
       Mutex.unlock t.lock;
       notify t "miss";
-      (match t.dir with
-      | Some dir ->
-        notify t "store";
-        if not (disk_store dir key blob) then begin
-          Mutex.lock t.lock;
-          t.st.retries <- t.st.retries + 1;
-          Mutex.unlock t.lock;
-          (* the memory tier still holds the artifact: degrade to
-             memory-only for this key rather than failing the stage *)
-          notify t "store-failed"
-        end
-      | None -> ());
-      v
+      None
   end
+
+let put t ~key v =
+  if t.on then begin
+    let blob = Marshal.to_string v [] in
+    Mutex.lock t.lock;
+    Hashtbl.replace t.mem key blob;
+    (match t.dir with
+    | Some _ -> t.st.stores <- t.st.stores + 1
+    | None -> ());
+    Mutex.unlock t.lock;
+    match t.dir with
+    | Some dir ->
+      notify t "store";
+      if not (disk_store dir key blob) then begin
+        Mutex.lock t.lock;
+        t.st.retries <- t.st.retries + 1;
+        Mutex.unlock t.lock;
+        (* the memory tier still holds the artifact: degrade to
+           memory-only for this key rather than failing the stage *)
+        notify t "store-failed"
+      end
+    | None -> ()
+  end
+
+let memo t ~key compute =
+  if not t.on then compute ()
+  else
+    match find_opt t ~key with
+    | Some v -> v
+    | None ->
+      let v = compute () in
+      put t ~key v;
+      v

@@ -43,6 +43,19 @@ val key : kind:string -> string list -> string
     of all [parts].  The kind is part of the key, so artifacts of
     different types can never alias. *)
 
+val find_opt : t -> key:string -> 'a option
+(** Tiered lookup (memory, then disk with promotion) without
+    computing: [None] counts as a miss.  Stale/corrupt artifacts are
+    deleted and reported exactly as under {!memo}.  Always [None] when
+    the cache is disabled.  The caller is responsible for pairing a
+    [None] with an eventual {!put} of the same type — the multi-key
+    protocols (the function-granular harden manifest and its per-part
+    artifacts) need lookup and store as separate steps. *)
+
+val put : t -> key:string -> 'a -> unit
+(** Store an artifact in both tiers (no-op when disabled).  Same
+    atomic-write discipline and degradation as {!memo}'s store. *)
+
 val memo : t -> key:string -> (unit -> 'a) -> 'a
 (** [memo t ~key compute]: return the cached artifact for [key], or
     run [compute], store the result in both tiers, and return it.

@@ -122,9 +122,9 @@ let compile t (prog : Minic.Ast.program) =
   in
   memo t ~key (fun () -> Minic.Codegen.compile prog)
 
-let harden t ?tramp_base ?(opts = Rw.optimized) bin =
-  Report.timed t.rep "harden" @@ fun () ->
-  hook t "harden";
+(* the whole-binary harden path: one artifact keyed by the serialized
+   input *)
+let harden_monolithic t ?tramp_base ~opts bin =
   let key =
     Cache.key ~kind:"harden"
       [
@@ -141,6 +141,100 @@ let harden t ?tramp_base ?(opts = Rw.optimized) bin =
         ?fault_hook:
           (Faultinject.hook_fn t.inject ~label:(Domain.DLS.get target_key))
         opts bin)
+
+(* the function-granular harden path: each slice is rewritten with a
+   chained trampoline base and cached by its own content digest, so a
+   one-function edit re-plans exactly the functions whose (base,
+   address, bytes) triple changed; the spliced result is byte-identical
+   to [harden_monolithic]'s (see Shard's contract and the shard parity
+   tests).  A binary-level manifest keyed by every slice digest serves
+   the fully-unchanged case without touching per-function artifacts. *)
+let harden_sharded t ~base ~opts ~fixed bin slices =
+  let o = obs t in
+  let fault_hook =
+    Faultinject.hook_fn t.inject ~label:(Domain.DLS.get target_key)
+  in
+  (* sequential: slice k's cache key depends on the chained base,
+     i.e. on the trampoline sizes of slices 0..k-1.  Slices sharing
+     (base, address, bytes) alias on purpose: identical functions at
+     identical placements rewrite identically even across binaries *)
+  let next_base = ref base in
+  let parts =
+    List.map
+      (fun (sl : Redfat.Shard.slice) ->
+        let fkey =
+          Cache.key ~kind:"fnart"
+            (fixed
+            @ [
+                string_of_int !next_base;
+                string_of_int sl.sl_addr;
+                sl.sl_digest;
+              ])
+        in
+        let part =
+          match Cache.find_opt t.cache ~key:fkey with
+          | Some (p : Rw.t) ->
+            Obs.add o "harden.fn.hit";
+            p
+          | None ->
+            Obs.add o "harden.fn.miss";
+            let p =
+              Rw.rewrite ~tramp_base:!next_base ~obs:o
+                ~on_fault:(if t.strict then Rw.Abort else Rw.Degrade)
+                ?fault_hook opts
+                (Redfat.Shard.slice_binary bin sl)
+            in
+            Cache.put t.cache ~key:fkey p;
+            p
+        in
+        next_base := !next_base + part.Rw.stats.tramp_bytes;
+        part)
+      slices
+  in
+  Redfat.Shard.assemble ~binary:bin ~tramp_base:base parts
+
+let harden t ?tramp_base ?(opts = Rw.optimized) bin =
+  Report.timed t.rep "harden" @@ fun () ->
+  hook t "harden";
+  if not (Cache.enabled t.cache) then
+    (* without a cache there is nothing to reuse and sharding only
+       adds splice work: rewrite whole *)
+    harden_monolithic t ?tramp_base ~opts bin
+  else begin
+    let o = obs t in
+    let base = Option.value tramp_base ~default:Rw.default_tramp_base in
+    let fixed =
+      [
+        Rw.options_key opts;
+        inject_key t;
+        (if t.strict then "abort" else "degrade");
+      ]
+    in
+    (* the manifest is keyed by the whole input, so an unchanged
+       binary is served without even sweeping its text; any edit
+       misses here and falls through to the per-function tier, where
+       every untouched function still hits *)
+    let mkey =
+      Cache.key ~kind:"manifest"
+        (Binfmt.Relf.serialize bin :: string_of_int base :: fixed)
+    in
+    match Cache.find_opt t.cache ~key:mkey with
+    | Some ((r : Rw.t), nfns) ->
+      Obs.add o "harden.manifest.hit";
+      Obs.add o ~n:nfns "harden.fn.hit";
+      r
+    | None -> (
+      Obs.add o "harden.manifest.miss";
+      match Redfat.Shard.slices bin with
+      | None ->
+        (* not shardable (single function, or an isolation condition
+           failed): the whole-binary artifact is the unit of reuse *)
+        harden_monolithic t ?tramp_base ~opts bin
+      | Some slices ->
+        let r = harden_sharded t ~base ~opts ~fixed bin slices in
+        Cache.put t.cache ~key:mkey (r, List.length slices);
+        r)
+  end
 
 let profile t ?max_steps ~test_suite bin =
   let prof = harden t ~opts:Rw.profiling_build bin in

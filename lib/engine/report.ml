@@ -1,6 +1,6 @@
 type target = {
   tg_name : string;
-  tg_cycles : int;
+  tg_cycles : int option;
   tg_overheads : (string * float) list;
   tg_counters : (string * int) list;
   tg_wall : float;
@@ -40,7 +40,7 @@ let record t name dt =
 
 let timed t name f = Obs.span t.obs ~cat:"stage" name f
 
-let add_target t ~name ?(cycles = 0) ?(overheads = []) ?(counters = []) ~wall
+let add_target t ~name ?cycles ?(overheads = []) ?(counters = []) ~wall
     () =
   Mutex.lock t.lock;
   t.tgs <-
@@ -134,29 +134,40 @@ let to_json ?cache ?(cache_enabled = true) ?(extra = []) t =
       add "%s %S: %d" (if i = 0 then "" else ",") (escape name) v)
     cs;
   add " },\n";
-  add "  \"histograms\": {\n";
+  (* omitted entirely when no histogrammed path ran: experiments like
+     table1 used to emit an empty [{}] object, which readers must
+     still accept for old reports *)
   let hs = Obs.histograms t.obs in
-  List.iteri
-    (fun i (name, (h : Obs.hist)) ->
-      add
-        "    %S: { \"count\": %d, \"sum\": %d, \"min\": %d, \"max\": %d, \
-         \"buckets\": [%s] }%s\n"
-        (escape name) h.Obs.h_count h.Obs.h_sum
-        (if h.Obs.h_count = 0 then 0 else h.Obs.h_min)
-        (if h.Obs.h_count = 0 then 0 else h.Obs.h_max)
-        (String.concat ", "
-           (List.map
-              (fun (lo, c) -> Printf.sprintf "[%d, %d]" lo c)
-              h.Obs.h_buckets))
-        (if i = List.length hs - 1 then "" else ","))
-    hs;
-  add "  },\n";
+  if hs <> [] then begin
+    add "  \"histograms\": {\n";
+    List.iteri
+      (fun i (name, (h : Obs.hist)) ->
+        add
+          "    %S: { \"count\": %d, \"sum\": %d, \"min\": %d, \"max\": %d, \
+           \"buckets\": [%s] }%s\n"
+          (escape name) h.Obs.h_count h.Obs.h_sum
+          (if h.Obs.h_count = 0 then 0 else h.Obs.h_min)
+          (if h.Obs.h_count = 0 then 0 else h.Obs.h_max)
+          (String.concat ", "
+             (List.map
+                (fun (lo, c) -> Printf.sprintf "[%d, %d]" lo c)
+                h.Obs.h_buckets))
+          (if i = List.length hs - 1 then "" else ","))
+      hs;
+    add "  },\n"
+  end;
   add "  \"targets\": [\n";
   let tgs = targets t in
   List.iteri
     (fun i tg ->
-      add "    { \"name\": %S, \"baseline_cycles\": %d, \"wall_seconds\": %s"
-        (escape tg.tg_name) tg.tg_cycles (json_float tg.tg_wall);
+      add "    { \"name\": %S," (escape tg.tg_name);
+      (* omitted for synthetic targets (a serve fleet, a rebuild
+         night) that have no baseline execution: a literal 0 reads as
+         "infinitely fast baseline" to ratio-computing consumers *)
+      (match tg.tg_cycles with
+      | Some c -> add " \"baseline_cycles\": %d," c
+      | None -> ());
+      add " \"wall_seconds\": %s" (json_float tg.tg_wall);
       if tg.tg_overheads <> [] then begin
         add ", \"overheads\": { ";
         add "%s"

@@ -29,7 +29,9 @@ val record : t -> string -> float -> unit
 
 type target = {
   tg_name : string;
-  tg_cycles : int;  (** baseline cycles, 0 when not applicable *)
+  tg_cycles : int option;
+      (** baseline cycles; [None] for synthetic targets with no
+          baseline execution (the JSON field is omitted, not 0) *)
   tg_overheads : (string * float) list;  (** column -> slowdown ratio *)
   tg_counters : (string * int) list;
       (** named integer facts (e.g. [eliminated_global],

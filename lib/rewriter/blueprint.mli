@@ -1,0 +1,104 @@
+(** Hash-consed instrumentation blueprints.
+
+    A {e blueprint} is the address-independent half of a rewrite: the
+    complete instrumentation plan — patch tactics, eviction lists,
+    merged check groups with their variants and canonical operands,
+    save-specialization specs, and every elimination record — with
+    every concrete address abstracted to its instruction {e index}.
+    Two texts whose instruction streams have the same {e shape}
+    (identical opcodes, operands and immediates once intra-text
+    branch targets and code-pointer constants are rewritten to
+    offsets) plan identically, so the blueprint is computed once and
+    shared through a process-global interning table.
+
+    The split is what makes re-hardening cheap: on a table hit the
+    rewriter skips graph construction, operand canonicalization,
+    dominators, loop analysis, the availability solve and liveness —
+    emission merely instantiates indices at the text's concrete
+    addresses.  Sharing is sound because planning consumes no absolute
+    address except through the two channels the key covers: intra-text
+    control-flow targets (abstracted to offsets) and [Mov_ri]
+    constants pointing into the text (which constant-fold into operand
+    displacements — any such constant pins the key to the exact
+    [text_addr], forfeiting cross-address sharing for that shape).
+
+    The table is domain-safe: lookups and inserts are mutex-guarded,
+    while blueprint construction runs outside the lock, so two domains
+    racing on the same fresh shape may both build it (same
+    deterministic result; the duplicate work is observable only via
+    the [blueprint.miss] counter, mirroring {!Engine.Cache.memo}). *)
+
+(** Patch tactic at a plan's first member, decided at planning time
+    (it depends only on instruction lengths, leaders and other patch
+    starts). [Jump] covers E9Patch tactics T1/T3: the 5-byte
+    [jmp rel32], with successors evicted into the trampoline when the
+    patched instruction is shorter.  [Trap] is the 1-byte fallback. *)
+type tactic = Jump | Trap
+
+(** One merged check group.  [bg_members] are the guarded sites as
+    [(instruction index, planned variant)]; the empty list marks a
+    hoisted (loop-preheader) group, whose covered sites are recorded
+    in {!t.b_records} instead. *)
+type bgroup = {
+  bg_variant : X64.Isa.variant;
+  bg_mem : X64.Isa.mem;  (** canonical operand, displacement included *)
+  bg_lo : int;
+  bg_hi : int;  (** covered displacement interval [lo, hi) *)
+  bg_write : bool;
+  bg_site : int;  (** representative site, as an instruction index *)
+  bg_members : (int * X64.Isa.variant) list;
+}
+
+(** One trampoline-and-patch plan, anchored at instruction index
+    [bp_first].  [bp_displaced] lists the indices re-encoded into the
+    trampoline ([bp_first] plus any evicted successors);
+    [bp_nsaves]/[bp_save_flags] is the save-specialization spec of the
+    first emitted group. *)
+type bplan = {
+  bp_first : int;
+  bp_tactic : tactic;
+  bp_displaced : int list;
+  bp_nsaves : int;
+  bp_save_flags : bool;
+  bp_groups : bgroup list;
+}
+
+(** Elimination-record reasons with justifying sites as instruction
+    indices; instantiated to {!Dataflow.Elimtab.reason} at emission. *)
+type reason = Clear | Dom of int | Hoist of int * int * int
+
+type t = {
+  b_plans : bplan list;  (** ascending by [bp_first] *)
+  b_records : (int * reason) list;
+      (** (site index, reason); order is irrelevant — the elimtab is
+          sorted after address instantiation *)
+  b_mem_ops : int;
+  b_eliminated : int;
+  b_eliminated_global : int;
+  b_hoisted_members : int;
+}
+
+val shape_key :
+  opts_key:string ->
+  text_addr:int ->
+  text_end:int ->
+  (int * X64.Isa.instr * int) array ->
+  string
+(** The interning key for a text's instruction stream under an options
+    rendering ([opts_key] must determine every planning decision,
+    including allow-list membership rewritten to text-relative
+    offsets).  Equal keys guarantee equal blueprints. *)
+
+val find_or_build : ?obs:Obs.t -> key:string -> (unit -> t) -> t
+(** Interned lookup; on a miss, [build] runs outside the table lock
+    and the result is published (first writer wins on a race).  Bumps
+    [blueprint.hit] / [blueprint.miss] / [blueprint.unique] on [obs].
+    The table is size-capped: beyond the cap, misses still build but
+    are no longer retained (long-running daemons cannot grow it
+    without bound). *)
+
+val size : unit -> int
+(** Number of interned blueprints (diagnostics and tests). *)
+
+val reset : unit -> unit
+(** Drop every interned blueprint (tests needing cold-table counters). *)

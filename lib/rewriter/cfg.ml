@@ -23,8 +23,8 @@ type t = {
   graph : Dataflow.Graph.t;                   (* block graph over [instrs] *)
 }
 
-let recover ~(text_addr : int) (code : string) : t =
-  let instrs = Array.of_list (X64.Disasm.sweep ~addr:text_addr code) in
+let of_instrs ~(text_addr : int)
+    (instrs : (int * X64.Isa.instr * int) array) : t =
   let graph = Dataflow.Graph.of_instrs ~entry:text_addr instrs in
   {
     text_addr;
@@ -33,6 +33,9 @@ let recover ~(text_addr : int) (code : string) : t =
     leaders = graph.Dataflow.Graph.leaders;
     graph;
   }
+
+let recover ~(text_addr : int) (code : string) : t =
+  of_instrs ~text_addr (Array.of_list (X64.Disasm.sweep ~addr:text_addr code))
 
 let is_leader t addr = Hashtbl.mem t.leaders addr
 

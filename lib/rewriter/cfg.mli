@@ -21,6 +21,11 @@ type t = {
 
 val recover : text_addr:int -> string -> t
 
+val of_instrs : text_addr:int -> (int * X64.Isa.instr * int) array -> t
+(** Build the graph over an already-swept instruction array (the
+    rewriter sweeps once and reuses the array for blueprint keying
+    and emission). *)
+
 val is_leader : t -> int -> bool
 val num_instrs : t -> int
 

@@ -16,7 +16,15 @@
       covering available check is dropped, with the justification
       recorded in the [.elimtab] section for the soundness linter),
       and scratch/flags save specialization driven by interblock
-      liveness. *)
+      liveness.
+
+    The rewrite is split into {e planning} — everything above, which
+    depends only on the instruction stream's shape — and {e emission},
+    which instantiates the plan at concrete addresses.  Plans are
+    hash-consed through {!Blueprint}: texts with identical shapes
+    share one planning pass (counters [blueprint.hit]/[miss]/
+    [unique]), and emission from a shared blueprint is byte-identical
+    to a cold rewrite by construction. *)
 
 type options = {
   elim : bool;
@@ -273,33 +281,50 @@ let make_groups (opts : options) ~(variant_of : member -> X64.Isa.variant)
       !order
   end
 
-(* --- the rewriting driver ------------------------------------------- *)
+(* --- planning: the address-independent blueprint --------------------- *)
 
 let jmp_len = 5
 
-(** [rewrite ?tramp_base opts binary]: instrument [binary].
-    [tramp_base] places the trampoline section (distinct modules of one
-    process need distinct trampoline areas, still within rel32 reach of
-    their text).  [fault_hook] is called at the start of every
-    emission attempt (fault injection); any exception it — or the
-    emission itself — raises is handled per [on_fault]. *)
-let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
-    ?(on_fault = Degrade) ?fault_hook
-    (opts : options) (binary : Binfmt.Relf.t) : t =
-  (* per-phase spans (category "rewrite") when a collector is given *)
-  let sp name f =
+let default_tramp_base = Lowfat.Layout.trampoline_base
+
+(* The options rendering for blueprint keys: [options_key] with the
+   allow-list sites rewritten to text-relative offsets (an out-of-text
+   site never matches an instruction address, so it is dropped), plus
+   an explicit present/absent marker — [Some sites] and [None] plan
+   differently under the Lowfat backend even when no offset survives. *)
+let shape_opts_key (o : options) ~text_addr ~text_end =
+  let base = options_key { o with allowlist = None } in
+  match o.allowlist with
+  | None -> base ^ "|-"
+  | Some sites ->
+    base ^ "|+"
+    ^ String.concat ","
+        (List.filter_map
+           (fun a ->
+             if a >= text_addr && a < text_end then
+               Some (string_of_int (a - text_addr))
+             else None)
+           (List.sort_uniq compare sites))
+
+(* Build the instrumentation plan for [cfg] as a {!Blueprint.t}: every
+   address in the result is an instruction index.  Everything
+   expensive — operand canonicalization, dominators, loop analysis,
+   the availability solve, liveness-driven save specialization, patch
+   tactics — happens here; emission merely instantiates indices at the
+   text's concrete addresses, so a blueprint shared via
+   {!Blueprint.find_or_build} yields byte-identical rewrites. *)
+let plan ?obs (module B : Backend.Check_backend.S) (opts : options)
+    (cfg : Cfg.t) : Blueprint.t =
+  let sp : 'a. string -> (unit -> 'a) -> 'a =
+   fun name f ->
     match obs with
     | Some o -> Obs.span o ~cat:"rewrite" name f
     | None -> f ()
   in
-  let text = Binfmt.Relf.text_exn binary in
-  let cfg = sp "rw.recover" @@ fun () ->
-    Cfg.recover ~text_addr:text.addr text.bytes
-  in
   let n = Cfg.num_instrs cfg in
   (* 1. collect instrumentable members *)
   let mem_ops = ref 0 and eliminated = ref 0 in
-  let elim_records = ref [] (* (addr, Elimtab.reason), newest first *) in
+  let brecords = ref [] (* (instr index, Blueprint.reason), newest first *) in
   let members = ref [] in
   sp "rw.collect" (fun () ->
   for i = 0 to n - 1 do
@@ -322,7 +347,7 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
         let bytes = X64.Isa.width_bytes w in
         if opts.elim && Analysis.eliminable m ~len:bytes then begin
           incr eliminated;
-          elim_records := (addr, Dataflow.Elimtab.Clear) :: !elim_records
+          brecords := (i, Blueprint.Clear) :: !brecords
         end
         else members := { mi = i; addr; m; bytes; write } :: !members
       end
@@ -338,7 +363,6 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
   in
   (* the backend makes the per-site instrumentation decision and owns
      the degradation fallback *)
-  let (module B) = Backend.Check_backend.of_id opts.backend in
   let variant_of (m : member) : X64.Isa.variant =
     B.plan ~profiling:opts.profiling
       ~allowlisted:
@@ -359,7 +383,7 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
   let hoist_enabled = opts.hoist && not opts.profiling in
   let hoisted_members = ref 0 in
   (* (preheader index, widened operand key) -> covered member
-     addresses.  The [hoist] records are written after global
+     indices.  The [hoist] records are written after global
      elimination, which may drop a hoisted check that is itself
      covered by a dominating available check — the members then cite
      the covering site instead of the dropped preheader check. *)
@@ -420,7 +444,7 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
               in
               hoisted_members := !hoisted_members + List.length ms;
               Hashtbl.replace hoist_members key
-                (List.rev_map (fun (m : member) -> m.addr) ms);
+                (List.rev_map (fun (m : member) -> m.mi) ms);
               let first =
                 {
                   mi = h.Dataflow.Loops.h_index;
@@ -499,11 +523,11 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
   List.iter (fun (first, _) -> Hashtbl.replace patch_starts first.mi ()) plans;
   (* 2. global elimination: a planned check whose key, range and
      variant are covered by a check available from a dominating site is
-     not emitted; the justification (member address -> emitting patch
-     address) goes to [.elimtab].  Facts join by intersection requiring
-     the same generating site, so an available fact's site lies on
-     every path here — dominance is still re-checked against the
-     dominator tree, and a fact generated by a site that is itself
+     not emitted; the justification (member index -> emitting patch
+     index) goes to the blueprint records.  Facts join by intersection
+     requiring the same generating site, so an available fact's site
+     lies on every path here — dominance is still re-checked against
+     the dominator tree, and a fact generated by a site that is itself
      covered never propagates past it (the covering fact shadows it),
      so recorded justifications always point at emitted sites.
      Profiling builds keep every check observable (see
@@ -559,7 +583,6 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
                     (Dataflow.Avail.find facts
                        (Dataflow.Avail.key_of_mem g.g_mem))
                 in
-                let site_addr, _, _ = cfg.instrs.(info.Dataflow.Avail.site) in
                 incr eliminated_global;
                 match ms with
                 | [] ->
@@ -567,9 +590,10 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
                      members cite the covering site; the hull stays the
                      group hull, which the covering fact subsumes *)
                   List.map
-                    (fun addr ->
-                      (addr,
-                       Dataflow.Elimtab.Hoist (site_addr, g.g_lo, g.g_hi)))
+                    (fun mi ->
+                      (mi,
+                       Blueprint.Hoist
+                         (info.Dataflow.Avail.site, g.g_lo, g.g_hi)))
                     (Option.value
                        (Hashtbl.find_opt hoist_members
                           (first.mi, operand_key g.g_mem))
@@ -577,7 +601,7 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
                 | ms ->
                   List.map
                     (fun (m : member) ->
-                      (m.addr, Dataflow.Elimtab.Dom site_addr))
+                      (m.mi, Blueprint.Dom info.Dataflow.Avail.site))
                     ms)
               dropped
           in
@@ -593,10 +617,10 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
         (fun ((g : group), (ms : member list)) ->
           if ms = [] then
             List.iter
-              (fun addr ->
-                elim_records :=
-                  (addr, Dataflow.Elimtab.Hoist (first.addr, g.g_lo, g.g_hi))
-                  :: !elim_records)
+              (fun mi ->
+                brecords :=
+                  (mi, Blueprint.Hoist (first.mi, g.g_lo, g.g_hi))
+                  :: !brecords)
               (Option.value
                  (Hashtbl.find_opt hoist_members
                     (first.mi, operand_key g.g_mem))
@@ -605,11 +629,142 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
     plans;
   List.iter
     (fun (_, _, records) ->
-      elim_records := List.rev_append records !elim_records)
+      brecords := List.rev_append records !brecords)
     plans;
-  (* 3. build trampolines and patches *)
+  (* 3. patch tactics and save specialization, still per index: the
+     eviction scan depends on instruction lengths, leaders and the
+     other patch starts; the clobber scan on registers and flow — all
+     shape properties *)
   let live =
     if opts.scratch_opt then Some (Dataflow.Live.solve cfg.graph) else None
+  in
+  let bplans =
+    List.map
+      (fun ((first : member), (groups : (group * member list) list), _) ->
+        let _, _, l0 = cfg.instrs.(first.mi) in
+        let displaced = ref [ first.mi ] and span = ref l0 in
+        let tactic =
+          if groups = [] then Blueprint.Trap (* fully eliminated: no patch *)
+          else if l0 >= jmp_len then Blueprint.Jump
+          else begin
+            (* successor eviction (E9Patch tactic T3) *)
+            let ok = ref true and k = ref (first.mi + 1) in
+            while !span < jmp_len && !ok do
+              if !k >= n then ok := false
+              else begin
+                let ak, ik, lk = cfg.instrs.(!k) in
+                if
+                  Cfg.is_leader cfg ak
+                  || Hashtbl.mem patch_starts !k
+                  || X64.Isa.flow_of ik <> X64.Isa.Fall
+                then ok := false
+                else begin
+                  displaced := !k :: !displaced;
+                  span := !span + lk;
+                  incr k
+                end
+              end
+            done;
+            if !span >= jmp_len && !ok then Blueprint.Jump
+            else begin
+              displaced := [ first.mi ];
+              Blueprint.Trap
+            end
+          end
+        in
+        let spec =
+          if groups = [] || not opts.scratch_opt then Analysis.conservative
+          else Analysis.clobbers ?live cfg ~start:first.mi ~limit:24
+        in
+        {
+          Blueprint.bp_first = first.mi;
+          bp_tactic = tactic;
+          bp_displaced = List.rev !displaced;
+          bp_nsaves = spec.nsaves;
+          bp_save_flags = spec.save_flags;
+          bp_groups =
+            List.map
+              (fun ((g : group), (ms : member list)) ->
+                {
+                  Blueprint.bg_variant = g.g_variant;
+                  bg_mem = g.g_mem;
+                  bg_lo = g.g_lo;
+                  bg_hi = g.g_hi;
+                  bg_write = g.g_write;
+                  bg_site = Hashtbl.find cfg.index_of g.g_site;
+                  bg_members =
+                    List.map (fun (m : member) -> (m.mi, variant_of m)) ms;
+                })
+              groups;
+        })
+      plans
+  in
+  {
+    Blueprint.b_plans = bplans;
+    b_records = !brecords;
+    b_mem_ops = !mem_ops;
+    b_eliminated = !eliminated;
+    b_eliminated_global = !eliminated_global;
+    b_hoisted_members = !hoisted_members;
+  }
+
+(* --- the rewriting driver ------------------------------------------- *)
+
+(** [rewrite ?tramp_base opts binary]: instrument [binary].
+    [tramp_base] places the trampoline section (distinct modules of one
+    process need distinct trampoline areas, still within rel32 reach of
+    their text).  [fault_hook] is called at the start of every
+    emission attempt (fault injection); any exception it — or the
+    emission itself — raises is handled per [on_fault]. *)
+let rewrite ?(tramp_base = default_tramp_base) ?obs
+    ?(on_fault = Degrade) ?fault_hook
+    (opts : options) (binary : Binfmt.Relf.t) : t =
+  (* per-phase spans (category "rewrite") when a collector is given *)
+  let sp name f =
+    match obs with
+    | Some o -> Obs.span o ~cat:"rewrite" name f
+    | None -> f ()
+  in
+  let text = Binfmt.Relf.text_exn binary in
+  let instrs = sp "rw.recover" @@ fun () ->
+    Array.of_list (X64.Disasm.sweep ~addr:text.addr text.bytes)
+  in
+  let n = Array.length instrs in
+  let text_end = text.addr + String.length text.bytes in
+  let (module B) = Backend.Check_backend.of_id opts.backend in
+  (* the plan: interned by text shape, built on a miss (a blueprint
+     hit skips every analysis — graph recovery included) *)
+  let bkey =
+    Blueprint.shape_key
+      ~opts_key:(shape_opts_key opts ~text_addr:text.addr ~text_end)
+      ~text_addr:text.addr ~text_end instrs
+  in
+  let bp =
+    Blueprint.find_or_build ?obs ~key:bkey (fun () ->
+        let cfg = sp "rw.graph" @@ fun () ->
+          Cfg.of_instrs ~text_addr:text.addr instrs
+        in
+        plan ?obs (module B : Backend.Check_backend.S) opts cfg)
+  in
+  (* 4. emission: instantiate the blueprint's indices at this text's
+     concrete addresses and build trampolines and patches *)
+  let addr_of i =
+    let a, _, _ = instrs.(i) in
+    a
+  in
+  let eliminated_global = ref bp.Blueprint.b_eliminated_global in
+  let hoisted_members = ref bp.Blueprint.b_hoisted_members in
+  let elim_records =
+    ref
+      (List.map
+         (fun (i, r) ->
+           ( addr_of i,
+             match r with
+             | Blueprint.Clear -> Dataflow.Elimtab.Clear
+             | Blueprint.Dom s -> Dataflow.Elimtab.Dom (addr_of s)
+             | Blueprint.Hoist (s, lo, hi) ->
+               Dataflow.Elimtab.Hoist (addr_of s, lo, hi) ))
+         bp.Blueprint.b_records)
   in
   let text_bytes = Bytes.of_string text.bytes in
   let tramp = Buffer.create 4096 in
@@ -632,43 +787,21 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
   let patch_string addr s =
     Bytes.blit_string s 0 text_bytes (addr - text.addr) (String.length s)
   in
-  let do_plan ((first : member), (groups : (group * member list) list), _) =
-    if groups <> [] then begin
-      (* plan the patch tactic at the first member *)
-      let a0, _i0, l0 = cfg.instrs.(first.mi) in
-      let displaced = ref [ first.mi ] and span = ref l0 in
-      let tactic =
-        if l0 >= jmp_len then `Jump
-        else begin
-          (* successor eviction (E9Patch tactic T3) *)
-          let ok = ref true and k = ref (first.mi + 1) in
-          while !span < jmp_len && !ok do
-            if !k >= n then ok := false
-            else begin
-              let ak, ik, lk = cfg.instrs.(!k) in
-              if
-                Cfg.is_leader cfg ak
-                || Hashtbl.mem patch_starts !k
-                || X64.Isa.flow_of ik <> X64.Isa.Fall
-              then ok := false
-              else begin
-                displaced := !k :: !displaced;
-                span := !span + lk;
-                incr k
-              end
-            end
-          done;
-          if !span >= jmp_len && !ok then `Evict else `Trap
-        end
+  let do_plan (p : Blueprint.bplan) =
+    if p.Blueprint.bp_groups <> [] then begin
+      let a0, _, _ = instrs.(p.Blueprint.bp_first) in
+      let span =
+        List.fold_left
+          (fun s k ->
+            let _, _, lk = instrs.(k) in
+            s + lk)
+          0 p.Blueprint.bp_displaced
       in
-      let tactic = if tactic = `Evict then `Jump else tactic in
-      (match tactic with
-       | `Trap ->
-         displaced := [ first.mi ];
-         span := l0
-       | `Jump | `Evict -> ());
-      let displaced = List.rev !displaced in
-      let plan_members = List.concat_map snd groups in
+      let plan_members =
+        List.concat_map
+          (fun (g : Blueprint.bgroup) -> g.Blueprint.bg_members)
+          p.Blueprint.bp_groups
+      in
       (* one emission attempt.  Everything fallible — the injection
          hook, check/instruction encoding — happens against the
          trampoline buffer and counters only; on a fault the snapshot
@@ -684,38 +817,35 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
         try
           (match fault_hook with
           | Some h ->
-            h ~stage:(if degrade then "retry" else "emit") ~site:first.addr
+            h ~stage:(if degrade then "retry" else "emit") ~site:a0
           | None -> ());
           incr trampolines;
           List.iter
-            (fun (m : member) ->
+            (fun ((_ : int), v) ->
               incr instrumented;
-              match (if degrade then B.fallback else variant_of m) with
+              match (if degrade then B.fallback else v) with
               | X64.Isa.Full -> incr full_sites
               | X64.Isa.Redzone -> incr redzone_sites
               | X64.Isa.Temporal -> incr temporal_sites)
             plan_members;
           let tramp_addr = tramp_base + Buffer.length tramp in
-          let spec =
-            if opts.scratch_opt then
-              Analysis.clobbers ?live cfg ~start:first.mi ~limit:24
-            else Analysis.conservative
-          in
-          if spec.nsaves = 0 then incr zero_save_sites;
+          if p.Blueprint.bp_nsaves = 0 then incr zero_save_sites;
           List.iteri
-            (fun gi ((g : group), _) ->
-              let variant = if degrade then B.fallback else g.g_variant in
+            (fun gi (g : Blueprint.bgroup) ->
+              let variant =
+                if degrade then B.fallback else g.Blueprint.bg_variant
+              in
               let checks =
                 B.emit
                   {
                     Backend.Check_backend.s_variant = variant;
-                    s_mem = { g.g_mem with disp = 0 };
-                    s_lo = g.g_lo;
-                    s_hi = g.g_hi;
-                    s_write = g.g_write;
-                    s_site = g.g_site;
-                    s_nsaves = (if gi = 0 then spec.nsaves else 0);
-                    s_save_flags = (if gi = 0 then spec.save_flags else false);
+                    s_mem = { g.Blueprint.bg_mem with disp = 0 };
+                    s_lo = g.Blueprint.bg_lo;
+                    s_hi = g.Blueprint.bg_hi;
+                    s_write = g.Blueprint.bg_write;
+                    s_site = addr_of g.Blueprint.bg_site;
+                    s_nsaves = (if gi = 0 then p.Blueprint.bp_nsaves else 0);
+                    s_save_flags = gi = 0 && p.Blueprint.bp_save_flags;
                   }
               in
               List.iter
@@ -729,13 +859,13 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
                     (tramp_base + Buffer.length tramp)
                     (X64.Isa.Check ck))
                 checks)
-            groups;
+            p.Blueprint.bp_groups;
           List.iter
             (fun k ->
-              let _, ik, _ = cfg.instrs.(k) in
+              let _, ik, _ = instrs.(k) in
               X64.Encode.encode_at tramp (tramp_base + Buffer.length tramp) ik)
-            displaced;
-          let back = a0 + !span in
+            p.Blueprint.bp_displaced;
+          let back = a0 + span in
           X64.Encode.encode_at tramp
             (tramp_base + Buffer.length tramp)
             (X64.Isa.Jmp back);
@@ -751,29 +881,30 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
       in
       let apply_patch tramp_addr =
         List.iter
-          (fun ((g : group), (ms : member list)) ->
-            if ms = [] then begin
+          (fun (g : Blueprint.bgroup) ->
+            if g.Blueprint.bg_members = [] then begin
               incr hoisted_checks;
-              widened_span_bytes := !widened_span_bytes + (g.g_hi - g.g_lo)
+              widened_span_bytes :=
+                !widened_span_bytes + (g.Blueprint.bg_hi - g.Blueprint.bg_lo)
             end)
-          groups;
-        if List.length displaced > 1 then
-          evictions := !evictions + List.length displaced - 1;
-        match tactic with
-        | `Jump ->
+          p.Blueprint.bp_groups;
+        if List.length p.Blueprint.bp_displaced > 1 then
+          evictions :=
+            !evictions + List.length p.Blueprint.bp_displaced - 1;
+        match p.Blueprint.bp_tactic with
+        | Blueprint.Jump ->
           incr jump_patches;
           let patch =
             X64.Encode.encode_seq ~addr:a0 [ X64.Isa.Jmp tramp_addr ]
           in
           patch_string a0 patch;
-          for off = jmp_len to !span - 1 do
+          for off = jmp_len to span - 1 do
             patch_byte (a0 + off) X64.Encode.op_nop
           done
-        | `Trap ->
+        | Blueprint.Trap ->
           incr trap_patches;
           patch_byte a0 X64.Encode.op_trap;
           traps := (a0, tramp_addr) :: !traps
-        | `Evict -> assert false
       in
       match attempt ~degrade:false () with
       | Ok tramp_addr -> apply_patch tramp_addr
@@ -789,8 +920,8 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
                range and dominance of the emitted check, which the
                downgrade preserves. *)
             List.iter
-              (fun (m : member) ->
-                if variant_of m <> B.fallback then incr degraded_sites)
+              (fun ((_ : int), v) ->
+                if v <> B.fallback then incr degraded_sites)
               plan_members;
             apply_patch tramp_addr
           | Error _ ->
@@ -799,14 +930,14 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
                plan is downgraded in the post-pass *)
             skipped_sites := !skipped_sites + List.length plan_members;
             List.iter
-              (fun (m : member) ->
+              (fun (mi, (_ : X64.Isa.variant)) ->
                 elim_records :=
-                  (m.addr, Dataflow.Elimtab.Skip) :: !elim_records)
+                  (addr_of mi, Dataflow.Elimtab.Skip) :: !elim_records)
               plan_members;
-            Hashtbl.replace skipped_plan_sites first.addr ()))
+            Hashtbl.replace skipped_plan_sites a0 ()))
     end
   in
-  sp "rw.emit" (fun () -> List.iter do_plan plans);
+  sp "rw.emit" (fun () -> List.iter do_plan bp.Blueprint.b_plans);
   (* post-pass: a [Dom] record whose justifying check was never emitted
      (its plan was skipped) is no longer a proof — downgrade it to
      [skip] so the linter audits it as a degradation, not a soundness
@@ -866,7 +997,7 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
   in
   let checks_by_kind =
     [
-      ("elide.clear", !eliminated);
+      ("elide.clear", bp.Blueprint.b_eliminated);
       ("elide.dom", !eliminated_global);
       ("elide.hoist", !hoisted_members);
       ("emit.full", !emit_full);
@@ -887,8 +1018,8 @@ let rewrite ?(tramp_base = Lowfat.Layout.trampoline_base) ?obs
   let stats =
     {
       instrs_total = n;
-      mem_ops = !mem_ops;
-      eliminated = !eliminated;
+      mem_ops = bp.Blueprint.b_mem_ops;
+      eliminated = bp.Blueprint.b_eliminated;
       eliminated_global = !eliminated_global;
       instrumented = !instrumented;
       full_sites = !full_sites;

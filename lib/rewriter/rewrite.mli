@@ -120,6 +120,11 @@ type t = {
   stats : stats;
 }
 
+val default_tramp_base : int
+(** The [tramp_base] {!rewrite} uses when none is given
+    ({!Lowfat.Layout.trampoline_base}).  Callers that split a binary
+    into separately rewritten parts chain their bases from here. *)
+
 val rewrite :
   ?tramp_base:int ->
   ?obs:Obs.t ->

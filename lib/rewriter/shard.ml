@@ -1,0 +1,152 @@
+(* Function-granular sharding; see shard.mli for the equivalence
+   contract. *)
+
+type slice = {
+  sl_addr : int;
+  sl_len : int;
+  sl_bytes : string;
+  sl_digest : string;
+}
+
+let slices (b : Binfmt.Relf.t) : slice list option =
+  match Binfmt.Relf.find_section b ".text" with
+  | None -> None
+  | Some text -> (
+    let instrs =
+      Array.of_list (X64.Disasm.sweep ~addr:text.addr text.bytes)
+    in
+    match Dataflow.Funs.partition ~text_addr:text.addr instrs with
+    | None -> None
+    | Some fns ->
+      (* the partition is gapless from the text base, but a
+         desynchronized sweep can still stop short of the section end;
+         bytes no slice owns would be lost on reassembly *)
+      let covered =
+        List.fold_left (fun s (f : Dataflow.Funs.fn) -> s + f.f_len) 0 fns
+      in
+      if covered <> String.length text.bytes then None
+      else
+        Some
+          (List.map
+             (fun (f : Dataflow.Funs.fn) ->
+               let bytes =
+                 String.sub text.bytes (f.f_addr - text.addr) f.f_len
+               in
+               {
+                 sl_addr = f.f_addr;
+                 sl_len = f.f_len;
+                 sl_bytes = bytes;
+                 sl_digest = Digest.to_hex (Digest.string bytes);
+               })
+             fns))
+
+let slice_binary (b : Binfmt.Relf.t) (s : slice) : Binfmt.Relf.t =
+  {
+    b with
+    entry = s.sl_addr;
+    sections =
+      [
+        Binfmt.Relf.section ~executable:true ~name:".text" ~addr:s.sl_addr
+          s.sl_bytes;
+      ];
+  }
+
+let part_section (p : Rewrite.t) name =
+  match Binfmt.Relf.find_section p.binary name with
+  | Some s -> s.Binfmt.Relf.bytes
+  | None -> ""
+
+let merge_elimtabs (parts : Rewrite.t list) : string =
+  let tabs =
+    List.map
+      (fun p ->
+        match
+          Dataflow.Elimtab.parse
+            (part_section p Dataflow.Elimtab.section_name)
+        with
+        | Ok t -> t
+        | Error e -> invalid_arg ("Shard.assemble: bad part elimtab: " ^ e))
+      parts
+  in
+  match tabs with
+  | [] -> invalid_arg "Shard.assemble: no parts"
+  | first :: _ ->
+    (* each part sorted its own entries; the monolithic table is the
+       sort of their union, and the policy line is uniform across
+       parts (same options, same backend) *)
+    Dataflow.Elimtab.render
+      {
+        first with
+        Dataflow.Elimtab.entries =
+          List.sort compare
+            (List.concat_map (fun t -> t.Dataflow.Elimtab.entries) tabs);
+      }
+
+let add_stats (a : Rewrite.stats) (b : Rewrite.stats) : Rewrite.stats =
+  {
+    instrs_total = a.instrs_total + b.instrs_total;
+    mem_ops = a.mem_ops + b.mem_ops;
+    eliminated = a.eliminated + b.eliminated;
+    eliminated_global = a.eliminated_global + b.eliminated_global;
+    instrumented = a.instrumented + b.instrumented;
+    full_sites = a.full_sites + b.full_sites;
+    redzone_sites = a.redzone_sites + b.redzone_sites;
+    temporal_sites = a.temporal_sites + b.temporal_sites;
+    trampolines = a.trampolines + b.trampolines;
+    checks_emitted = a.checks_emitted + b.checks_emitted;
+    zero_save_sites = a.zero_save_sites + b.zero_save_sites;
+    jump_patches = a.jump_patches + b.jump_patches;
+    evictions = a.evictions + b.evictions;
+    trap_patches = a.trap_patches + b.trap_patches;
+    degraded_sites = a.degraded_sites + b.degraded_sites;
+    skipped_sites = a.skipped_sites + b.skipped_sites;
+    hoisted_checks = a.hoisted_checks + b.hoisted_checks;
+    widened_span_bytes = a.widened_span_bytes + b.widened_span_bytes;
+    text_bytes = a.text_bytes + b.text_bytes;
+    tramp_bytes = a.tramp_bytes + b.tramp_bytes;
+    checks_by_kind =
+      (* every rewrite carries the same fixed kind list, in order *)
+      List.map2
+        (fun (k, va) (k', vb) ->
+          if k <> k' then invalid_arg "Shard.assemble: kind mismatch";
+          (k, va + vb))
+        a.checks_by_kind b.checks_by_kind;
+  }
+
+let assemble ~(binary : Binfmt.Relf.t) ~tramp_base (parts : Rewrite.t list) :
+    Rewrite.t =
+  (match parts with
+  | [] -> invalid_arg "Shard.assemble: no parts"
+  | _ -> ());
+  let patched_text =
+    String.concat "" (List.map (fun p -> part_section p ".text") parts)
+  in
+  let tramp_bytes =
+    String.concat "" (List.map (fun p -> part_section p ".redfat") parts)
+  in
+  let traps = List.concat_map (fun (p : Rewrite.t) -> p.traps) parts in
+  let traptab =
+    String.concat ""
+      (List.map (fun (a, t) -> Printf.sprintf "%x %x\n" a t) traps)
+  in
+  let elimtab = merge_elimtabs parts in
+  let sections =
+    List.map
+      (fun (s : Binfmt.Relf.section) ->
+        if s.name = ".text" then { s with bytes = patched_text } else s)
+      binary.sections
+    @ [
+        Binfmt.Relf.section ~executable:true ~name:".redfat" ~addr:tramp_base
+          tramp_bytes;
+        Binfmt.Relf.section ~name:Dataflow.Elimtab.section_name ~addr:0 elimtab;
+      ]
+    @
+    if traptab = "" then []
+    else [ Binfmt.Relf.section ~name:".traptab" ~addr:0 traptab ]
+  in
+  let stats =
+    match List.map (fun (p : Rewrite.t) -> p.stats) parts with
+    | [] -> assert false
+    | s :: rest -> List.fold_left add_stats s rest
+  in
+  { Rewrite.binary = { binary with sections }; traps; stats }

@@ -1,0 +1,44 @@
+(** Function-granular sharding of a rewrite.
+
+    [slices] splits a binary's text into the function regions of
+    {!Dataflow.Funs.partition} (each with a content digest, the unit
+    of incremental caching); [slice_binary] wraps one region as a
+    self-contained single-section binary the rewriter accepts; and
+    [assemble] splices the per-region rewrites back into the original
+    binary.
+
+    The contract — enforced by the partition's isolation conditions
+    and the chained trampoline bases — is that the assembled result is
+    {e byte-identical} to a monolithic {!Rewrite.rewrite} of the whole
+    binary: same patched text, same trampoline section, same trap
+    table, same [.elimtab], same stats.  [slices] returns [None]
+    whenever that guarantee cannot be established (non-contiguous
+    sweep, fewer than two regions, or any isolation condition fails),
+    and callers fall back to the monolithic path. *)
+
+type slice = {
+  sl_addr : int;     (** load address of the region *)
+  sl_len : int;      (** region length in bytes *)
+  sl_bytes : string; (** the region's text bytes *)
+  sl_digest : string;
+      (** content digest of [sl_bytes] (hex), the function-granular
+          cache-key component *)
+}
+
+val slices : Binfmt.Relf.t -> slice list option
+(** Partition the binary's text.  [None]: shard-rewriting cannot be
+    proven equivalent; rewrite monolithically. *)
+
+val slice_binary : Binfmt.Relf.t -> slice -> Binfmt.Relf.t
+(** A single-[.text] binary holding just the slice (entry at the
+    slice base; [pic]/[stripped] inherited), suitable for
+    {!Rewrite.rewrite} with a chained [tramp_base]. *)
+
+val assemble :
+  binary:Binfmt.Relf.t -> tramp_base:int -> Rewrite.t list -> Rewrite.t
+(** Splice per-slice rewrites (in slice order, rewritten with chained
+    trampoline bases starting at [tramp_base]) back into [binary]:
+    concatenated patched texts replace [.text], concatenated
+    trampolines form [.redfat] at [tramp_base], trap tables
+    concatenate, elimination tables merge (entries re-sorted, policy
+    from the first part), stats sum pointwise. *)

@@ -11,6 +11,7 @@ let () =
       ("rewriter", Test_rewriter.tests);
       ("dataflow", Test_dataflow.tests);
       ("hoist", Test_hoist.tests);
+      ("shard", Test_shard.tests);
       ("shared-objects", Test_shared_objects.tests);
       ("profile", Test_profile.tests);
       ("fuzzer", Test_fuzzer.tests);

@@ -107,7 +107,15 @@ let test_disk_cache_warm_start () =
     let bin = Pl.compile eng (Workloads.Spec.program spec) in
     let hard = Pl.harden eng bin in
     let st = Pl.cache_stats eng in
-    Alcotest.(check int) "cold run stores artifacts" 2 st.Engine.Cache.stores;
+    (* compile + (sharded: one artifact per function and a manifest;
+       monolithic fallback: one harden blob) *)
+    let expected =
+      match Redfat.Shard.slices bin with
+      | Some sls -> 2 + List.length sls
+      | None -> 2
+    in
+    Alcotest.(check int) "cold run stores artifacts" expected
+      st.Engine.Cache.stores;
     Binfmt.Relf.serialize hard.Rw.binary
   in
   (* a brand-new engine on the same dir starts warm *)
@@ -133,6 +141,59 @@ let test_no_cache_engine () =
   let st = Pl.cache_stats eng in
   Alcotest.(check int) "disabled cache never hits" 0 st.Engine.Cache.hits;
   Alcotest.(check int) "disabled cache never stores" 0 st.Engine.Cache.stores
+
+(* --- cache under concurrency ----------------------------------------- *)
+
+let test_cache_memo_concurrent () =
+  (* racing domains on one key may duplicate the compute (observable
+     only through the miss counter) but must never observe divergent
+     artifacts *)
+  let c = Engine.Cache.create ~enabled:true () in
+  let key = Engine.Cache.key ~kind:"t" [ "concurrent" ] in
+  let computes = Atomic.make 0 in
+  let doms =
+    List.init 8 (fun _ ->
+        Domain.spawn (fun () ->
+            Engine.Cache.memo c ~key (fun () ->
+                Atomic.incr computes;
+                "artifact")))
+  in
+  let vs = List.map Domain.join doms in
+  List.iter (fun v -> Alcotest.(check string) "one artifact" "artifact" v) vs;
+  let st = Engine.Cache.stats c in
+  Alcotest.(check int) "every lookup accounted" 8
+    (st.Engine.Cache.hits + st.Engine.Cache.misses);
+  Alcotest.(check bool) "computes == misses >= 1" true
+    (Atomic.get computes = st.Engine.Cache.misses
+    && st.Engine.Cache.misses >= 1)
+
+let test_sharded_harden_concurrent () =
+  (* parallel workers hardening the same binary drive the
+     function-sharded manifest/fnart protocol concurrently: duplicate
+     per-function computes are allowed, divergent artifacts are not *)
+  let spec = Workloads.Spec.find "gcc" in
+  let seq =
+    with_engine ~jobs:1 @@ fun eng ->
+    let bin = Pl.compile eng (Workloads.Spec.program spec) in
+    Binfmt.Relf.serialize (Pl.harden eng bin).Rw.binary
+  in
+  with_engine ~jobs:4 @@ fun eng ->
+  let bin = Pl.compile eng (Workloads.Spec.program spec) in
+  let outs =
+    Pl.map eng
+      (fun () -> Binfmt.Relf.serialize (Pl.harden eng bin).Rw.binary)
+      (List.init 8 (fun _ -> ()))
+  in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "parallel harden == sequential harden" true
+        (s = seq))
+    outs;
+  (* a later call must be served from the manifest tier *)
+  let st0 = (Pl.cache_stats eng).Engine.Cache.hits in
+  ignore (Pl.harden eng bin);
+  Alcotest.(check bool) "manifest serves repeat lookups" true
+    ((Pl.cache_stats eng).Engine.Cache.hits > st0)
 
 (* --- parallel == sequential on the paper's experiments --------------- *)
 
@@ -275,6 +336,10 @@ let tests =
     Alcotest.test_case "cache: disk tier warm start" `Quick
       test_disk_cache_warm_start;
     Alcotest.test_case "cache: disabled engine" `Quick test_no_cache_engine;
+    Alcotest.test_case "cache: concurrent memo converges" `Quick
+      test_cache_memo_concurrent;
+    Alcotest.test_case "cache: concurrent sharded harden converges" `Quick
+      test_sharded_harden_concurrent;
     Alcotest.test_case "table1 subset: parallel == sequential" `Slow
       test_table1_parallel_eq_sequential;
     Alcotest.test_case "juliet subset: parallel == sequential" `Slow

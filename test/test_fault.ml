@@ -329,7 +329,7 @@ let test_transient_fault_retries () =
 
 (* --- cache self-healing --------------------------------------------- *)
 
-let art_magic = "REDFAT-ART5\n"
+let art_magic = "REDFAT-ART6\n"
 
 let overwrite path contents =
   Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc contents)

@@ -17,7 +17,10 @@
      - the hoisted_checks counter went down (the loop hoister proved
        fewer loops than before: lost static-analysis ground);
      - any *hit_permille counter went down (a cache tier -- e.g. the
-       serving hot tier's warm-phase hit rate -- lost ground).
+       serving hot tier's warm-phase hit rate -- lost ground);
+     - any *reused_permille counter went down (the function-granular
+       incremental rebuild reused fewer per-function artifacts: the
+       partition or cache keys lost precision).
 
    New targets and improvements are fine.  wall_seconds is ignored
    everywhere: it is the only machine-dependent field; cycles come
@@ -134,10 +137,15 @@ let check_target name base fresh =
           fail "%s: counter %s increased (%.0f -> %.0f)" name k b f
         | Some _ -> ()
         | None -> fail "%s: counter %s missing from fresh report" name k
-      (* hoisted checks and hit rates are gains: losing some means the
-         hoister stopped proving loops it used to prove, or a cache
-         tier stopped hitting where it used to hit *)
-      else if k = "hoisted_checks" || has_suffix k "hit_permille" then
+      (* hoisted checks, hit rates and reuse rates are gains: losing
+         some means the hoister stopped proving loops it used to
+         prove, or a cache tier stopped hitting (or reusing) where it
+         used to *)
+      else if
+        k = "hoisted_checks"
+        || has_suffix k "hit_permille"
+        || has_suffix k "reused_permille"
+      then
         match List.assoc_opt k fresh_counters with
         | Some f when f < b ->
           fail "%s: counter %s decreased (%.0f -> %.0f)" name k b f
