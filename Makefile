@@ -8,7 +8,8 @@ BENCH_DIFF := _build/default/tools/bench_diff.exe
 
 .PHONY: all build test check lint doc-check bench bench-json bench-gate \
 	bench-baseline serve-smoke bench-serve-gate bench-serve-baseline \
-	rebuild-smoke bench-rebuild-gate bench-rebuild-baseline ci clean
+	rebuild-smoke bench-rebuild-gate bench-rebuild-baseline \
+	fuzz-smoke bench-fuzz-gate bench-fuzz-baseline ci clean
 
 all: build
 
@@ -130,6 +131,36 @@ bench-rebuild-baseline: build
 	$(BENCH) rebuild --out bench/rebuild_baseline.json > /dev/null
 	@echo "wrote bench/rebuild_baseline.json -- commit it with the explaining change"
 
+# fuzzing-fleet smoke: a bounded deterministic campaign (fixed seed and
+# budget) over the seeded-bug suite on every backend, plus both parser
+# campaigns; each must find and deduplicate at least one planted bug
+# and exit cleanly.  See docs/FUZZING.md for the triage contract.
+fuzz-smoke: build
+	@set -e; for b in redzone lowfat temporal; do \
+	  $(REDFAT) fuzz bug:oob-write bug:oob-read bug:off-by-one bug:uaf \
+	    bug:double-free bug:hang --backend $$b --budget 400 --seed 7 \
+	    --jobs 2 --expect-bugs 6 \
+	    --out _build/fuzz-smoke-$$b.json > /dev/null; \
+	  echo "backend $$b: fuzz smoke OK"; \
+	done
+	$(REDFAT) fuzz relf minic --mode parse --budget 400 --seed 7 \
+	  --expect-bugs 2 --out _build/fuzz-smoke-parse.json > /dev/null
+	@echo "parser campaigns: fuzz smoke OK"
+
+# the fuzzing regression gate: regenerate the smoke matrix through the
+# bench harness and diff it against the committed baseline; any
+# fuzz.unique_bugs decrease (a campaign stopped finding a seeded bug)
+# fails the build
+bench-fuzz-gate: build
+	$(BENCH) fuzz --jobs 2 --out BENCH_fuzz.json > /dev/null
+	$(BENCH_DIFF) bench/fuzz_baseline.json BENCH_fuzz.json
+
+# after an INTENTIONAL oracle/scheduler/mutator change: refresh the
+# fuzzing baseline and commit it with the change that explains it
+bench-fuzz-baseline: build
+	$(BENCH) fuzz --jobs 2 --out bench/fuzz_baseline.json > /dev/null
+	@echo "wrote bench/fuzz_baseline.json -- commit it with the explaining change"
+
 # everything CI runs, in one local command (mirrors .github/workflows/ci.yml)
 ci: build test lint doc-check
 	@set -e; for b in redzone lowfat temporal; do \
@@ -148,6 +179,8 @@ ci: build test lint doc-check
 	$(MAKE) bench-serve-gate
 	$(MAKE) rebuild-smoke
 	$(MAKE) bench-rebuild-gate
+	$(MAKE) fuzz-smoke
+	$(MAKE) bench-fuzz-gate
 
 clean:
 	dune clean

@@ -3,7 +3,7 @@
    argument for everything, or with one of:
 
      table1 table2 table2x fig1 fig2 fig3 fig4 fig5 fig67 fig8
-     fps detected uaf stats sec74 ablation serve rebuild bechamel
+     fps detected uaf stats sec74 ablation serve rebuild fuzz bechamel
 
    Flags (anywhere on the command line):
 
@@ -431,6 +431,13 @@ let table2x () =
        Workloads.Uaf.all);
   row "reuse-after-free" [ (Workloads.Uaf.reuse_case, None, []) ];
   row "double free" [ (Workloads.Uaf.double_free_case, Some [ 0 ], [ 1 ]) ];
+  (* seeded-bug classes surfaced by the fuzzing fleet (redfat fuzz) *)
+  let fuzz_case id =
+    let c = Workloads.Fuzzbugs.find id in
+    (c.program, Some c.benign, c.attack)
+  in
+  row "CWE-125 OOB read (fuzz)" [ fuzz_case "oob-read" ];
+  row "off-by-one write (fuzz)" [ fuzz_case "off-by-one" ];
   pf "(n/m+k!: k attack run(s) stopped by an allocator abort rather than a\n";
   pf " classified detection.  The spatial backends miss reuse-after-free —\n";
   pf " the slot is live again — and only abort on double free; the temporal\n";
@@ -1381,6 +1388,77 @@ let rebuild () =
     t0
 
 (* ------------------------------------------------------------------ *)
+(* Fuzz: the coverage-guided campaign fleet, checks as the oracle      *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-backend smoke campaigns over the seeded-bug suite plus the two
+   parser campaigns, with a fixed (seed, budget) so the whole matrix —
+   and the fuzz.* counters bench_diff gates on — is deterministic for
+   any --jobs.  bench/fuzz_baseline.json pins the floor. *)
+let fuzz () =
+  hr "Fuzz: deterministic smoke campaigns (checks as the oracle)";
+  let config = { Fuzz.Campaign.default_config with budget = 400; seed = 7 } in
+  let agg (reports : Fuzz.Campaign.report list) =
+    let total f = List.fold_left (fun a r -> a + f r) 0 reports in
+    [
+      ("fuzz.execs", total (fun (r : Fuzz.Campaign.report) -> r.r_execs));
+      ("fuzz.crashes", total (fun (r : Fuzz.Campaign.report) -> r.r_crashes));
+      ("fuzz.cov_edges", total (fun (r : Fuzz.Campaign.report) -> r.r_cov_edges));
+      ("fuzz.cov_sites", total (fun (r : Fuzz.Campaign.report) -> r.r_cov_sites));
+      ( "fuzz.corpus_entries",
+        total (fun (r : Fuzz.Campaign.report) -> r.r_corpus) );
+      ("fuzz.min_execs", total (fun (r : Fuzz.Campaign.report) -> r.r_min_execs));
+      ( "fuzz.unique_bugs",
+        total (fun (r : Fuzz.Campaign.report) -> List.length r.r_bugs) );
+    ]
+  in
+  let show bname (r : Fuzz.Campaign.report) =
+    pf "%-9s %-14s %6d %8d %6d %7d %5d\n" bname r.r_target r.r_execs r.r_crashes
+      r.r_cov_edges r.r_corpus (List.length r.r_bugs);
+    List.iter (fun b -> pf "  %s\n" (Fuzz.Campaign.bug_summary b)) r.r_bugs
+  in
+  pf "%-9s %-14s %6s %8s %6s %7s %5s\n" "backend" "target" "execs" "crashes"
+    "edges" "corpus" "bugs";
+  List.iter
+    (fun backend ->
+      let t0 = wall () in
+      let bname = Backend.Check_backend.name backend in
+      let reports =
+        List.map
+          (fun (c : Workloads.Fuzzbugs.case) ->
+            let bin = Pl.compile eng c.program in
+            let hard = Pl.harden eng ~opts:{ Rw.optimized with Rw.backend } bin in
+            Fuzz.Campaign.run_exec eng ~config ~target:("bug:" ^ c.id)
+              hard.Rw.binary)
+          Workloads.Fuzzbugs.all
+      in
+      List.iter (show bname) reports;
+      target ("fuzz:" ^ bname) ~counters:(agg reports) t0)
+    Backend.Check_backend.all;
+  (* the parser campaigns: typed parse.* rejections are the triage
+     contract; anything else escaping the parser would show as run.fault *)
+  let t0 = wall () in
+  let relf_seed =
+    Binfmt.Relf.serialize
+      (Pl.compile eng (Workloads.Fuzzbugs.find "oob-write").program)
+  in
+  let minic_seed = "func main() { let x = input(); print(x); return 0; }" in
+  let parse_reports =
+    [
+      Fuzz.Campaign.run_parse eng ~config ~which:Fuzz.Campaign.Relf_parser
+        ~seeds:[ relf_seed; "" ] ();
+      Fuzz.Campaign.run_parse eng ~config ~which:Fuzz.Campaign.Minic_parser
+        ~seeds:[ minic_seed; "" ] ();
+    ]
+  in
+  List.iter (show "parse") parse_reports;
+  target "fuzz:parse" ~counters:(agg parse_reports) t0;
+  pf "(deterministic for any --jobs: seed %d, budget %d per campaign;\n"
+    config.seed config.budget;
+  pf " `make fuzz-gate` diffs the fuzz.* counters against \
+      bench/fuzz_baseline.json)\n"
+
+(* ------------------------------------------------------------------ *)
 
 let all () =
   fig2 ();
@@ -1401,6 +1479,7 @@ let all () =
   ablation ();
   serve ();
   rebuild ();
+  fuzz ();
   bechamel ()
 
 let () =
@@ -1423,6 +1502,7 @@ let () =
   | "stats" -> stats ()
   | "serve" -> serve ()
   | "rebuild" -> rebuild ()
+  | "fuzz" -> fuzz ()
   | "bechamel" -> bechamel ()
   | "all" -> all ()
   | other ->

@@ -3,7 +3,6 @@
      redfat compile victim.mc -o victim.relf  # or: redfat workload spec:mcf
      redfat disasm victim.relf                # inspect it
      redfat profile victim.relf --inputs 3 -o allow.lst
-     redfat fuzz victim.relf -o allow.lst     # or grow the suite by fuzzing
      redfat harden victim.relf --allowlist allow.lst -o victim.hard.relf
      redfat run victim.hard.relf --inputs 12 --env redfat
      redfat run victim.relf --inputs 12 --env memcheck
@@ -107,50 +106,255 @@ let compile_cmd =
   in
   Cmd.v (Cmd.info "compile" ~doc) Term.(const run $ src $ output)
 
-let fuzz_cmd =
-  let doc =
-    "Grow a profiling test suite by coverage-guided fuzzing, then emit the \
-     resulting allow-list (the paper's AFL-boosted profiling)."
+let backend_arg =
+  let backends =
+    List.map
+      (fun id -> (Backend.Check_backend.name id, id))
+      Backend.Check_backend.all
+  in
+  Arg.(
+    value
+    & opt (enum backends) Backend.Check_backend.default
+    & info [ "backend" ]
+        ~doc:"Check backend: redzone|lowfat|temporal.  lowfat is the \
+              paper's complementary (Redzone)+(LowFat) spatial design \
+              (default); redzone drops the low-fat component; temporal \
+              emits lock-and-key checks that catch use-after-free and \
+              double-free without quarantine.")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Worker domains for independent work items (1 = sequential).")
+
+(* --- the fuzzing-fleet campaign CLI ---------------------------------- *)
+
+(* --corpus: a directory of seed files.  Missing / unreadable / empty
+   is the typed input.corpus fault (the campaign never starts). *)
+let load_corpus dir : (string * string) list =
+  let fail detail = Fault.fail (Fault.Input { what = "corpus"; detail }) in
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    fail (dir ^ ": not a directory");
+  let files =
+    match Sys.readdir dir with
+    | a -> Array.to_list a |> List.sort compare
+    | exception Sys_error e -> fail e
   in
   let seeds =
+    List.filter_map
+      (fun f ->
+        let path = Filename.concat dir f in
+        if Sys.is_directory path then None
+        else
+          Some (f, In_channel.with_open_bin path In_channel.input_all))
+      files
+  in
+  if seeds = [] then fail (dir ^ ": empty seed directory");
+  seeds
+
+let fuzz_cmd =
+  let doc =
+    "Run a coverage-guided fuzzing campaign with the hardening checks as \
+     the crash/triage oracle: mutated inputs are scheduled on the engine's \
+     domain pool, inputs reaching new edge coverage join the corpus, and \
+     every abnormal exit is deduplicated into a bug report keyed by \
+     (oracle code, check site, backend).  See docs/FUZZING.md."
+  in
+  let targets =
+    Arg.(
+      non_empty
+      & pos_all string []
+      & info [] ~docv:"TARGET"
+          ~doc:"Exec mode: workload name (e.g. bug:oob-write, spec:mcf), \
+                MiniC source (.mc) or RELF binary (.relf); repeatable — \
+                one campaign per target.  Parse mode: the parser to fuzz, \
+                relf or minic.")
+  in
+  let seeds_arg =
     Arg.(
       value & opt_all string []
       & info [ "seed-input" ]
-          ~doc:"Seed input script (comma-separated ints); repeatable.")
+          ~doc:"Extra seed input script (comma-separated ints); repeatable \
+                (exec mode).")
   in
   let budget =
     Arg.(
-      value & opt int 300
-      & info [ "budget" ] ~doc:"Number of fuzzing executions.")
+      value & opt int 2000
+      & info [ "budget" ]
+          ~doc:"Campaign executions per target, seed runs included.")
   in
-  let edge =
+  let seed =
     Arg.(
-      value & flag
-      & info [ "edge" ]
-          ~doc:"Guide by E9AFL-style edge coverage of the original binary \
-                instead of redfat check-site coverage.")
+      value & opt int 1
+      & info [ "seed" ]
+          ~doc:"Campaign LCG seed: the same (target, backend, seed, \
+                budget) always yields the same bug report, for any --jobs.")
   in
-  let run file seeds budget edge out =
-    let bin = Binfmt.Relf.load_file file in
-    let seeds = match List.map parse_inputs seeds with [] -> [ [] ] | s -> s in
-    let st =
-      if edge then Fuzz.E9afl.fuzz ~seeds ~budget bin
-      else Fuzz.Fuzzer.fuzz ~seeds ~budget bin
+  let max_steps =
+    Arg.(
+      value & opt int 200_000
+      & info [ "max-steps" ]
+          ~doc:"Per-execution VM step budget; exhausting it is triaged as \
+                a hang (run.timeout).")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("exec", `Exec); ("parse", `Parse) ]) `Exec
+      & info [ "mode" ]
+          ~doc:"exec fuzzes hardened binaries (VM input scripts); parse \
+                fuzzes the relf/minic parsers with raw bytes (every \
+                malformed input must be rejected with a typed parse.* \
+                fault — anything else is a parser bug).")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Seed-corpus directory (e.g. test/corrupt): raw bytes per \
+                file in parse mode, comma-separated ints per file in exec \
+                mode.  Missing or empty is the typed input.corpus fault.")
+  in
+  let expect =
+    Arg.(
+      value & opt int 0
+      & info [ "expect-bugs" ]
+          ~doc:"Exit 3 unless the campaigns found at least this many \
+                unique bugs in total (CI smoke gating).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the campaign reports (coverage, counters, and the \
+                deduplicated, minimized bug list) as JSON.")
+  in
+  let run targets jobs backend budget seed max_steps mode corpus seed_inputs
+      expect out =
+    let module Pl = Engine.Pipeline in
+    let config = { Fuzz.Campaign.budget; seed; max_steps } in
+    let eng = Pl.create ~jobs ~cache:false () in
+    let corpus_seeds = Option.map load_corpus corpus in
+    let campaign name : Fuzz.Campaign.report =
+      match mode with
+      | `Parse ->
+        let which =
+          match name with
+          | "relf" -> Fuzz.Campaign.Relf_parser
+          | "minic" -> Fuzz.Campaign.Minic_parser
+          | _ ->
+            Fault.fail
+              (Fault.Input
+                 {
+                   what = "target";
+                   detail =
+                     "parse mode fuzzes a parser: relf or minic (got "
+                     ^ name ^ ")";
+                 })
+        in
+        let seeds =
+          match corpus_seeds with
+          | Some files ->
+            let mine (f, _) =
+              match which with
+              | Fuzz.Campaign.Minic_parser -> Filename.check_suffix f ".mc"
+              | Fuzz.Campaign.Relf_parser -> not (Filename.check_suffix f ".mc")
+            in
+            (match List.filter mine files with
+            | [] ->
+              Fault.fail
+                (Fault.Input
+                   {
+                     what = "corpus";
+                     detail = "no seed files for the " ^ name ^ " parser";
+                   })
+            | fs -> List.map snd fs)
+          | None -> (
+            (* built-in seeds: one well-formed document plus the empty
+               input; the deterministic stage corrupts from there *)
+            match which with
+            | Fuzz.Campaign.Relf_parser ->
+              let prog, _, _ = find_program "bug:oob-write" in
+              [ Binfmt.Relf.serialize (Pl.compile eng prog); "" ]
+            | Fuzz.Campaign.Minic_parser ->
+              [ "func main() { let x = input(); print(x); return 0; }"; "" ])
+        in
+        Fuzz.Campaign.run_parse eng ~config ~which ~seeds ()
+      | `Exec ->
+        let hard =
+          let harden bin =
+            (Pl.harden eng ~opts:{ Redfat.Rewrite.optimized with backend } bin)
+              .Redfat.Rewrite.binary
+          in
+          if Filename.check_suffix name ".relf" then begin
+            let bin = Pl.load_relf eng name in
+            if Redfat.Rewrite.is_hardened bin then bin else harden bin
+          end
+          else
+            let prog, _, _ = find_program name in
+            harden (Pl.compile eng prog)
+        in
+        let seeds =
+          [ []; [ 0 ] ]
+          @ List.map parse_inputs seed_inputs
+          @
+          match corpus_seeds with
+          | None -> []
+          | Some files -> List.map (fun (_, s) -> parse_inputs (String.trim s)) files
+        in
+        Fuzz.Campaign.run_exec eng ~config ~target:name ~seeds hard
     in
-    Printf.printf "fuzzing: %d executions, %d/%d %s covered, corpus of %d\n"
-      st.executions st.sites_covered st.total_sites
-      (if edge then "edges/blocks" else "sites")
-      (List.length st.corpus);
-    let allow =
-      Redfat.profile
-        ~test_suite:(if st.corpus = [] then [ [] ] else st.corpus)
-        bin
+    let results =
+      List.map (fun name -> (name, Pl.protect eng ~target:name (fun () -> campaign name)))
+        targets
     in
-    Profile.Allowlist.save out allow;
-    Printf.printf "wrote %s (%d allow-listed sites)\n" out (List.length allow)
+    let ok = List.filter_map (fun (_, r) -> Result.to_option r) results in
+    let failed = List.length results - List.length ok in
+    List.iter
+      (fun (name, result) ->
+        match result with
+        | Error f -> Printf.printf "=== %s ===\nFAILED %s\n\n" name (Fault.to_string f)
+        | Ok (r : Fuzz.Campaign.report) ->
+          Printf.printf "=== %s [%s, %s] ===\n" name r.r_backend r.r_mode;
+          Printf.printf
+            "%d execs, %d crashes, %d edges, %d sites, corpus %d, %d unique \
+             bug(s)\n"
+            r.r_execs r.r_crashes r.r_cov_edges r.r_cov_sites r.r_corpus
+            (List.length r.r_bugs);
+          List.iter
+            (fun b -> Printf.printf "BUG %s\n" (Fuzz.Campaign.bug_summary b))
+            r.r_bugs;
+          print_newline ())
+      results;
+    let unique_bugs =
+      List.fold_left (fun acc r -> acc + List.length r.Fuzz.Campaign.r_bugs) 0 ok
+    in
+    Printf.printf "total: %d unique bug(s) across %d campaign(s)\n" unique_bugs
+      (List.length ok);
+    (match out with
+    | Some f ->
+      Out_channel.with_open_text f (fun oc ->
+          Out_channel.output_string oc (Fuzz.Campaign.reports_json ok));
+      Printf.printf "wrote %s (campaign report JSON)\n" f
+    | None -> ());
+    Pl.close eng;
+    if failed > 0 then begin
+      Printf.printf "%d of %d campaign(s) failed\n" failed (List.length results);
+      exit 2
+    end;
+    if unique_bugs < expect then begin
+      Printf.printf "expected at least %d unique bug(s), found %d\n" expect
+        unique_bugs;
+      exit 3
+    end
   in
   Cmd.v (Cmd.info "fuzz" ~doc)
-    Term.(const run $ input_file $ seeds $ budget $ edge $ output)
+    Term.(
+      const run $ targets $ jobs_arg $ backend_arg $ budget $ seed $ max_steps
+      $ mode $ corpus_arg $ seeds_arg $ expect $ out_arg)
 
 let disasm_cmd =
   let doc = "Disassemble the text (and trampoline) sections." in
@@ -192,22 +396,6 @@ let hoist_arg =
               proof-carrying .elimtab hoist entry that the soundness \
               linter re-derives and audits.  Backends that cannot widen \
               (temporal) decline and keep per-iteration checks.")
-
-let backend_arg =
-  let backends =
-    List.map
-      (fun id -> (Backend.Check_backend.name id, id))
-      Backend.Check_backend.all
-  in
-  Arg.(
-    value
-    & opt (enum backends) Backend.Check_backend.default
-    & info [ "backend" ]
-        ~doc:"Check backend: redzone|lowfat|temporal.  lowfat is the \
-              paper's complementary (Redzone)+(LowFat) spatial design \
-              (default); redzone drops the low-fat component; temporal \
-              emits lock-and-key checks that catch use-after-free and \
-              double-free without quarantine.")
 
 let allowlist_arg =
   Arg.(
@@ -292,12 +480,6 @@ let verify_cmd =
       end
   in
   Cmd.v (Cmd.info "verify" ~doc) Term.(const run $ input_file $ allow $ quiet)
-
-let jobs_arg =
-  Arg.(
-    value & opt int 1
-    & info [ "j"; "jobs" ] ~docv:"N"
-        ~doc:"Worker domains for independent work items (1 = sequential).")
 
 let profile_cmd =
   let doc =

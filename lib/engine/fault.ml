@@ -117,6 +117,10 @@ let registry =
        does not ship"
       "target reported and skipped; re-harden the binary (the runtime \
        cannot guess lock-table or tagging semantics)";
+    i "run.timeout" Fatal
+      "the VM exhausted its step budget (hang or livelock)"
+      "target reported and skipped; fuzz campaigns triage it as a hang \
+       bug (CWE-835)";
     i "io.read" Degraded "reading a file failed"
       "one bounded retry, then the target is reported and skipped";
     i "io.write" Degraded "writing a file failed"
@@ -125,6 +129,10 @@ let registry =
       "target reported and skipped; `redfat list` names the built-ins";
     i "input.script" Fatal "an --inputs script is not comma-separated ints"
       "target reported and skipped; rest of the batch completes";
+    i "input.corpus" Fatal
+      "a --corpus seed directory is missing, unreadable, or empty"
+      "the fuzz campaign aborts before any execution; point --corpus at \
+       a directory of seed files";
   ]
 
 let canonical_severity kind =
@@ -189,6 +197,13 @@ let of_exn ?target (e : exn) : t =
       (Decode { addr; detail = Printf.sprintf "undecodable byte %#x" byte })
   | Invalid_argument msg when msg = "Relf.text_exn: no .text section" ->
     v ?target (Parse { what = "nocode"; detail = "no .text section" })
+  | Vm.Cpu.Timeout n ->
+    v ?target
+      (Run
+         {
+           what = "timeout";
+           detail = Printf.sprintf "no exit after %d steps" n;
+         })
   | Sys_error msg -> v ?target (Io { what = "read"; path = ""; detail = msg })
   | Backend.Check_backend.Unknown name ->
     v ?target

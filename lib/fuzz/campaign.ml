@@ -1,0 +1,495 @@
+(** The orchestrated fuzzing campaign: coverage-guided input
+    generation scheduled on the {!Engine.Pipeline} domain pool, with
+    the hardening checks as the crash oracle ({!Oracle}).
+
+    One campaign = one target binary (or parser) x one backend x one
+    budget.  The loop is AFL in miniature:
+
+    + run the seed inputs;
+    + inputs that reach new coverage join the {!Corpus} and enqueue
+      their bounded {!Mutate.deterministic_stage};
+    + once deterministic candidates drain, parents are drawn from the
+      corpus lottery and mutated by {!Mutate.havoc};
+    + every abnormal exit is triaged by the oracle and deduplicated
+      into a bug keyed by [(oracle code, check site, backend)];
+    + surviving bugs get their first crashing input minimized.
+
+    Determinism: mutation generation and result processing are
+    sequential in the submitting domain, and batches are composed
+    {e before} they are fanned out over [Pipeline.map] (whose result
+    order is deterministic), so the report is byte-identical for any
+    [--jobs] — the property test/test_fuzz.ml locks in.  Edge coverage
+    is the classic AFL hash over consecutive {e check sites}
+    ([hash(prev, cur)]), computed by wrapping the VM's [on_check]
+    accounting hook around the installed backend check. *)
+
+module Pl = Engine.Pipeline
+module Runtime = Redfat_rt.Runtime
+
+type config = {
+  budget : int;     (** campaign executions (seeds included) *)
+  seed : int;       (** LCG seed: same seed, same report *)
+  max_steps : int;  (** per-execution VM step budget (hang oracle) *)
+}
+
+let default_config = { budget = 2000; seed = 1; max_steps = 200_000 }
+
+type bug = {
+  b_code : string;          (** oracle code, e.g. [detect.oob-upper] *)
+  b_site : int;             (** dedup site *)
+  b_backend : string;
+  b_class : string;         (** CWE-annotated class ({!Oracle.bug_class}) *)
+  mutable b_count : int;    (** crashes collapsed into this bug *)
+  b_first_exec : int;       (** execution index of first discovery (1-based) *)
+  b_input : string;         (** first crashing input, rendered *)
+  mutable b_min_input : string;  (** minimized, still crashing *)
+  b_detail : string;
+}
+
+type report = {
+  r_target : string;
+  r_mode : string;          (** ["exec"] or ["parse"] *)
+  r_backend : string;
+  r_seed : int;
+  r_budget : int;
+  r_execs : int;
+  r_crashes : int;
+  r_cov_edges : int;
+  r_cov_sites : int;
+  r_corpus : int;
+  r_min_execs : int;        (** extra executions spent minimizing *)
+  r_bugs : bug list;        (** discovery order *)
+}
+
+type exec_result = {
+  x_edges : int list;              (** distinct AFL edge hashes, sorted *)
+  x_sites : int list;              (** distinct check sites, sorted *)
+  x_crash : Oracle.crash option;
+  x_cycles : int;
+}
+
+let sorted_keys h = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) h [])
+
+(* --- one execution of a hardened binary ----------------------------- *)
+
+(** Run [inputs] through the hardened binary with the backend the
+    binary itself records, collecting edge/site coverage and the
+    oracle's verdict.  Pure per call (fresh VM and runtime), so
+    executions fan out over domains safely. *)
+let execute ?(max_steps = default_config.max_steps)
+    (binary : Binfmt.Relf.t) (inputs : int list) : exec_result =
+  let cpu = Redfat.prepare ~max_steps binary in
+  cpu.inputs <- inputs;
+  List.iter
+    (fun (a, t) -> Hashtbl.replace cpu.trap_table a t)
+    (Redfat.Rewrite.traps_of_binary binary);
+  let options =
+    { Runtime.default_options with backend = Redfat.backend_of_binary binary }
+  in
+  let rt = Runtime.create ~options cpu.mem in
+  let vmrt = Runtime.install rt cpu in
+  let edges = Hashtbl.create 64 and sites = Hashtbl.create 64 in
+  let prev = ref 0 in
+  (match cpu.on_check with
+  | None -> ()
+  | Some inner ->
+    cpu.on_check <-
+      Some
+        (fun c (ck : X64.Isa.check) ->
+          let s = ck.X64.Isa.ck_site in
+          Hashtbl.replace sites s ();
+          Hashtbl.replace edges (((!prev lsr 1) lxor s) land (E9afl.map_size - 1)) ();
+          prev := s;
+          inner c ck));
+  let crash =
+    match Vm.Cpu.run cpu vmrt ~entry:binary.entry with
+    | (_ : int) -> None
+    | exception Runtime.Memory_error e -> Some (Oracle.of_error e)
+    | exception Vm.Cpu.Timeout n ->
+      (* site 0: a hang has no single faulting site, and rip at the
+         moment the budget runs out would shatter dedup *)
+      Some
+        { Oracle.c_code = "run.timeout"; c_site = 0;
+          c_detail = Printf.sprintf "no exit after %d steps" n }
+    | exception Vm.Mem.Segfault a ->
+      Some
+        { Oracle.c_code = "run.fault"; c_site = cpu.rip;
+          c_detail = Printf.sprintf "segfault at %#x" a }
+    | exception Vm.Cpu.Div_by_zero a ->
+      Some
+        { Oracle.c_code = "run.fault"; c_site = a;
+          c_detail = "division by zero" }
+    | exception Vm.Cpu.Invalid_opcode a ->
+      Some
+        { Oracle.c_code = "run.fault"; c_site = a;
+          c_detail = "invalid opcode" }
+    | exception Runtime.Bad_free p ->
+      Some
+        { Oracle.c_code = "detect.bad-free"; c_site = cpu.rip;
+          c_detail = Printf.sprintf "allocator abort: invalid free of %#x" p }
+    | exception Lowfat.Alloc.Double_free p ->
+      Some
+        { Oracle.c_code = "detect.bad-free"; c_site = cpu.rip;
+          c_detail = Printf.sprintf "allocator abort: double free of %#x" p }
+    | exception Lowfat.Alloc.Invalid_free p ->
+      Some
+        { Oracle.c_code = "detect.bad-free"; c_site = cpu.rip;
+          c_detail = Printf.sprintf "allocator abort: invalid free of %#x" p }
+  in
+  {
+    x_edges = sorted_keys edges;
+    x_sites = sorted_keys sites;
+    x_crash = crash;
+    x_cycles = cpu.cycles;
+  }
+
+(* --- the generic campaign loop -------------------------------------- *)
+
+(** Batch size for one pool fan-out.  A constant (never derived from
+    [--jobs]): batch composition is part of the deterministic input
+    stream, worker count only changes who executes it. *)
+let batch_size = 16
+
+let render_inputs (l : int list) = String.concat "," (List.map string_of_int l)
+
+let render_bytes (s : string) =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      if c >= ' ' && c <= '~' && c <> '\\' && c <> '"' then Buffer.add_char b c
+      else Buffer.add_string b (Printf.sprintf "\\x%02x" (Char.code c)))
+    s;
+  let s = Buffer.contents b in
+  if String.length s <= 64 then s else String.sub s 0 61 ^ "..."
+
+(* The loop shared by exec and parser campaigns, parametric in the
+   input type.  [run_one] executes one input; [det]/[havoc] are the
+   mutation stages; [render] prints an input into the report. *)
+let campaign_loop (eng : Pl.t) (config : config) ~target ~mode ~backend
+    ~(seeds : 'a list) ~(run_one : 'a -> exec_result)
+    ~(det : 'a -> 'a list) ~(havoc : Mutate.Rng.t -> 'a -> 'a)
+    ~(empty : 'a) ~(render : 'a -> string)
+    ~(minimize : (('a -> bool) -> 'a -> 'a) option) : report =
+  let obs = Pl.obs eng in
+  let rng = Mutate.Rng.create config.seed in
+  let corpus = Corpus.create () in
+  let pending = Queue.create () in
+  let bugs = ref [] (* newest first *) and raw = Hashtbl.create 16 in
+  let execs = ref 0 and crashes = ref 0 in
+  let record (c : Oracle.crash) input =
+    incr crashes;
+    match
+      List.find_opt
+        (fun b -> b.b_code = c.c_code && b.b_site = c.c_site)
+        !bugs
+    with
+    | Some b -> b.b_count <- b.b_count + 1
+    | None ->
+      Hashtbl.replace raw (c.c_code, c.c_site) input;
+      bugs :=
+        {
+          b_code = c.c_code;
+          b_site = c.c_site;
+          b_backend = backend;
+          b_class = Oracle.bug_class c.c_code;
+          b_count = 1;
+          b_first_exec = !execs;
+          b_input = render input;
+          b_min_input = render input;
+          b_detail = c.c_detail;
+        }
+        :: !bugs
+  in
+  let process (input, res) =
+    incr execs;
+    Obs.observe obs "fuzz.exec_cycles" res.x_cycles;
+    if Corpus.add corpus ~input ~edges:res.x_edges ~sites:res.x_sites then
+      List.iter (fun m -> Queue.add m pending) (det input);
+    match res.x_crash with None -> () | Some c -> record c input
+  in
+  let run_batch batch =
+    List.iter process (Pl.map eng (fun i -> (i, run_one i)) batch)
+  in
+  (* seeds first (truncated to the budget), then the mutation loop *)
+  let rec take n = function
+    | x :: rest when n > 0 -> x :: take (n - 1) rest
+    | _ -> []
+  in
+  run_batch (take config.budget seeds);
+  while !execs < config.budget do
+    let want = min batch_size (config.budget - !execs) in
+    let batch =
+      List.init want (fun _ ->
+          if not (Queue.is_empty pending) then Queue.pop pending
+          else
+            match Corpus.schedule corpus rng with
+            | Some parent -> havoc rng parent
+            | None -> havoc rng empty)
+    in
+    run_batch batch
+  done;
+  (* minimization: sequential, oldest bug first, bounded per bug *)
+  let min_execs = ref 0 in
+  (match minimize with
+  | None -> ()
+  | Some minimize ->
+    List.iter
+      (fun b ->
+        match Hashtbl.find_opt raw (b.b_code, b.b_site) with
+        | None -> ()
+        | Some input ->
+          let still cand =
+            incr min_execs;
+            match (run_one cand).x_crash with
+            | Some c -> c.c_code = b.b_code && c.c_site = b.b_site
+            | None -> false
+          in
+          b.b_min_input <- render (minimize still input))
+      (List.rev !bugs));
+  let r_bugs = List.rev !bugs in
+  Obs.add obs ~n:!execs "fuzz.execs";
+  Obs.add obs ~n:!crashes "fuzz.crashes";
+  Obs.add obs ~n:(Corpus.n_edges corpus) "fuzz.cov_edges";
+  Obs.add obs ~n:(Corpus.n_sites corpus) "fuzz.cov_sites";
+  Obs.add obs ~n:(List.length r_bugs) "fuzz.unique_bugs";
+  Obs.add obs ~n:(Corpus.size corpus) "fuzz.corpus_entries";
+  Obs.add obs ~n:!min_execs "fuzz.min_execs";
+  {
+    r_target = target;
+    r_mode = mode;
+    r_backend = backend;
+    r_seed = config.seed;
+    r_budget = config.budget;
+    r_execs = !execs;
+    r_crashes = !crashes;
+    r_cov_edges = Corpus.n_edges corpus;
+    r_cov_sites = Corpus.n_sites corpus;
+    r_corpus = Corpus.size corpus;
+    r_min_execs = !min_execs;
+    r_bugs;
+  }
+
+(* --- minimizers ------------------------------------------------------ *)
+
+let minimize_budget = 256
+
+(** Greedy ddmin-lite for int vectors: drop elements to a fixpoint,
+    then shrink surviving values toward 0 — always re-checking that
+    the (code, site) pair still reproduces. *)
+let minimize_inputs (still : int list -> bool) (input : int list) : int list =
+  let tries = ref 0 in
+  let still cand = !tries < minimize_budget && (incr tries; still cand) in
+  let cur = ref input in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let n = List.length !cur in
+    for i = n - 1 downto 0 do
+      let cand = List.filteri (fun j _ -> j <> i) !cur in
+      if List.length !cur > List.length cand && still cand then begin
+        cur := cand;
+        changed := true
+      end
+    done
+  done;
+  let shrink v = if v > 0 then v / 2 else if v < 0 then v / 2 else v in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iteri
+      (fun i v ->
+        let v' = shrink v in
+        if v' <> v then begin
+          let cand = List.mapi (fun j x -> if j = i then v' else x) !cur in
+          if still cand then begin
+            cur := cand;
+            changed := true
+          end
+        end)
+      !cur
+  done;
+  !cur
+
+(** Byte-string minimizer: cut chunks (halves, quarters, single bytes
+    from the tail) while the typed rejection reproduces. *)
+let minimize_bytes (still : string -> bool) (input : string) : string =
+  let tries = ref 0 in
+  let still cand = !tries < minimize_budget && (incr tries; still cand) in
+  let cur = ref input in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let n = String.length !cur in
+    let cuts =
+      [ n / 2; (3 * n) / 4; n - 1 ]
+      |> List.filter (fun k -> k >= 0 && k < n)
+      |> List.sort_uniq compare
+    in
+    List.iter
+      (fun k ->
+        (* !cur may have shrunk since the cut list was computed *)
+        if k < String.length !cur then begin
+          let cand = String.sub !cur 0 k in
+          if still cand then begin
+            cur := cand;
+            changed := true
+          end
+        end)
+      cuts
+  done;
+  !cur
+
+(* --- exec campaigns -------------------------------------------------- *)
+
+(** Fuzz a hardened binary: inputs are VM input scripts, the oracle is
+    the backend recorded in the binary itself. *)
+let run_exec (eng : Pl.t) ?(config = default_config) ~target
+    ?(seeds = [ []; [ 0 ] ]) (hard : Binfmt.Relf.t) : report =
+  let backend =
+    Backend.Check_backend.name (Redfat.backend_of_binary hard)
+  in
+  campaign_loop eng config ~target ~mode:"exec" ~backend ~seeds
+    ~run_one:(execute ~max_steps:config.max_steps hard)
+    ~det:Mutate.deterministic_stage ~havoc:Mutate.havoc ~empty:[]
+    ~render:render_inputs ~minimize:(Some minimize_inputs)
+
+(* --- parser campaigns ------------------------------------------------ *)
+
+type parser_target = Relf_parser | Minic_parser
+
+let parser_name = function Relf_parser -> "relf" | Minic_parser -> "minic"
+
+(* One parse attempt as an exec_result: "coverage" is the outcome
+   signature (which typed rejection, or a success shape), so the
+   corpus keeps one representative input per distinct outcome. *)
+let parse_once (which : parser_target) (bytes : string) : exec_result =
+  let crash =
+    match which with
+    | Relf_parser -> (
+      match Binfmt.Relf.parse bytes with
+      | bin -> (
+        (* mirror Pipeline.load_relf's structural gate *)
+        match Binfmt.Relf.find_section bin ".text" with
+        | Some s when String.length s.bytes > 0 -> None
+        | _ ->
+          Some
+            { Oracle.c_code = "parse.nocode"; c_site = 0;
+              c_detail = "no (or empty) .text section" })
+      | exception Binfmt.Relf.Parse_error msg ->
+        let f = Engine.Fault.of_exn (Binfmt.Relf.Parse_error msg) in
+        Some
+          { Oracle.c_code = Engine.Fault.code f; c_site = 0; c_detail = msg }
+      | exception e ->
+        (* anything but Parse_error is a parser bug, not a rejection *)
+        Some
+          { Oracle.c_code = "run.fault"; c_site = 0;
+            c_detail = "parser crash: " ^ Printexc.to_string e })
+    | Minic_parser -> (
+      match Minic.Parser.parse_program bytes with
+      | (_ : Minic.Ast.program) -> None
+      | exception Minic.Parser.Parse_error (msg, pos) ->
+        Some
+          { Oracle.c_code = "parse.source"; c_site = pos.line;
+            c_detail = Printf.sprintf "%d:%d: parse error: %s" pos.line pos.col msg }
+      | exception Minic.Lexer.Lex_error (msg, pos) ->
+        Some
+          { Oracle.c_code = "parse.source"; c_site = pos.line;
+            c_detail = Printf.sprintf "%d:%d: lex error: %s" pos.line pos.col msg }
+      | exception e ->
+        Some
+          { Oracle.c_code = "run.fault"; c_site = 0;
+            c_detail = "parser crash: " ^ Printexc.to_string e })
+  in
+  let signature =
+    match crash with
+    | Some c -> Hashtbl.hash ("outcome", c.c_code, c.c_site)
+    | None -> Hashtbl.hash ("ok", String.length bytes / 8)
+  in
+  { x_edges = [ signature ]; x_sites = []; x_crash = crash; x_cycles = 0 }
+
+(** Fuzz a parser: inputs are raw bytes, the oracle is the typed fault
+    contract — every malformed input must be rejected with a [parse.*]
+    fault; any other exception is a parser bug ([run.fault]). *)
+let run_parse (eng : Pl.t) ?(config = default_config)
+    ~(which : parser_target) ~(seeds : string list) () : report =
+  campaign_loop eng config ~target:(parser_name which) ~mode:"parse"
+    ~backend:"none" ~seeds
+    ~run_one:(parse_once which)
+    ~det:Mutate.deterministic_stage_bytes ~havoc:Mutate.havoc_bytes ~empty:""
+    ~render:render_bytes ~minimize:(Some minimize_bytes)
+
+(* --- report rendering ------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let bug_json (b : bug) =
+  Printf.sprintf
+    "{ \"code\": \"%s\", \"site\": %d, \"backend\": \"%s\", \"class\": \
+     \"%s\", \"count\": %d, \"first_exec\": %d, \"input\": \"%s\", \
+     \"min_input\": \"%s\", \"detail\": \"%s\" }"
+    (json_escape b.b_code) b.b_site (json_escape b.b_backend)
+    (json_escape b.b_class) b.b_count b.b_first_exec (json_escape b.b_input)
+    (json_escape b.b_min_input) (json_escape b.b_detail)
+
+let to_json (r : report) =
+  Printf.sprintf
+    "{\n\
+    \  \"target\": \"%s\", \"mode\": \"%s\", \"backend\": \"%s\",\n\
+    \  \"seed\": %d, \"budget\": %d,\n\
+    \  \"counters\": { \"fuzz.execs\": %d, \"fuzz.crashes\": %d, \
+     \"fuzz.cov_edges\": %d, \"fuzz.cov_sites\": %d, \
+     \"fuzz.corpus_entries\": %d, \"fuzz.min_execs\": %d, \
+     \"fuzz.unique_bugs\": %d },\n\
+    \  \"bugs\": [%s]\n\
+     }"
+    (json_escape r.r_target) (json_escape r.r_mode) (json_escape r.r_backend)
+    r.r_seed r.r_budget r.r_execs r.r_crashes r.r_cov_edges r.r_cov_sites
+    r.r_corpus r.r_min_execs
+    (List.length r.r_bugs)
+    (String.concat ",\n    " (List.map bug_json r.r_bugs))
+
+(** Several campaigns as one [--out] document (the `redfat fuzz`
+    schema documented in the MANUAL). *)
+let reports_json (rs : report list) =
+  let total f = List.fold_left (fun acc r -> acc + f r) 0 rs in
+  Printf.sprintf
+    "{\n\
+     \"experiment\": \"fuzz\",\n\
+     \"counters\": { \"fuzz.execs\": %d, \"fuzz.crashes\": %d, \
+     \"fuzz.unique_bugs\": %d },\n\
+     \"campaigns\": [\n%s\n]\n\
+     }\n"
+    (total (fun r -> r.r_execs))
+    (total (fun r -> r.r_crashes))
+    (total (fun r -> List.length r.r_bugs))
+    (String.concat ",\n" (List.map to_json rs))
+
+(** The per-campaign counters, in {!Engine.Report.add_target} shape. *)
+let counters (r : report) =
+  [
+    ("fuzz.execs", r.r_execs);
+    ("fuzz.crashes", r.r_crashes);
+    ("fuzz.cov_edges", r.r_cov_edges);
+    ("fuzz.cov_sites", r.r_cov_sites);
+    ("fuzz.corpus_entries", r.r_corpus);
+    ("fuzz.min_execs", r.r_min_execs);
+    ("fuzz.unique_bugs", List.length r.r_bugs);
+  ]
+
+(** One human line per bug (CLI and bench matrix output). *)
+let bug_summary (b : bug) =
+  Printf.sprintf "%s at site %#x [%s] x%d: %s (min input: %s)" b.b_code
+    b.b_site b.b_backend b.b_count b.b_class b.b_min_input

@@ -1,0 +1,75 @@
+(** The campaign corpus: inputs worth mutating, with coverage-feedback
+    scheduling.
+
+    An input joins the corpus only if it reached an edge or a check
+    site no earlier entry reached (the AFL "interesting input" rule).
+    {!schedule} draws a mutation parent with probability weighted by
+    how much new coverage the entry contributed when it arrived, so
+    frontier-opening inputs get proportionally more mutation energy
+    than inputs that barely scraped in.
+
+    Parametric in the input type: the same manager schedules int-vector
+    VM scripts (exec campaigns) and byte strings (parser campaigns). *)
+
+type 'a entry = {
+  e_input : 'a;
+  e_novelty : int;  (** new edges + new sites contributed on arrival *)
+}
+
+type 'a t = {
+  mutable entries : 'a entry list;  (** newest first *)
+  mutable n : int;
+  edges : (int, unit) Hashtbl.t;
+  sites : (int, unit) Hashtbl.t;
+}
+
+let create () =
+  { entries = []; n = 0; edges = Hashtbl.create 256; sites = Hashtbl.create 64 }
+
+let size t = t.n
+let n_edges t = Hashtbl.length t.edges
+let n_sites t = Hashtbl.length t.sites
+
+let absorb seen xs =
+  List.fold_left
+    (fun fresh x ->
+      if Hashtbl.mem seen x then fresh
+      else begin
+        Hashtbl.replace seen x ();
+        fresh + 1
+      end)
+    0 xs
+
+(** Record one execution's coverage; the input is kept (and [true]
+    returned) iff it contributed a new edge or site. *)
+let add t ~input ~edges ~sites : bool =
+  let novelty = absorb t.edges edges + absorb t.sites sites in
+  if novelty = 0 then false
+  else begin
+    t.entries <- { e_input = input; e_novelty = novelty } :: t.entries;
+    t.n <- t.n + 1;
+    true
+  end
+
+(** Weight of one entry in the scheduling lottery: novelty-proportional,
+    capped so one huge first entry cannot starve the rest. *)
+let weight e = 1 + min 8 e.e_novelty
+
+(** Draw a mutation parent, favoring entries that opened more of the
+    coverage frontier; [None] on an empty corpus. *)
+let schedule t (rng : Mutate.Rng.t) : 'a option =
+  if t.n = 0 then None
+  else begin
+    let total = List.fold_left (fun acc e -> acc + weight e) 0 t.entries in
+    let r = Mutate.Rng.int rng total in
+    let rec pick acc = function
+      | [] -> None
+      | e :: rest ->
+        let acc = acc + weight e in
+        if r < acc then Some e.e_input else pick acc rest
+    in
+    pick 0 t.entries
+  end
+
+let entries t = List.rev_map (fun e -> e.e_input) t.entries
+(** All kept inputs, oldest first. *)

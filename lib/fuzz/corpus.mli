@@ -1,0 +1,25 @@
+(** The campaign corpus: inputs worth mutating, with coverage-feedback
+    scheduling (the AFL "interesting input" rule).  Parametric in the
+    input type so exec campaigns (int vectors) and parser campaigns
+    (byte strings) share one manager. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val add : 'a t -> input:'a -> edges:int list -> sites:int list -> bool
+(** Record one execution's coverage.  The input is kept — and [true]
+    returned — iff it reached an edge or check site no earlier entry
+    reached. *)
+
+val schedule : 'a t -> Mutate.Rng.t -> 'a option
+(** Draw a mutation parent, weighted by how much new coverage the
+    entry contributed on arrival (capped, so early giants cannot
+    starve the frontier); [None] on an empty corpus. *)
+
+val size : 'a t -> int
+val n_edges : 'a t -> int
+val n_sites : 'a t -> int
+
+val entries : 'a t -> 'a list
+(** All kept inputs, oldest first. *)

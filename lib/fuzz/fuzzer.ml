@@ -31,10 +31,11 @@ let next r =
 let rand r n = if n <= 0 then 0 else next r mod n
 
 (* AFL-ish integer-vector mutations: tweak, interesting-value splice,
-   grow, shrink, crossover. *)
+   grow, shrink, crossover.  The interesting-value table is shared
+   with the campaign fleet's {!Mutate} stages. *)
 let mutate r (input : int list) : int list =
   let a = Array.of_list input in
-  let interesting = [| 0; 1; -1; 2; 7; 8; 16; 64; 255; 1024 |] in
+  let interesting = Mutate.interesting in
   let n = Array.length a in
   (match rand r 6 with
    | 0 when n > 0 ->

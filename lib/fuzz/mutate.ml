@@ -1,0 +1,167 @@
+(** Deterministic mutation stages for the fuzzing fleet.
+
+    Two input shapes are mutated: MiniC input scripts (int vectors fed
+    to the VM's [Input] runtime call) and raw byte strings (fed to the
+    RELF / MiniC parsers).  Both get an AFL-style split:
+
+    - a {e deterministic stage}: the bounded, rng-free candidate set
+      tried once when an input first enters the corpus (interesting
+      values, small arithmetic, appends, removals / truncations);
+    - a {e havoc stage}: stacked random mutations drawn from the
+      campaign's LCG, used once the deterministic candidates drain.
+
+    Everything here is pure or driven by {!Rng}, so a campaign's
+    generated input stream depends only on its seed — never on worker
+    count or scheduling. *)
+
+(** A 48-bit LCG (the [drand48] constants).  The low-tech choice is
+    deliberate: the state fits a 63-bit OCaml [int] on every platform,
+    so campaigns replay bit-exactly. *)
+module Rng = struct
+  type t = { mutable s : int }
+
+  let create seed = { s = (seed land 0xFFFFFFFFFFFF) lxor 0x5DEECE66D }
+
+  let next t =
+    t.s <- ((t.s * 0x5DEECE66D) + 0xB) land 0xFFFFFFFFFFFF;
+    t.s lsr 16
+
+  let int t n = if n <= 0 then 0 else next t mod n
+end
+
+(** Boundary-prone constants: gate thresholds, powers of two and their
+    neighbours, sign/byte extremes.  The deterministic stage tries each
+    of these at each position, which is what finds `if (x > N)`-guarded
+    bugs without luck. *)
+let interesting =
+  [| 0; 1; -1; 2; 4; 7; 8; 9; 16; 17; 32; 61; 64; 100; 101; 127; 128;
+     255; 256; 1024; -128 |]
+
+let max_stage = 256
+(** Cap on one deterministic stage (keeps per-corpus-entry work
+    bounded on long inputs). *)
+
+let take n l =
+  let rec go n acc = function
+    | x :: rest when n > 0 -> go (n - 1) (x :: acc) rest
+    | _ -> List.rev acc
+  in
+  go n [] l
+
+(* --- int-vector inputs (VM input scripts) --------------------------- *)
+
+let deterministic_stage (input : int list) : int list list =
+  let a = Array.of_list input in
+  let n = Array.length a in
+  let subst p v =
+    let b = Array.copy a in
+    b.(p) <- v;
+    Array.to_list b
+  in
+  let appends =
+    List.map (fun v -> input @ [ v ]) (Array.to_list interesting)
+  in
+  let per_pos =
+    List.concat
+      (List.init n (fun p ->
+           List.map (fun v -> subst p v) (Array.to_list interesting)
+           @ [ subst p (a.(p) + 1); subst p (a.(p) - 1);
+               subst p (a.(p) + 4); subst p (a.(p) - 4) ]))
+  in
+  let removals =
+    List.init n (fun p -> List.filteri (fun j _ -> j <> p) input)
+  in
+  take max_stage (appends @ per_pos @ removals)
+
+let havoc (rng : Rng.t) (input : int list) : int list =
+  let cur = ref (Array.of_list input) in
+  let ops = 1 + Rng.int rng 4 in
+  for _ = 1 to ops do
+    let a = !cur in
+    let n = Array.length a in
+    match Rng.int rng 7 with
+    | 0 when n > 0 ->
+      let p = Rng.int rng n in
+      a.(p) <- a.(p) + (Rng.int rng 9 - 4)
+    | 1 when n > 0 ->
+      let p = Rng.int rng n in
+      a.(p) <- interesting.(Rng.int rng (Array.length interesting))
+    | 2 when n > 0 ->
+      let p = Rng.int rng n in
+      a.(p) <- a.(p) lxor (1 lsl Rng.int rng 11)
+    | 3 when n > 0 ->
+      let p = Rng.int rng n in
+      a.(p) <- a.(p) * 2
+    | 4 -> cur := Array.append a [| Rng.int rng 2048 - 512 |]
+    | 5 when n > 1 -> cur := Array.sub a 0 (n - 1)
+    | 6 when n > 0 ->
+      (* duplicate one element in place: length-preserving splice *)
+      let p = Rng.int rng n and q = Rng.int rng n in
+      a.(q) <- a.(p)
+    | _ -> cur := Array.append a [| interesting.(Rng.int rng (Array.length interesting)) |]
+  done;
+  Array.to_list !cur
+
+(* --- byte-string inputs (parser fuzzing) ---------------------------- *)
+
+(** Format-boundary bytes: NUL, newline (the RELF field terminator),
+    space, hex digits, high bit, 0xff. *)
+let interesting_bytes =
+  [| '\x00'; '\x01'; '\n'; ' '; '0'; '9'; 'a'; 'f'; 'R'; '\x7f'; '\xff' |]
+
+let deterministic_stage_bytes (s : string) : string list =
+  let n = String.length s in
+  let subst p c =
+    let b = Bytes.of_string s in
+    Bytes.set b p c;
+    Bytes.to_string b
+  in
+  let truncations =
+    [ 0; n / 4; n / 2; 3 * n / 4; n - 1 ]
+    |> List.filter (fun k -> k >= 0 && k < n)
+    |> List.sort_uniq compare
+    |> List.map (fun k -> String.sub s 0 k)
+  in
+  let appends =
+    List.map (fun c -> s ^ String.make 1 c) (Array.to_list interesting_bytes)
+  in
+  (* substitutions on a bounded prefix: headers live at the front *)
+  let per_pos =
+    List.concat
+      (List.init (min n 48) (fun p ->
+           List.map (fun c -> subst p c) (Array.to_list interesting_bytes)
+           @ [ subst p (Char.chr (Char.code s.[p] lxor 0x80)) ]))
+  in
+  take max_stage (truncations @ appends @ per_pos)
+
+let havoc_bytes (rng : Rng.t) (s : string) : string =
+  let cur = ref s in
+  let ops = 1 + Rng.int rng 4 in
+  for _ = 1 to ops do
+    let s = !cur in
+    let n = String.length s in
+    match Rng.int rng 5 with
+    | 0 when n > 0 ->
+      let b = Bytes.of_string s in
+      Bytes.set b (Rng.int rng n) (Char.chr (Rng.int rng 256));
+      cur := Bytes.to_string b
+    | 1 when n > 0 -> cur := String.sub s 0 (Rng.int rng n)
+    | 2 ->
+      let p = Rng.int rng (n + 1) in
+      cur :=
+        String.sub s 0 p
+        ^ String.make 1 interesting_bytes.(Rng.int rng (Array.length interesting_bytes))
+        ^ String.sub s p (n - p)
+    | 3 when n > 1 ->
+      (* duplicate a chunk: length grows, structure repeats *)
+      let p = Rng.int rng n in
+      let len = min (1 + Rng.int rng 8) (n - p) in
+      cur := s ^ String.sub s p len
+    | _ when n > 0 ->
+      let b = Bytes.of_string s in
+      let p = Rng.int rng n in
+      Bytes.set b p (Char.chr (Char.code s.[p] lxor (1 lsl Rng.int rng 8)));
+      cur := Bytes.to_string b
+    | _ -> cur := s ^ "\n"
+  done;
+  !cur

@@ -1,0 +1,25 @@
+(** The crash/triage oracle: hardening detections and typed faults as
+    bug-finding verdicts, deduplicated by
+    [(oracle code, check site, backend)].  The full contract lives in
+    docs/FUZZING.md. *)
+
+type crash = {
+  c_code : string;   (** stable oracle code ([detect.oob-upper], ...) *)
+  c_site : int;      (** dedup site: check site, rip, or source line *)
+  c_detail : string;
+}
+
+val kind_slug : Redfat_rt.Runtime.error_kind -> string
+(** The stable [detect.] suffix for a runtime error kind. *)
+
+val of_error : Redfat_rt.Runtime.access_error -> crash
+(** A backend detection as a crash record ([detect.<kind>] at the
+    guarded site). *)
+
+val bug_class : string -> string
+(** The CWE-annotated attack-class label a report attributes to an
+    oracle code. *)
+
+val is_detection : string -> bool
+(** [detect.*] codes: the backend classified the corruption (vs a
+    hang, unclassified crash, or typed parser rejection). *)

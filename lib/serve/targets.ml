@@ -8,6 +8,8 @@ let workload_names () =
   @ List.map (fun (b : Workloads.Kraken.bench) -> "kraken:" ^ b.name)
       Workloads.Kraken.all
   @ List.map (fun (c : Workloads.Uaf.case) -> "uaf:" ^ c.id) Workloads.Uaf.all
+  @ List.map (fun (c : Workloads.Fuzzbugs.case) -> "bug:" ^ c.id)
+      Workloads.Fuzzbugs.all
   @ [ "uaf:reuse"; "uaf:double-free"; "chrome"; "synth:<seed>" ]
 
 (* uaf: targets run their ATTACK input as the reference workload (like
@@ -22,6 +24,19 @@ let find_uaf n : Minic.Ast.program * int list * int list =
         Workloads.Uaf.all
     in
     (c.program, Workloads.Uaf.benign_inputs, Workloads.Uaf.attack_inputs)
+
+(* bug: targets are the seeded-bug fuzzing cases; resolved here so the
+   campaign CLI, the serve daemon and the bench share one name space *)
+let find_bug n : Workloads.Fuzzbugs.case =
+  match Workloads.Fuzzbugs.find n with
+  | c -> c
+  | exception Not_found ->
+    Fault.fail
+      (Fault.Input
+         {
+           what = "target";
+           detail = "unknown seeded bug " ^ n ^ " (try: redfat list)";
+         })
 
 let find_workload name : Binfmt.Relf.t * int list =
   match String.split_on_char ':' name with
@@ -39,6 +54,9 @@ let find_workload name : Binfmt.Relf.t * int list =
   | [ "uaf"; n ] ->
     let prog, _, attack = find_uaf n in
     (Minic.Codegen.compile prog, attack)
+  | [ "bug"; n ] ->
+    let c = find_bug n in
+    (Workloads.Fuzzbugs.binary c, c.attack)
   | [ "chrome" ] -> (Workloads.Chrome.binary (), [ 0; 50 ])
   | [ "synth"; seed ] ->
     ( Minic.Codegen.compile
@@ -102,6 +120,9 @@ let find_program name : Minic.Ast.program * int list list * int list =
     | [ "uaf"; n ] ->
       let prog, benign, attack = find_uaf n in
       (prog, [ benign ], attack)
+    | [ "bug"; n ] ->
+      let c = find_bug n in
+      (c.program, [ c.benign ], c.attack)
     | [ "chrome" ] -> (Workloads.Chrome.program (), [ [ 0; 50 ] ], [ 0; 50 ])
     | [ "synth"; seed ] ->
       (Workloads.Synth.program ~seed:(int_of_string seed) (), [ [] ], [])

@@ -3,8 +3,8 @@
     daemon's request [target] field, the traffic-simulation bench).
 
     A target is either a built-in workload name ([spec:mcf], [cve:...],
-    [kraken:...], [uaf:...], [chrome], [synth:<seed>]) or a MiniC
-    source path ([examples/victim.mc]).  An unknown name raises the
+    [kraken:...], [uaf:...], [bug:...], [chrome], [synth:<seed>]) or a
+    MiniC source path ([examples/victim.mc]).  An unknown name raises the
     typed [input.target] fault ({!Engine.Fault.Input}), so resolution
     composes with {!Engine.Pipeline.protect} per-request isolation. *)
 
@@ -13,6 +13,10 @@ val workload_names : unit -> string list
 
 val find_uaf : string -> Minic.Ast.program * int list * int list
 (** [uaf:] case by id: (program, benign inputs, attack inputs). *)
+
+val find_bug : string -> Workloads.Fuzzbugs.case
+(** [bug:] seeded-bug fuzzing case by id; unknown ids raise the typed
+    [input.target] fault. *)
 
 val find_workload : string -> Binfmt.Relf.t * int list
 (** Resolve to a compiled binary plus its reference inputs ([redfat

@@ -1,0 +1,122 @@
+(** Seeded-bug cases for the fuzzing fleet (`redfat fuzz bug:*`).
+
+    Each case is a small MiniC program with exactly one planted memory
+    error behind an input gate: input 0 (and the empty script) runs
+    clean, and some discoverable input — a boundary constant, a ±1
+    neighbour, or a parity — trips the bug.  The gates are chosen to
+    be reachable by {!Fuzz.Mutate.deterministic_stage} (interesting
+    values and small arithmetic), not by luck, so a bounded
+    deterministic campaign finds every case.
+
+    The suite doubles as ground truth elsewhere:
+    - the Table-2x extension rows "CWE-125 OOB read (fuzz)" and
+      "off-by-one write (fuzz)" classify these programs' attack runs
+      per backend;
+    - the CI fuzz-smoke campaign asserts at least one seeded bug is
+      found and deduplicated per backend (the spatial backends catch
+      the bounds cases, the temporal backend the use-after-free and
+      double-free cases; every backend catches [uaf]). *)
+
+open Minic.Ast
+open Minic.Build
+
+type case = {
+  id : string;
+  cwe : string;         (** the planted bug's class *)
+  benign : int list;    (** inputs that must run clean *)
+  attack : int list;    (** one known bug-tripping input *)
+  program : program;
+}
+
+(* shared prologue: an 8-element heap array, initialized, and the one
+   gate input *)
+let wrap (body : stmt list) ~(frees : bool) : program =
+  Minic.Ast.program
+    [
+      func ~name:"main"
+        ([
+           let_ "a" (alloc_elems (i 8));
+           for_ "j" (i 0) (i 8) [ set (v "a") (v "j") (i 0) ];
+           let_ "x" Input;
+         ]
+        @ body
+        @ (if frees then [ free_ (v "a") ] else [])
+        @ [ print_ (i 1); return_ (i 0) ]);
+    ]
+
+let all : case list =
+  [
+    {
+      id = "oob-write";
+      cwe = "CWE-787 out-of-bounds write";
+      benign = [ 0 ];
+      attack = [ 64 ];
+      (* threshold gate: any interesting value > 60 trips it *)
+      program =
+        wrap ~frees:true
+          [ if_ (v "x" >: i 60) [ set (v "a") (i 8) (i 7) ] [] ];
+    };
+    {
+      id = "oob-read";
+      cwe = "CWE-125 out-of-bounds read";
+      benign = [ 0 ];
+      attack = [ 8 ];
+      (* the input is the index: >= 8 overflows, < 0 underflows *)
+      program =
+        wrap ~frees:true [ print_ (idx (v "a") (v "x")) ];
+    };
+    {
+      id = "off-by-one";
+      cwe = "CWE-193 off-by-one write";
+      benign = [ 0; 8 ];
+      attack = [ 9 ];
+      (* the input is the loop bound: 9 writes a[8], one past the end *)
+      program =
+        wrap ~frees:true
+          [ for_ "j" (i 0) (v "x") [ set (v "a") (v "j") (v "j") ] ];
+    };
+    {
+      id = "uaf";
+      cwe = "CWE-416 use-after-free";
+      benign = [ 0 ];
+      attack = [ 1 ];
+      (* parity gate: odd inputs free before the write *)
+      program =
+        wrap ~frees:false
+          [
+            if_ (v "x" &: i 1 =: i 1) [ free_ (v "a") ] [];
+            set (v "a") (i 2) (i 7);
+            if_ (v "x" &: i 1 =: i 1) [] [ free_ (v "a") ];
+          ];
+    };
+    {
+      id = "double-free";
+      cwe = "CWE-415 double free";
+      benign = [ 0 ];
+      attack = [ 7 ];
+      (* the spatial allocators abort; the temporal backend classifies *)
+      program =
+        wrap ~frees:false
+          [ free_ (v "a"); if_ (v "x" >: i 6) [ free_ (v "a") ] [] ];
+    };
+    {
+      id = "hang";
+      cwe = "CWE-835 infinite loop";
+      benign = [ 0; 100 ];
+      attack = [ 1024 ];
+      program =
+        wrap ~frees:true
+          [
+            let_ "s" (i 0);
+            while_ (v "x" >: i 100) [ assign "s" (v "s" +: i 1) ];
+            print_ (v "s");
+          ];
+    };
+  ]
+
+let find id : case =
+  match List.find_opt (fun c -> c.id = id) all with
+  | Some c -> c
+  | None -> raise Not_found
+
+let binary (c : case) = Minic.Codegen.compile c.program

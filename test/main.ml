@@ -15,6 +15,7 @@ let () =
       ("shared-objects", Test_shared_objects.tests);
       ("profile", Test_profile.tests);
       ("fuzzer", Test_fuzzer.tests);
+      ("fuzz", Test_fuzz.tests);
       ("e9afl", Test_e9afl.tests);
       ("uaf", Test_uaf.tests);
       ("backend", Test_backend.tests);

@@ -97,25 +97,35 @@ let test_disasm_and_trace () =
   Alcotest.(check int) "trace" 0 c;
   Alcotest.(check bool) "cycles shown" true (contains out "cycles=")
 
-let test_fuzz_modes () =
+let test_fuzz_campaign () =
   skip_unless_available ();
-  let relf = tmp "cli_f.relf" in
-  let allow = tmp "cli_f.allow.lst" in
-  let c, _ = run_cli (Printf.sprintf "workload cve:php-gd-gif -o %s" relf) in
-  Alcotest.(check int) "workload" 0 c;
+  let report = tmp "cli_f.fuzz.json" in
   let c, out =
     run_cli
-      (Printf.sprintf "fuzz %s --seed-input 3 --budget 50 -o %s" relf allow)
+      (Printf.sprintf
+         "fuzz bug:oob-write --budget 80 --seed 7 --expect-bugs 1 --out %s"
+         report)
   in
-  Alcotest.(check int) "site fuzz" 0 c;
-  Alcotest.(check bool) "site coverage" true (contains out "sites covered");
+  Alcotest.(check int) "exec campaign" 0 c;
+  Alcotest.(check bool) "bug reported" true (contains out "BUG detect.");
+  Alcotest.(check bool) "totals line" true (contains out "unique bug(s)");
+  Alcotest.(check bool) "report written" true (Sys.file_exists report);
+  (* an impossible bug floor exits 3 (campaigns ran, gate failed) *)
   let c, out =
-    run_cli
-      (Printf.sprintf "fuzz %s --edge --seed-input 3 --budget 50 -o %s" relf
-         allow)
+    run_cli "fuzz bug:oob-write --budget 40 --seed 7 --expect-bugs 99"
   in
-  Alcotest.(check int) "edge fuzz" 0 c;
-  Alcotest.(check bool) "edge coverage" true (contains out "edges")
+  Alcotest.(check int) "--expect-bugs gate" 3 c;
+  Alcotest.(check bool) "gate explained" true (contains out "expected at least")
+
+let test_fuzz_parse_mode () =
+  skip_unless_available ();
+  let c, out = run_cli "fuzz relf minic --mode parse --budget 60 --seed 5" in
+  Alcotest.(check int) "parse campaigns" 0 c;
+  Alcotest.(check bool) "typed rejections found" true (contains out "BUG parse.");
+  (* an unknown parser name is a typed input fault, not a crash *)
+  let c, out = run_cli "fuzz elf --mode parse --budget 10" in
+  Alcotest.(check int) "unknown parser fails" 2 c;
+  Alcotest.(check bool) "typed failure" true (contains out "FAILED")
 
 let tests =
   [
@@ -126,5 +136,6 @@ let tests =
     Alcotest.test_case "double harden refused" `Quick
       test_double_harden_refused;
     Alcotest.test_case "disasm and trace" `Quick test_disasm_and_trace;
-    Alcotest.test_case "fuzz modes" `Quick test_fuzz_modes;
+    Alcotest.test_case "fuzz campaign" `Quick test_fuzz_campaign;
+    Alcotest.test_case "fuzz parse mode" `Quick test_fuzz_parse_mode;
   ]

@@ -273,7 +273,8 @@ let run_batch ~jobs ~spec =
   let results =
     Pl.map_targets eng
       (fun tgt ->
-        if tgt = "t3" then ignore (Pl.load_relf eng "corrupt/wrong_magic.relf");
+        if tgt = "t3" then
+          ignore (Pl.load_relf eng (Corrupt_corpus.path "wrong_magic.relf"));
         let prog =
           Workloads.Synth.program
             ~seed:(int_of_string (String.sub tgt 1 (String.length tgt - 1)))

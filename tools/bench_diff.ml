@@ -20,7 +20,10 @@
        serving hot tier's warm-phase hit rate -- lost ground);
      - any *reused_permille counter went down (the function-granular
        incremental rebuild reused fewer per-function artifacts: the
-       partition or cache keys lost precision).
+       partition or cache keys lost precision);
+     - any *unique_bugs counter went down (a fuzz smoke campaign
+       stopped finding a seeded bug it used to find: the oracle,
+       scheduler or mutators regressed).
 
    New targets and improvements are fine.  wall_seconds is ignored
    everywhere: it is the only machine-dependent field; cycles come
@@ -137,14 +140,16 @@ let check_target name base fresh =
           fail "%s: counter %s increased (%.0f -> %.0f)" name k b f
         | Some _ -> ()
         | None -> fail "%s: counter %s missing from fresh report" name k
-      (* hoisted checks, hit rates and reuse rates are gains: losing
-         some means the hoister stopped proving loops it used to
-         prove, or a cache tier stopped hitting (or reusing) where it
-         used to *)
+      (* hoisted checks, hit rates, reuse rates and found bugs are
+         gains: losing some means the hoister stopped proving loops it
+         used to prove, a cache tier stopped hitting (or reusing)
+         where it used to, or a fuzz campaign stopped finding a seeded
+         bug it used to find *)
       else if
         k = "hoisted_checks"
         || has_suffix k "hit_permille"
         || has_suffix k "reused_permille"
+        || has_suffix k "unique_bugs"
       then
         match List.assoc_opt k fresh_counters with
         | Some f when f < b ->

@@ -1,5 +1,5 @@
 (* doc_check: fail the build when the documentation drifts from the
-   code.  Four checks:
+   code.  Five checks:
 
    1. every CLI flag declared in bin/redfat_cli.ml appears in
       docs/MANUAL.md (and the manual doesn't document flags that no
@@ -11,7 +11,11 @@
       markdown files resolves to an existing file;
    4. every CLI subcommand has a `### `redfat NAME`` section in
       docs/MANUAL.md, and the manual documents no verb the CLI does
-      not declare.
+      not declare;
+   5. every `fuzz.*` counter or histogram docs/INTERNALS.md names in
+      backticks is recorded in bench/fuzz_baseline.json — the fuzzing
+      smoke campaign's committed report — so §16 can never document
+      observability the fleet stopped emitting.
 
    Run from the repository root (make check / make doc-check / the CI
    docs job): exits 1 listing every violation. *)
@@ -215,11 +219,40 @@ let check_links () =
       with Not_found -> ())
     (md_files ())
 
+(* --- 5. fuzz.* observability vs the smoke baseline ------------------- *)
+
+let check_fuzz_counters () =
+  let internals = read_file_exn "the internals doc" "docs/INTERNALS.md" in
+  let baseline =
+    read_file_exn "the fuzzing smoke baseline" "bench/fuzz_baseline.json"
+  in
+  let re = Str.regexp "`\\(fuzz\\.[a-z_]+\\)`" in
+  let i = ref 0 and seen = ref [] in
+  (try
+     while true do
+       let p = Str.search_forward re internals !i in
+       let c = Str.matched_group 1 internals in
+       if not (List.mem c !seen) then seen := c :: !seen;
+       i := p + 1
+     done
+   with Not_found -> ());
+  if !seen = [] then
+    err "docs/INTERNALS.md names no `fuzz.*` counters (scraper broken, or \
+         the fleet section dropped?)";
+  List.iter
+    (fun c ->
+      if not (contains baseline ("\"" ^ c ^ "\"")) then
+        err
+          "docs/INTERNALS.md names `%s`, which bench/fuzz_baseline.json does \
+           not record -- the smoke campaign stopped emitting it" c)
+    (List.rev !seen)
+
 let () =
   check_flags ();
   check_verbs ();
   check_taxonomy ();
   check_links ();
+  check_fuzz_counters ();
   match List.rev !errors with
   | [] -> print_endline "doc_check: docs/MANUAL.md and markdown links are in sync"
   | es ->
